@@ -1,0 +1,37 @@
+//! Ablation: error detection latency (Fig. 2 semantics). Longer latency
+//! forces rollback past potentially corrupted checkpoints, increasing
+//! waste; the paper assumes latency <= checkpoint period throughout.
+use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    println!("== Ablation: detection latency (fraction of checkpoint period) ==");
+    println!(
+        "{:>5} {:>8} {:>12} {:>12} {:>12}",
+        "bench", "latency", "ReCkpt_E cyc", "waste_cyc", "recomputed"
+    );
+    for b in [Benchmark::Lu, Benchmark::Dc] {
+        for frac in [0.1f64, 0.25, 0.5, 0.75, 1.0] {
+            let mut exp =
+                experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+                    .expect("workload");
+            let mut spec = exp.spec().clone();
+            spec.detection_latency_frac = frac;
+            exp.set_spec(spec);
+            let r = exp.run_reckpt(2).expect("reckpt");
+            let rep = r.report.as_ref().expect("report");
+            let waste: u64 = rep.recoveries.iter().map(|x| x.waste_cycles).sum();
+            let recomputed: u64 = rep.recoveries.iter().map(|x| x.recomputed_values).sum();
+            println!(
+                "{:>5} {:>8.2} {:>12} {:>12} {:>12}",
+                b.name(),
+                frac,
+                r.cycles,
+                waste,
+                recomputed,
+            );
+        }
+    }
+    println!("expectation: waste grows with latency (more work discarded per recovery).");
+}

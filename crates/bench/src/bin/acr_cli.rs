@@ -1,0 +1,263 @@
+//! `acr_cli` — run any ACR experiment from the command line.
+//!
+//! ```sh
+//! cargo run --release -p acr-bench --bin acr_cli -- \
+//!     --bench is --threads 8 --errors 2 --checkpoints 50 --scheme local
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! ```text
+//!   --bench <bt|cg|dc|ft|is|lu|mg|sp>   workload            [default: bt]
+//!   --threads <n>                        cores/threads       [default: 8]
+//!   --scale <f>                          ROI scale           [default: 1.0]
+//!   --seed <n>                           generator seed
+//!   --checkpoints <n>                    checkpoint count    [default: 25]
+//!   --errors <n>                         injected errors     [default: 0]
+//!   --threshold <n>                      slice threshold     [default: per-bench]
+//!   --scheme <global|local>              coordination        [default: global]
+//!   --latency <f>                        detection latency as period fraction
+//!   --addrmap <n>                        AddrMap capacity per core
+//!   --secondary <k>                      hierarchical level-2 every k-th ckpt
+//!   --adaptive                           recomputation-aware placement
+//!   --oracle                             verify recoveries against shadows
+//!   --no-acr                             run the plain Ckpt baseline instead
+//! ```
+
+use std::process::ExitCode;
+
+use acr::{placement, AddrMapConfig, Experiment, ExperimentSpec, RunResult};
+use acr_ckpt::{Scheme, SecondaryStorage};
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+#[derive(Debug)]
+struct Args {
+    bench: Benchmark,
+    threads: u32,
+    scale: f64,
+    seed: u64,
+    checkpoints: u32,
+    errors: u32,
+    threshold: Option<usize>,
+    scheme: Scheme,
+    latency: f64,
+    addrmap: Option<usize>,
+    secondary: Option<u32>,
+    adaptive: bool,
+    oracle: bool,
+    acr: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            bench: Benchmark::Bt,
+            threads: 8,
+            scale: 1.0,
+            seed: WorkloadConfig::default().seed,
+            checkpoints: 25,
+            errors: 0,
+            threshold: None,
+            scheme: Scheme::GlobalCoordinated,
+            latency: 0.5,
+            addrmap: None,
+            secondary: None,
+            adaptive: false,
+            oracle: false,
+            acr: true,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bench" => {
+                let v = value("--bench")?;
+                args.bench = Benchmark::from_name(&v)
+                    .ok_or_else(|| format!("unknown benchmark `{v}`"))?;
+            }
+            "--threads" => args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--checkpoints" => {
+                args.checkpoints = value("--checkpoints")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--errors" => args.errors = value("--errors")?.parse().map_err(|e| format!("{e}"))?,
+            "--threshold" => {
+                args.threshold = Some(value("--threshold")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--scheme" => {
+                args.scheme = match value("--scheme")?.as_str() {
+                    "global" => Scheme::GlobalCoordinated,
+                    "local" => Scheme::LocalCoordinated,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                };
+            }
+            "--latency" => args.latency = value("--latency")?.parse().map_err(|e| format!("{e}"))?,
+            "--addrmap" => {
+                args.addrmap = Some(value("--addrmap")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--secondary" => {
+                args.secondary = Some(value("--secondary")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--adaptive" => args.adaptive = true,
+            "--oracle" => args.oracle = true,
+            "--no-acr" => args.acr = false,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_result(label: &str, r: &RunResult, base: Option<&RunResult>) {
+    println!("--- {label} ---");
+    println!("  cycles          {:>14}", r.cycles);
+    println!("  time            {:>14.6} ms", r.seconds * 1e3);
+    println!("  energy          {:>14.6} mJ", r.energy.total_joules() * 1e3);
+    println!("  EDP             {:>14.6e} J*s", r.edp);
+    if let Some(b) = base {
+        println!("  time overhead   {:>13.2}% vs {}", r.time_overhead_pct(b), b.label);
+        println!(
+            "  energy overhead {:>13.2}% vs {}",
+            r.energy_overhead_pct(b),
+            b.label
+        );
+    }
+    if let Some(rep) = &r.report {
+        println!("  checkpoints     {:>14}", rep.checkpoints_taken);
+        println!("  ckpt bytes      {:>14}", rep.total_checkpoint_bytes());
+        if rep.total_baseline_bytes() > rep.total_checkpoint_bytes() {
+            println!(
+                "  size reduction  {:>13.2}% (max interval {:.2}%)",
+                rep.overall_reduction_pct(),
+                rep.max_interval_reduction_pct()
+            );
+        }
+        if rep.errors_handled > 0 {
+            let recomputed: u64 = rep.recoveries.iter().map(|x| x.recomputed_values).sum();
+            let waste: u64 = rep.recoveries.iter().map(|x| x.waste_cycles).sum();
+            println!("  errors handled  {:>14}", rep.errors_handled);
+            println!("  recomputed      {:>14}", recomputed);
+            println!("  wasted cycles   {:>14}", waste);
+        }
+        if rep.secondary_checkpoints > 0 {
+            println!(
+                "  level-2 ckpts   {:>14} ({} B)",
+                rep.secondary_checkpoints, rep.secondary_bytes
+            );
+        }
+    }
+    if let Some(a) = &r.acr {
+        println!(
+            "  AddrMap         {:>14} writes, {} reads, peak {} live, {} capacity drops",
+            a.addrmap_writes, a.addrmap_reads, a.addrmap_peak_live, a.capacity_rejections
+        );
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let wl = WorkloadConfig {
+        threads: args.threads,
+        scale: args.scale,
+        seed: args.seed,
+    };
+    let program = generate(args.bench, &wl);
+    println!(
+        "workload {} — {} threads, {} static instrs, {} B image",
+        args.bench,
+        program.num_threads(),
+        program.static_len(),
+        program.mem_bytes()
+    );
+
+    let mut spec = ExperimentSpec {
+        detection_latency_frac: args.latency,
+        ..ExperimentSpec::default()
+    }
+    .with_cores(args.threads)
+    .with_checkpoints(args.checkpoints)
+    .with_threshold(args.threshold.unwrap_or(args.bench.default_threshold()))
+    .with_scheme(args.scheme)
+    .with_oracle(args.oracle);
+    if let Some(cap) = args.addrmap {
+        spec.addrmap = AddrMapConfig {
+            capacity_per_core: cap,
+        };
+    }
+    if let Some(every) = args.secondary {
+        spec.secondary = Some(SecondaryStorage {
+            every,
+            ..Default::default()
+        });
+    }
+
+    let mut exp = Experiment::new(program, spec)?;
+    let no = exp.run_no_ckpt()?;
+    print_result("No_Ckpt", &no, None);
+
+    if args.adaptive && args.acr {
+        let outcome = placement::tune(&mut exp, 4)?;
+        print_result("ReCkpt (uniform)", &outcome.uniform, Some(&no));
+        print_result("ReCkpt (adaptive placement)", &outcome.adaptive, Some(&no));
+        println!(
+            "adaptive placement: {:+.2}% bytes, {:+.2}% time vs uniform",
+            outcome.bytes_improvement_pct(),
+            outcome.time_improvement_pct()
+        );
+        return Ok(());
+    }
+
+    let main = if args.acr {
+        exp.run_reckpt(args.errors)?
+    } else {
+        exp.run_ckpt(args.errors)?
+    };
+    print_result(&main.label.clone(), &main, Some(&no));
+    if args.acr {
+        // Show the baseline for context.
+        let base = exp.run_ckpt(args.errors)?;
+        print_result(&base.label.clone(), &base, Some(&no));
+        println!(
+            "ACR vs baseline: {:.2}% time, {:.2}% energy, {:.2}% EDP reduction",
+            100.0 * (base.cycles as f64 - main.cycles as f64) / base.cycles as f64,
+            100.0 * (base.energy.total_joules() - main.energy.total_joules())
+                / base.energy.total_joules(),
+            main.edp_reduction_pct(&base),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: acr_cli [--bench <name>] [--threads n] [--scale f] [--seed n]");
+            eprintln!("               [--checkpoints n] [--errors n] [--threshold n]");
+            eprintln!("               [--scheme global|local] [--latency f] [--addrmap n]");
+            eprintln!("               [--secondary k] [--adaptive] [--oracle] [--no-acr]");
+            if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Internal calibration harness: per-benchmark overheads and reductions
+//! at the paper's default configuration, with wall-clock timing. Not a
+//! paper figure — used to tune workload volumes (see DESIGN.md).
+
+use std::time::Instant;
+
+use acr_bench::{experiment_for, pct, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    println!(
+        "{:>4} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "name",
+        "no_cycles",
+        "ckptOH%",
+        "reOH%",
+        "tRed%",
+        "eRed%",
+        "szOv%",
+        "szMax%",
+        "edpRed%",
+        "wall_s"
+    );
+    for b in Benchmark::ALL {
+        let t0 = Instant::now();
+        let mut exp = experiment_for(b, DEFAULT_THREADS, scale, Scheme::GlobalCoordinated)
+            .expect("valid workload");
+        let no = exp.run_no_ckpt().expect("run");
+        let ckpt = exp.run_ckpt(0).expect("run");
+        let re = exp.run_reckpt(0).expect("run");
+        let ckpt_oh = ckpt.time_overhead_pct(&no);
+        let re_oh = re.time_overhead_pct(&no);
+        let t_red = 100.0 * (ckpt.cycles as f64 - re.cycles as f64) / ckpt.cycles as f64;
+        let e_red = 100.0
+            * (ckpt.energy.total_joules() - re.energy.total_joules())
+            / ckpt.energy.total_joules();
+        let rep = re.report.as_ref().expect("report");
+        let edp_red = re.edp_reduction_pct(&ckpt);
+        println!(
+            "{:>4} {:>12} {} {} {} {} {} {} {} {:7.1}",
+            b.name(),
+            no.cycles,
+            pct(ckpt_oh),
+            pct(re_oh),
+            pct(t_red),
+            pct(e_red),
+            pct(rep.overall_reduction_pct()),
+            pct(rep.max_interval_reduction_pct()),
+            pct(edp_red),
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

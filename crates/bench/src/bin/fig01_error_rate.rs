@@ -1,0 +1,4 @@
+//! Fig. 1: relative component error rate (8 %/bit/generation).
+fn main() {
+    print!("{}", acr_bench::figures::fig01_report());
+}

@@ -1,0 +1,8 @@
+//! Fig. 6: execution time overhead of checkpointing and recovery.
+use acr_bench::figures::{fig06_report, main_sweep};
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    let rows = main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
+    print!("{}", fig06_report(&rows));
+}

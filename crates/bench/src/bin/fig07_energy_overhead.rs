@@ -1,0 +1,8 @@
+//! Fig. 7: energy overhead of checkpointing and recovery.
+use acr_bench::figures::{fig07_report, main_sweep};
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    let rows = main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
+    print!("{}", fig07_report(&rows));
+}

@@ -1,0 +1,8 @@
+//! Fig. 8: EDP reduction under ReCkpt_NE and ReCkpt_E.
+use acr_bench::figures::{fig08_report, main_sweep};
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    let rows = main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
+    print!("{}", fig08_report(&rows));
+}

@@ -1,0 +1,8 @@
+//! Fig. 9: percentage reduction of checkpoint size under ReCkpt_NE.
+use acr_bench::figures::{fig09_report, main_sweep};
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    let rows = main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
+    print!("{}", fig09_report(&rows));
+}

@@ -1,0 +1,22 @@
+//! Fig. 10: impact of Slice length on checkpoint size over time (bt).
+//!
+//! Pass `csv` to emit the raw per-interval records (threshold 10) as CSV
+//! for plotting instead of the formatted table.
+use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("csv") {
+        let mut exp =
+            experiment_for(Benchmark::Bt, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+                .expect("workload");
+        let r = exp.run_reckpt(0).expect("reckpt");
+        print!("{}", r.report.expect("report").intervals_csv());
+        return;
+    }
+    print!(
+        "{}",
+        acr_bench::figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
+}

@@ -1,0 +1,9 @@
+//! Fig. 11: impact of the error rate (1..5 errors per execution).
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    print!(
+        "{}",
+        acr_bench::figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
+}

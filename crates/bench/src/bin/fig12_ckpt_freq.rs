@@ -1,0 +1,9 @@
+//! Fig. 12: impact of checkpointing frequency (25/50/75/100 checkpoints).
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    print!(
+        "{}",
+        acr_bench::figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
+}

@@ -1,0 +1,9 @@
+//! Fig. 13: coordinated local checkpointing vs global counterparts.
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    print!(
+        "{}",
+        acr_bench::figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
+}

@@ -1,0 +1,40 @@
+//! Runs every table and figure of the paper in one go.
+//!
+//! `cargo run -p acr-bench --release --bin repro_all` — expect a few
+//! minutes; pipe to a file to archive the results (EXPERIMENTS.md records
+//! a reference run).
+use std::time::Instant;
+
+use acr_bench::figures;
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    let t0 = Instant::now();
+    print!("{}", figures::fig01_report());
+    println!();
+    print!("{}", figures::table1_report());
+    println!();
+    let rows = figures::main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
+    for report in [
+        figures::fig06_report(&rows),
+        figures::fig07_report(&rows),
+        figures::fig08_report(&rows),
+        figures::fig09_report(&rows),
+    ] {
+        print!("{report}");
+        println!();
+    }
+    print!("{}", figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    println!();
+    print!("{}", figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    println!();
+    print!("{}", figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    println!();
+    print!("{}", figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    println!();
+    print!("{}", figures::scalability_report(DEFAULT_SCALE).expect("sweep"));
+    println!();
+    print!("{}", figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    println!();
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

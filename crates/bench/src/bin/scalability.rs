@@ -1,0 +1,9 @@
+//! Section V-D4: scalability with 8/16/32 threads.
+use acr_bench::DEFAULT_SCALE;
+
+fn main() {
+    print!(
+        "{}",
+        acr_bench::figures::scalability_report(DEFAULT_SCALE).expect("sweep")
+    );
+}

@@ -1,0 +1,4 @@
+//! Table I: the simulated architecture.
+fn main() {
+    print!("{}", acr_bench::figures::table1_report());
+}

@@ -1,0 +1,9 @@
+//! Table II: checkpoint size reduction vs Slice-length threshold.
+use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+
+fn main() {
+    print!(
+        "{}",
+        acr_bench::figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
+}

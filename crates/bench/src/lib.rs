@@ -1,0 +1,137 @@
+//! # acr-bench — experiment harness
+//!
+//! Shared runners for the per-figure/per-table binaries in `src/bin/`.
+//! Each binary regenerates one table or figure of the paper; see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for measured
+//! vs. paper numbers.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+
+use acr::{Experiment, ExperimentError, ExperimentSpec, RunResult};
+use acr_ckpt::Scheme;
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+/// Default thread count of the paper's main figures.
+pub const DEFAULT_THREADS: u32 = 8;
+
+/// Default workload scale for harness runs (full ROI).
+pub const DEFAULT_SCALE: f64 = 1.0;
+
+/// Builds the experiment for one benchmark with the paper's defaults
+/// (Table I machine, 25 checkpoints, per-benchmark Slice threshold).
+pub fn experiment_for(
+    bench: Benchmark,
+    threads: u32,
+    scale: f64,
+    scheme: Scheme,
+) -> Result<Experiment, ExperimentError> {
+    let wl = WorkloadConfig::default()
+        .with_threads(threads)
+        .with_scale(scale);
+    let program = generate(bench, &wl);
+    let spec = ExperimentSpec::default()
+        .with_cores(threads)
+        .with_threshold(bench.default_threshold())
+        .with_scheme(scheme);
+    Experiment::new(program, spec)
+}
+
+/// The five main configurations for one benchmark (Figs. 6–8).
+#[derive(Debug, Clone)]
+pub struct MainRow {
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// `No_Ckpt` baseline.
+    pub no_ckpt: RunResult,
+    /// `Ckpt_NE`.
+    pub ckpt_ne: RunResult,
+    /// `Ckpt_E` (one error).
+    pub ckpt_e: RunResult,
+    /// `ReCkpt_NE`.
+    pub reckpt_ne: RunResult,
+    /// `ReCkpt_E` (one error).
+    pub reckpt_e: RunResult,
+}
+
+impl MainRow {
+    /// Runs all five configurations for `bench`.
+    pub fn run(
+        bench: Benchmark,
+        threads: u32,
+        scale: f64,
+        scheme: Scheme,
+    ) -> Result<Self, ExperimentError> {
+        let mut exp = experiment_for(bench, threads, scale, scheme)?;
+        Ok(MainRow {
+            bench,
+            no_ckpt: exp.run_no_ckpt()?,
+            ckpt_ne: exp.run_ckpt(0)?,
+            ckpt_e: exp.run_ckpt(1)?,
+            reckpt_ne: exp.run_reckpt(0)?,
+            reckpt_e: exp.run_reckpt(1)?,
+        })
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Formats a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{x:7.2}")
+}
+
+/// Prints a header row followed by a separator.
+pub fn print_header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>9}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(10 * cols.len()));
+}
+
+/// Prints one labelled row of numeric cells.
+pub fn print_row(label: &str, cells: &[f64]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:9.2}")).collect();
+    println!("{label:>9} {}", row.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_workloads::Benchmark;
+
+    #[test]
+    fn static_reports_render() {
+        let f1 = crate::figures::fig01_report();
+        assert!(f1.contains("Fig 1"));
+        assert!(f1.lines().count() > 9);
+        let t1 = crate::figures::table1_report();
+        assert!(t1.contains("1.09 GHz"));
+        assert!(t1.contains("7.6 GB/s"));
+    }
+
+    #[test]
+    fn main_row_runs_one_benchmark_small() {
+        let row = MainRow::run(Benchmark::Cg, 2, 0.1, acr_ckpt::Scheme::GlobalCoordinated)
+            .expect("runs");
+        assert!(row.ckpt_ne.cycles >= row.no_ckpt.cycles);
+        let f6 = crate::figures::fig06_report(std::slice::from_ref(&row));
+        assert!(f6.contains("cg"));
+        let f9 = crate::figures::fig09_report(std::slice::from_ref(&row));
+        assert!(f9.contains("Overall"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(pct(1.234), "   1.23");
+    }
+}

@@ -1,0 +1,48 @@
+//! Retained checkpoint records.
+
+use acr_sim::CoreSnapshot;
+
+/// One established checkpoint: the state needed to restore execution to
+/// the instant the checkpoint was taken. The initial program state is
+/// represented as checkpoint 0.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// The log epoch this checkpoint *opens* (restoring this checkpoint
+    /// means rolling the log back to the start of `begins_epoch`).
+    pub begins_epoch: u64,
+    /// Progress (total retired instructions) at establishment.
+    pub progress: u64,
+    /// Machine time (cycles) at establishment, for waste accounting.
+    pub cycles: u64,
+    /// Architectural state of every core.
+    pub arch: Vec<CoreSnapshot>,
+    /// Checkpoint-group masks of the *preceding* interval (local scheme);
+    /// a single full mask under the global scheme.
+    pub groups: Vec<u64>,
+    /// Shadow copy of functional memory (oracle only; zero simulated
+    /// cost).
+    pub shadow_mem: Option<Vec<u64>>,
+}
+
+impl CheckpointRecord {
+    /// Bytes of architectural state this checkpoint recorded (register
+    /// files + pc words of the cores in `mask`).
+    pub fn arch_bytes(mask: u64, num_cores: usize) -> u64 {
+        let cores = (0..num_cores).filter(|i| mask >> i & 1 == 1).count() as u64;
+        cores * CoreSnapshot::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_bytes_counts_masked_cores() {
+        assert_eq!(
+            CheckpointRecord::arch_bytes(0b1011, 4),
+            3 * CoreSnapshot::BYTES
+        );
+        assert_eq!(CheckpointRecord::arch_bytes(0, 4), 0);
+    }
+}

@@ -1,0 +1,1039 @@
+//! The BER engine: drives the machine between checkpoints and errors.
+
+use std::collections::VecDeque;
+
+use acr_mem::{LogController, LogEpoch, WordAddr, LOG_RECORD_BYTES};
+use acr_sim::{
+    AssocEvent, ExecHooks, Machine, RunOutcome, SimError, StoreEvent,
+    TICKS_PER_CYCLE,
+};
+
+use crate::checkpoint::CheckpointRecord;
+use crate::policy::OmissionPolicy;
+use crate::report::{BerReport, IntervalRecord, RecoveryRecord};
+use crate::schedule::ErrorSchedule;
+
+/// Coordination scheme (Sections II-A and V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// All cores checkpoint (and roll back) together.
+    #[default]
+    GlobalCoordinated,
+    /// Only cores that communicated within the interval coordinate; each
+    /// connected component of the communication graph checkpoints (and
+    /// rolls back) independently.
+    LocalCoordinated,
+}
+
+/// Second-level checkpoint destination for hierarchical checkpointing.
+///
+/// Section II-A notes that in-memory checkpointing "may … represent the
+/// first level in a hierarchical checkpointing framework". This models
+/// the second level: every `every`-th established checkpoint is also
+/// streamed to slower storage (e.g. NVM/SSD), whose cost scales with the
+/// checkpoint's size — so ACR's size reductions cut level-2 traffic too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondaryStorage {
+    /// Stream every `every`-th checkpoint to the second level (≥ 1).
+    pub every: u32,
+    /// Sustained secondary bandwidth in bytes per core cycle (e.g. a
+    /// 1 GB/s device at 1.09 GHz ≈ 0.92 B/cycle).
+    pub bytes_per_cycle: f64,
+    /// Fixed per-checkpoint latency (device + software stack), cycles.
+    pub latency_cycles: u64,
+}
+
+impl Default for SecondaryStorage {
+    fn default() -> Self {
+        SecondaryStorage {
+            every: 5,
+            bytes_per_cycle: 0.92,
+            latency_cycles: 20_000,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BerConfig {
+    /// Coordination scheme.
+    pub scheme: Scheme,
+    /// Checkpoint trigger points, ascending, in progress units (total
+    /// retired instructions); see [`crate::uniform_points`].
+    pub triggers: Vec<u64>,
+    /// Error schedule.
+    pub errors: ErrorSchedule,
+    /// Shadow-memory verification of every recovery (tests; off in
+    /// benchmark sweeps to save host memory).
+    pub oracle: bool,
+    /// Optional second-level checkpoint destination.
+    pub secondary: Option<SecondaryStorage>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ErrState {
+    occur: u64,
+    core: u32,
+    occurred: bool,
+    handled: bool,
+}
+
+/// The store/assoc instrumentation the engine attaches to the machine.
+struct CkptHooks<P> {
+    logctl: LogController,
+    policy: P,
+    /// `AddrMap` lookups performed by the omission check (energy).
+    omission_lookups: u64,
+}
+
+impl<P: OmissionPolicy> ExecHooks for CkptHooks<P> {
+    fn on_store(&mut self, ev: StoreEvent) -> u64 {
+        let epoch = self.logctl.current().index;
+        self.policy.on_store(ev.core.0, ev.addr, epoch);
+        if !self.logctl.is_logged(ev.addr) {
+            self.omission_lookups += 1;
+            if let Some(owner) = self.policy.try_omit(ev.core.0, ev.addr, epoch) {
+                self.logctl.omit_value(ev.addr, owner);
+            } else {
+                self.logctl.log_value(ev.addr, ev.old, ev.core.0);
+            }
+        }
+        0
+    }
+
+    fn on_assoc(&mut self, ev: AssocEvent) -> u64 {
+        let epoch = self.logctl.current().index;
+        self.policy.on_assoc(&ev, epoch)
+    }
+}
+
+/// Backward-error-recovery engine over a simulated machine.
+///
+/// See the [crate documentation](crate) for the execution model. The type
+/// parameter `P` selects the baseline ([`crate::NoOmission`]) or ACR
+/// (`acr::AcrPolicy`).
+///
+/// ```
+/// use acr_ckpt::{BerConfig, BerEngine, ErrorSchedule, NoOmission, Scheme};
+/// use acr_isa::{AluOp, ProgramBuilder, Reg};
+/// use acr_sim::{Machine, MachineConfig};
+///
+/// // A loop storing i*3 to 64 words, checkpointed 4 times with 1 error.
+/// let mut b = ProgramBuilder::new(1);
+/// b.set_mem_bytes(4096);
+/// let t = b.thread(0);
+/// t.imm(Reg(10), 1024);
+/// let l = t.begin_loop(Reg(1), Reg(2), 64);
+/// t.alui(AluOp::Mul, Reg(3), Reg(1), 3);
+/// t.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+/// t.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+/// t.store(Reg(3), Reg(5), 0);
+/// t.end_loop(l);
+/// t.halt();
+/// let program = b.build();
+///
+/// let total = 64 * 6 + 10; // roughly the retired-instruction count
+/// let cfg = BerConfig {
+///     scheme: Scheme::GlobalCoordinated,
+///     triggers: acr_ckpt::uniform_points(total, 4),
+///     errors: ErrorSchedule::uniform(total, 1, 4, 0.5),
+///     oracle: true, // verify the recovery against a shadow snapshot
+///     secondary: None,
+/// };
+/// let machine = Machine::new(MachineConfig::with_cores(1), &program);
+/// let mut engine = BerEngine::new(machine, NoOmission, cfg);
+/// let report = engine.run_to_completion()?;
+/// assert!(report.checkpoints_taken >= 4);
+/// assert_eq!(report.errors_handled, 1);
+/// # Ok::<(), acr_sim::SimError>(())
+/// ```
+pub struct BerEngine<'p, P: OmissionPolicy> {
+    machine: Machine<'p>,
+    cfg: BerConfig,
+    hooks: CkptHooks<P>,
+    checkpoints: VecDeque<CheckpointRecord>,
+    errors: Vec<ErrState>,
+    report: BerReport,
+}
+
+/// Checkpoint records retained (start + the two most recent).
+const RETAINED_CHECKPOINTS: usize = 3;
+
+impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
+    /// Creates an engine over `machine` with omission policy `policy`.
+    pub fn new(mut machine: Machine<'p>, policy: P, cfg: BerConfig) -> Self {
+        if cfg.scheme == Scheme::LocalCoordinated {
+            machine.mem_mut().enable_sharing();
+        }
+        let logctl = LogController::new(machine.mem().image().num_words());
+        let num_cores = machine.cores().len() as u32;
+        let errors: Vec<ErrState> = cfg
+            .errors
+            .occurrences
+            .iter()
+            .enumerate()
+            .map(|(i, &occur)| ErrState {
+                occur,
+                core: i as u32 % num_cores,
+                occurred: false,
+                handled: false,
+            })
+            .collect();
+        let initial = CheckpointRecord {
+            begins_epoch: 0,
+            progress: 0,
+            cycles: 0,
+            arch: machine.snapshot_arch(),
+            groups: vec![machine.all_mask()],
+            shadow_mem: cfg.oracle.then(|| machine.mem().image().snapshot()),
+        };
+        let mut checkpoints = VecDeque::with_capacity(RETAINED_CHECKPOINTS + 1);
+        checkpoints.push_back(initial);
+        BerEngine {
+            machine,
+            cfg,
+            hooks: CkptHooks {
+                logctl,
+                policy,
+                omission_lookups: 0,
+            },
+            errors,
+            checkpoints,
+            report: BerReport::default(),
+        }
+    }
+
+    /// The machine, for inspection after the run.
+    pub fn machine(&self) -> &Machine<'p> {
+        &self.machine
+    }
+
+    /// The omission policy, for ACR statistics extraction.
+    pub fn policy(&self) -> &P {
+        &self.hooks.policy
+    }
+
+    /// `AddrMap` lookups issued by the first-update omission check.
+    pub fn omission_lookups(&self) -> u64 {
+        self.hooks.omission_lookups
+    }
+
+    fn next_stop(&self) -> u64 {
+        let last_ckpt = self
+            .checkpoints
+            .back()
+            .map(|c| c.progress)
+            .unwrap_or(0);
+        let trig = self
+            .cfg
+            .triggers
+            .iter()
+            .copied()
+            .find(|&t| t > last_ckpt)
+            .unwrap_or(u64::MAX);
+        let occur = self
+            .errors
+            .iter()
+            .filter(|e| !e.occurred)
+            .map(|e| e.occur)
+            .min()
+            .unwrap_or(u64::MAX);
+        let detect = self
+            .errors
+            .iter()
+            .filter(|e| e.occurred && !e.handled)
+            .map(|e| e.occur + self.cfg.errors.detection_latency)
+            .min()
+            .unwrap_or(u64::MAX);
+        trig.min(occur).min(detect)
+    }
+
+    /// Runs to completion, handling every checkpoint and error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the simulator.
+    pub fn run_to_completion(&mut self) -> Result<BerReport, SimError> {
+        loop {
+            let stop = self.next_stop();
+            let out = self.machine.run(&mut self.hooks, stop)?;
+            self.mark_occurrences();
+            // Process due events in ascending threshold order; recovery
+            // rewinds progress, so re-evaluate after each.
+            loop {
+                let progress = self.machine.total_retired();
+                let last_ckpt = self.checkpoints.back().map(|c| c.progress).unwrap_or(0);
+                let trig = self
+                    .cfg
+                    .triggers
+                    .iter()
+                    .copied()
+                    .find(|&t| t > last_ckpt && t <= progress);
+                let detect = self
+                    .errors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| {
+                        e.occurred
+                            && !e.handled
+                            && e.occur + self.cfg.errors.detection_latency <= progress
+                    })
+                    .min_by_key(|(_, e)| e.occur)
+                    .map(|(i, e)| (i, e.occur + self.cfg.errors.detection_latency));
+                match (trig, detect) {
+                    (Some(t), Some((ei, d))) => {
+                        if t <= d {
+                            self.do_checkpoint();
+                        } else {
+                            self.do_recovery(ei);
+                        }
+                    }
+                    (Some(_), None) => self.do_checkpoint(),
+                    (None, Some((ei, _))) => self.do_recovery(ei),
+                    (None, None) => break,
+                }
+                self.mark_occurrences();
+            }
+            if out == RunOutcome::AllHalted && self.machine.all_halted() {
+                // Force-detect any straggling errors at end of execution.
+                if let Some(ei) = self
+                    .errors
+                    .iter()
+                    .position(|e| e.occurred && !e.handled)
+                {
+                    self.do_recovery(ei);
+                    continue;
+                }
+                break;
+            }
+        }
+        let mut report = std::mem::take(&mut self.report);
+        report.cycles = self.machine.cycles();
+        report.sim = *self.machine.stats();
+        report.mem = *self.machine.mem().stats();
+        Ok(report)
+    }
+
+    fn mark_occurrences(&mut self) {
+        let progress = self.machine.total_retired();
+        for e in &mut self.errors {
+            if !e.occurred && e.occur <= progress {
+                e.occurred = true;
+            }
+        }
+    }
+
+    /// Establishes a coordinated checkpoint (global or per-group local).
+    fn do_checkpoint(&mut self) {
+        let all = self.machine.all_mask();
+        let groups: Vec<u64> = match self.cfg.scheme {
+            Scheme::GlobalCoordinated => vec![all],
+            Scheme::LocalCoordinated => self
+                .machine
+                .mem()
+                .sharing()
+                .expect("sharing enabled for local scheme")
+                .groups(),
+        };
+        let sealed_index;
+        let (records, omitted, per_core_records) = {
+            let sealed = self.hooks.logctl.seal_epoch();
+            sealed_index = sealed.index;
+            let mut per_core = vec![0u64; self.machine.cores().len()];
+            for r in &sealed.records {
+                per_core[r.core as usize] += 1;
+            }
+            (
+                sealed.records.len() as u64,
+                sealed.omitted.len() as u64,
+                per_core,
+            )
+        };
+        let num_cores = self.machine.cores().len();
+        let mut max_stall = 0u64;
+        let mut lines_total = 0u64;
+        for &g in &groups {
+            let participants = (g & all).count_ones();
+            let arrival = self.machine.mask_ticks(g);
+            let flush = self.machine.mem_mut().flush_dirty(g);
+            let group_records: u64 = (0..num_cores)
+                .filter(|i| g >> i & 1 == 1)
+                .map(|i| per_core_records[i])
+                .sum();
+            // Each log record costs an old-value read (8 B) before the
+            // flush overwrites it, plus the 16 B record write.
+            let bytes = group_records * (LOG_RECORD_BYTES + 8)
+                + CheckpointRecord::arch_bytes(g, num_cores);
+            let log_stall = self.machine.mem().log_write_stall(bytes);
+            let coord = self
+                .machine
+                .config()
+                .checkpoint_coordination_cycles(participants);
+            let stall = coord + flush.stall_cycles + log_stall;
+            self.machine
+                .stall_cores(g, arrival + stall * TICKS_PER_CYCLE);
+            max_stall = max_stall.max(stall);
+            lines_total += flush.lines_flushed;
+        }
+        let arch_bytes = CheckpointRecord::arch_bytes(all, num_cores);
+        let mem = self.machine.mem_mut().stats_mut();
+        mem.log_record_writes += records + arch_bytes / LOG_RECORD_BYTES;
+
+        let progress = self.machine.total_retired();
+        let record = CheckpointRecord {
+            begins_epoch: sealed_index + 1,
+            progress,
+            cycles: self.machine.cycles(),
+            arch: self.machine.snapshot_arch(),
+            groups: groups.clone(),
+            shadow_mem: self.cfg.oracle.then(|| self.machine.mem().image().snapshot()),
+        };
+        self.checkpoints.push_back(record);
+        while self.checkpoints.len() > RETAINED_CHECKPOINTS {
+            self.checkpoints.pop_front();
+        }
+        self.hooks.policy.on_checkpoint(sealed_index);
+        self.machine.mem_mut().sharing_new_interval();
+
+        self.report.intervals.push(IntervalRecord {
+            epoch: sealed_index,
+            progress,
+            records,
+            omitted,
+            bytes: records * LOG_RECORD_BYTES + arch_bytes,
+            baseline_bytes: (records + omitted) * LOG_RECORD_BYTES + arch_bytes,
+            stall_cycles: max_stall,
+            lines_flushed: lines_total,
+        });
+        self.report.checkpoints_taken += 1;
+        self.report.checkpoint_stall_cycles += max_stall;
+
+        // Hierarchical level 2: stream every k-th checkpoint out.
+        if let Some(sec) = self.cfg.secondary {
+            if self.report.checkpoints_taken.is_multiple_of(u64::from(sec.every.max(1))) {
+                let bytes = records * LOG_RECORD_BYTES + arch_bytes;
+                let stall = sec.latency_cycles
+                    + (bytes as f64 / sec.bytes_per_cycle).ceil() as u64;
+                let arrival = self.machine.mask_ticks(all);
+                self.machine.stall_cores(all, arrival + stall * TICKS_PER_CYCLE);
+                self.report.secondary_checkpoints += 1;
+                self.report.secondary_bytes += bytes;
+                self.report.secondary_stall_cycles += stall;
+            }
+        }
+    }
+
+    /// Handles the detection of error `ei`: roll back to the most recent
+    /// checkpoint established before the error occurred, recompute omitted
+    /// values, restore logged values and architectural state, and resume.
+    fn do_recovery(&mut self, ei: usize) {
+        let err = self.errors[ei];
+        let all = self.machine.all_mask();
+        let num_cores = self.machine.cores().len();
+        let detected_at_progress = self.machine.total_retired();
+        let detected_at_cycles = self.machine.cycles();
+
+        // Safe checkpoint: the most recent one provably taken before the
+        // error occurred (with detection latency ≤ the checkpoint period
+        // this is the most recent or second most recent — Fig. 2).
+        let safe_idx = self
+            .checkpoints
+            .iter()
+            .rposition(|c| c.progress <= err.occur)
+            .expect("a safe checkpoint is always retained");
+        let safe = self.checkpoints[safe_idx].clone();
+
+        // Victim set.
+        let victim_mask = match self.cfg.scheme {
+            Scheme::GlobalCoordinated => all,
+            Scheme::LocalCoordinated => {
+                let mut victims = 1u64 << err.core;
+                // Union communicating groups over the undone intervals and
+                // the current one, to a fixpoint.
+                let mut group_sets: Vec<u64> = self
+                    .checkpoints
+                    .iter()
+                    .filter(|c| c.begins_epoch > safe.begins_epoch)
+                    .flat_map(|c| c.groups.iter().copied())
+                    .collect();
+                if let Some(t) = self.machine.mem().sharing() {
+                    group_sets.extend(t.groups());
+                }
+                loop {
+                    let before = victims;
+                    for &g in &group_sets {
+                        if g & victims != 0 {
+                            victims |= g;
+                        }
+                    }
+                    if victims == before {
+                        break;
+                    }
+                }
+                victims & all
+            }
+        };
+
+        // Roll the log back and collect the epochs to undo (newest first).
+        let undone: Vec<LogEpoch> = match self.cfg.scheme {
+            Scheme::GlobalCoordinated => self.hooks.logctl.rollback_to(safe.begins_epoch),
+            Scheme::LocalCoordinated => self
+                .hooks
+                .logctl
+                .rollback_victims(safe.begins_epoch, victim_mask),
+        };
+
+        // Restore memory: newest epoch first, oldest last (the oldest —
+        // the safe epoch — holds the values at the safe checkpoint).
+        let mut restored_records = 0u64;
+        let mut recomputed_values = 0u64;
+        let mut recompute_alu = 0u64;
+        let mut recompute_cycles_per_core = vec![0u64; num_cores];
+        let mut opbuf_reads = 0u64;
+        let mut restored_words: Vec<WordAddr> = Vec::new();
+        for epoch in &undone {
+            for rec in &epoch.records {
+                self.machine.mem_mut().image_mut().write(rec.addr, rec.old_value);
+                restored_records += 1;
+                if self.cfg.oracle {
+                    restored_words.push(rec.addr);
+                }
+            }
+            for om in &epoch.omitted {
+                let rc = self
+                    .hooks
+                    .policy
+                    .recompute(om.addr, epoch.index)
+                    .expect("every omitted value must be recomputable");
+                self.machine.mem_mut().image_mut().write(om.addr, rc.value);
+                recomputed_values += 1;
+                recompute_alu += rc.alu_ops;
+                opbuf_reads += rc.opbuf_reads;
+                recompute_cycles_per_core[om.core as usize] += rc.cycles;
+                if self.cfg.oracle {
+                    restored_words.push(om.addr);
+                }
+            }
+        }
+
+        // Oracle: restored state must match the safe checkpoint's shadow.
+        if let Some(shadow) = &safe.shadow_mem {
+            match self.cfg.scheme {
+                Scheme::GlobalCoordinated => {
+                    assert_eq!(
+                        self.machine.mem().image().words(),
+                        shadow.as_slice(),
+                        "recovered memory image differs from the safe checkpoint"
+                    );
+                }
+                Scheme::LocalCoordinated => {
+                    for w in &restored_words {
+                        assert_eq!(
+                            self.machine.mem().image().read(*w),
+                            shadow[w.word_index()],
+                            "restored word {w} differs from the safe checkpoint"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Costs.
+        let arch_bytes = CheckpointRecord::arch_bytes(victim_mask, num_cores);
+        let bytes_moved = restored_records * LOG_RECORD_BYTES
+            + (restored_records + recomputed_values) * 8
+            + arch_bytes;
+        let dram = self.machine.config().mem.dram.latency_cycles;
+        let transfer = self.machine.mem().log_write_stall(bytes_moved);
+        let rc_stall = recompute_cycles_per_core.iter().copied().max().unwrap_or(0);
+        let coord = self
+            .machine
+            .config()
+            .checkpoint_coordination_cycles(victim_mask.count_ones());
+        // Scratchpad-based recomputation (Section II-B) overlaps with the
+        // restore traffic; register-file-based recomputation serializes
+        // before the register restore.
+        let restore_and_recompute = if self.hooks.policy.overlaps_restore() {
+            transfer.max(rc_stall)
+        } else {
+            transfer + rc_stall
+        };
+        let stall = dram + restore_and_recompute + coord;
+        {
+            let mem = self.machine.mem_mut().stats_mut();
+            mem.log_record_reads += restored_records;
+            mem.recovery_word_writes +=
+                restored_records + recomputed_values + arch_bytes / 8;
+        }
+
+        // Restore architectural state and resume the victims.
+        let t_d = self.machine.mask_ticks(victim_mask);
+        self.machine
+            .restore_arch(&safe.arch, victim_mask, t_d + stall * TICKS_PER_CYCLE);
+        match self.cfg.scheme {
+            Scheme::GlobalCoordinated => self.machine.mem_mut().invalidate_all(),
+            Scheme::LocalCoordinated => self.machine.mem_mut().invalidate_cores(victim_mask),
+        }
+        self.hooks.policy.on_rollback(safe.begins_epoch, victim_mask);
+
+        // Checkpoints newer than the safe one are gone (global): their
+        // epochs were undone and will be re-established.
+        if self.cfg.scheme == Scheme::GlobalCoordinated {
+            self.checkpoints.truncate(safe_idx + 1);
+        }
+
+        // The handled error, plus any other occurred-but-undetected error
+        // whose corruption the rollback just erased, are done.
+        let mut newly_handled = 0u64;
+        for e in &mut self.errors {
+            if e.occurred
+                && !e.handled
+                && e.occur >= safe.progress
+                && victim_mask >> e.core & 1 == 1
+            {
+                e.handled = true;
+                newly_handled += 1;
+            }
+        }
+        if !self.errors[ei].handled {
+            self.errors[ei].handled = true;
+            newly_handled += 1;
+        }
+
+        self.report.recoveries.push(RecoveryRecord {
+            detected_at_progress,
+            detected_at_cycles,
+            safe_epoch: safe.begins_epoch,
+            restored_records,
+            recomputed_values,
+            recompute_alu_ops: recompute_alu,
+            stall_cycles: stall,
+            waste_cycles: detected_at_cycles.saturating_sub(safe.cycles),
+            victim_mask,
+        });
+        self.report.errors_handled += newly_handled;
+        self.report.recovery_stall_cycles += stall;
+        let _ = opbuf_reads; // charged by the policy's own statistics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoOmission;
+    use crate::schedule::{uniform_points, ErrorSchedule};
+    use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+    use acr_sim::{MachineConfig, NoHooks};
+
+    /// A two-phase kernel per thread: fill a private region, then reduce.
+    fn kernel(threads: usize, iters: u64) -> Program {
+        let mut b = ProgramBuilder::new(threads);
+        b.set_mem_bytes(1 << 20);
+        for t in 0..threads as u32 {
+            let base = u64::from(t) * 131072;
+            let tb = b.thread(t);
+            tb.imm(Reg(10), base);
+            let l = tb.begin_loop(Reg(1), Reg(2), iters);
+            tb.alui(AluOp::Mul, Reg(3), Reg(1), 17);
+            tb.alui(AluOp::Add, Reg(3), Reg(3), 5);
+            tb.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+            tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+            tb.store(Reg(3), Reg(5), 0);
+            tb.end_loop(l);
+            // Reduction pass re-writes word 0 of the region repeatedly.
+            tb.imm(Reg(6), 0);
+            let l = tb.begin_loop(Reg(1), Reg(2), iters);
+            tb.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+            tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+            tb.load(Reg(7), Reg(5), 0);
+            tb.alu(AluOp::Add, Reg(6), Reg(6), Reg(7));
+            tb.store(Reg(6), Reg(10), 0);
+            tb.end_loop(l);
+            tb.halt();
+        }
+        let p = b.build();
+        p.validate().unwrap();
+        p
+    }
+
+    fn reference_mem(p: &Program, cores: u32) -> Vec<u64> {
+        let mut m = Machine::new(MachineConfig::with_cores(cores), p);
+        m.run(&mut NoHooks, u64::MAX).unwrap();
+        m.mem().image().words().to_vec()
+    }
+
+    #[test]
+    fn checkpointing_only_overhead_and_identical_result() {
+        let p = kernel(2, 150);
+        let reference = reference_mem(&p, 2);
+
+        let m = Machine::new(MachineConfig::with_cores(2), &p);
+        let total = reference_total(&p, 2);
+        let cfg = BerConfig {
+            scheme: Scheme::GlobalCoordinated,
+            triggers: uniform_points(total, 5),
+            errors: ErrorSchedule::none(),
+            oracle: true,
+            secondary: None,
+        };
+        let mut engine = BerEngine::new(m, NoOmission, cfg);
+        let report = engine.run_to_completion().unwrap();
+        assert_eq!(report.checkpoints_taken, 5);
+        assert_eq!(report.errors_handled, 0);
+        assert!(report.checkpoint_stall_cycles > 0);
+        assert_eq!(engine.machine().mem().image().words(), reference);
+
+        // Checkpointing must cost time vs No_Ckpt.
+        let mut plain = Machine::new(MachineConfig::with_cores(2), &p);
+        plain.run(&mut NoHooks, u64::MAX).unwrap();
+        assert!(report.cycles > plain.cycles());
+    }
+
+    fn reference_total(p: &Program, cores: u32) -> u64 {
+        let mut m = Machine::new(MachineConfig::with_cores(cores), p);
+        m.run(&mut NoHooks, u64::MAX).unwrap();
+        m.total_retired()
+    }
+
+    #[test]
+    fn recovery_restores_and_reexecutes_to_same_result() {
+        let p = kernel(2, 150);
+        let reference = reference_mem(&p, 2);
+        let total = reference_total(&p, 2);
+
+        let m = Machine::new(MachineConfig::with_cores(2), &p);
+        let cfg = BerConfig {
+            scheme: Scheme::GlobalCoordinated,
+            triggers: uniform_points(total, 5),
+            errors: ErrorSchedule::uniform(total, 1, 5, 0.5),
+            oracle: true,
+            secondary: None,
+        };
+        let mut engine = BerEngine::new(m, NoOmission, cfg);
+        let report = engine.run_to_completion().unwrap();
+        assert_eq!(report.errors_handled, 1);
+        assert_eq!(report.recoveries.len(), 1);
+        let rec = &report.recoveries[0];
+        assert!(rec.restored_records > 0);
+        assert_eq!(rec.recomputed_values, 0); // NoOmission
+        assert!(rec.waste_cycles > 0);
+        assert_eq!(engine.machine().mem().image().words(), reference);
+        // Extra checkpoints were re-established after rollback.
+        assert!(report.checkpoints_taken >= 5);
+    }
+
+    #[test]
+    fn multiple_errors_all_handled() {
+        let p = kernel(2, 120);
+        let reference = reference_mem(&p, 2);
+        let total = reference_total(&p, 2);
+        for n_err in [2u32, 4] {
+            let m = Machine::new(MachineConfig::with_cores(2), &p);
+            let cfg = BerConfig {
+                scheme: Scheme::GlobalCoordinated,
+                triggers: uniform_points(total, 8),
+                errors: ErrorSchedule::uniform(total, n_err, 8, 0.4),
+                oracle: true,
+                secondary: None,
+            };
+            let mut engine = BerEngine::new(m, NoOmission, cfg);
+            let report = engine.run_to_completion().unwrap();
+            assert!(report.errors_handled >= u64::from(n_err).min(1));
+            assert_eq!(engine.machine().mem().image().words(), reference);
+        }
+    }
+
+    #[test]
+    fn error_overhead_exceeds_error_free() {
+        let p = kernel(2, 150);
+        let total = reference_total(&p, 2);
+        let run = |errors: ErrorSchedule| {
+            let m = Machine::new(MachineConfig::with_cores(2), &p);
+            let cfg = BerConfig {
+                scheme: Scheme::GlobalCoordinated,
+                triggers: uniform_points(total, 5),
+                errors,
+                oracle: false,
+                secondary: None,
+            };
+            BerEngine::new(m, NoOmission, cfg)
+                .run_to_completion()
+                .unwrap()
+        };
+        let ne = run(ErrorSchedule::none());
+        let e = run(ErrorSchedule::uniform(total, 1, 5, 0.5));
+        assert!(e.cycles > ne.cycles, "recovery must add time");
+    }
+
+    #[test]
+    fn local_scheme_runs_and_matches_reference_without_errors() {
+        let p = kernel(4, 100);
+        let reference = reference_mem(&p, 4);
+        let total = reference_total(&p, 4);
+        let m = Machine::new(MachineConfig::with_cores(4), &p);
+        let cfg = BerConfig {
+            scheme: Scheme::LocalCoordinated,
+            triggers: uniform_points(total, 5),
+            errors: ErrorSchedule::none(),
+            oracle: true,
+            secondary: None,
+        };
+        let mut engine = BerEngine::new(m, NoOmission, cfg);
+        let report = engine.run_to_completion().unwrap();
+        assert_eq!(report.checkpoints_taken, 5);
+        assert_eq!(engine.machine().mem().image().words(), reference);
+    }
+
+    #[test]
+    fn local_scheme_recovers_single_error() {
+        let p = kernel(4, 100);
+        let reference = reference_mem(&p, 4);
+        let total = reference_total(&p, 4);
+        let m = Machine::new(MachineConfig::with_cores(4), &p);
+        let cfg = BerConfig {
+            scheme: Scheme::LocalCoordinated,
+            triggers: uniform_points(total, 5),
+            errors: ErrorSchedule::uniform(total, 1, 5, 0.3),
+            oracle: true,
+            secondary: None,
+        };
+        let mut engine = BerEngine::new(m, NoOmission, cfg);
+        let report = engine.run_to_completion().unwrap();
+        assert_eq!(report.errors_handled, 1);
+        // Threads are independent here, so the victim set stays small and
+        // the final state still matches.
+        assert!(report.recoveries[0].victim_mask.count_ones() <= 4);
+        assert_eq!(engine.machine().mem().image().words(), reference);
+    }
+
+    #[test]
+    fn interval_records_track_first_updates() {
+        let p = kernel(1, 200);
+        let total = reference_total(&p, 1);
+        let m = Machine::new(MachineConfig::with_cores(1), &p);
+        let cfg = BerConfig {
+            scheme: Scheme::GlobalCoordinated,
+            triggers: uniform_points(total, 4),
+            errors: ErrorSchedule::none(),
+            oracle: false,
+            secondary: None,
+        };
+        let mut engine = BerEngine::new(m, NoOmission, cfg);
+        let report = engine.run_to_completion().unwrap();
+        assert_eq!(report.intervals.len(), 4);
+        assert!(report.intervals.iter().any(|i| i.records > 0));
+        assert!(report.total_checkpoint_bytes() >= report.intervals.len() as u64);
+        // Without omission, baseline == actual.
+        assert_eq!(
+            report.total_checkpoint_bytes(),
+            report.total_baseline_bytes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod secondary_tests {
+    use super::*;
+    use crate::policy::NoOmission;
+    use crate::schedule::{uniform_points, ErrorSchedule};
+    use acr_isa::{AluOp, ProgramBuilder, Reg};
+    use acr_sim::MachineConfig;
+
+    fn program() -> acr_isa::Program {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(1 << 18);
+        let t = b.thread(0);
+        t.imm(Reg(10), 4096);
+        let outer = t.begin_loop(Reg(8), Reg(9), 6);
+        let l = t.begin_loop(Reg(1), Reg(2), 256);
+        t.alui(AluOp::Mul, Reg(3), Reg(1), 11);
+        t.alu(AluOp::Xor, Reg(3), Reg(3), Reg(8));
+        t.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+        t.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+        t.store(Reg(3), Reg(5), 0);
+        t.end_loop(l);
+        t.end_loop(outer);
+        t.halt();
+        b.build()
+    }
+
+    fn run(secondary: Option<SecondaryStorage>) -> BerReport {
+        let p = program();
+        let total = {
+            let mut m = Machine::new(MachineConfig::with_cores(1), &p);
+            m.run(&mut acr_sim::NoHooks, u64::MAX).unwrap();
+            m.total_retired()
+        };
+        let m = Machine::new(MachineConfig::with_cores(1), &p);
+        let cfg = BerConfig {
+            scheme: Scheme::GlobalCoordinated,
+            triggers: uniform_points(total, 10),
+            errors: ErrorSchedule::none(),
+            oracle: false,
+            secondary,
+        };
+        BerEngine::new(m, NoOmission, cfg)
+            .run_to_completion()
+            .unwrap()
+    }
+
+    #[test]
+    fn secondary_streams_every_kth_checkpoint() {
+        let rep = run(Some(SecondaryStorage {
+            every: 3,
+            ..Default::default()
+        }));
+        assert_eq!(rep.checkpoints_taken, 10);
+        assert_eq!(rep.secondary_checkpoints, 3); // checkpoints 3, 6, 9
+        assert!(rep.secondary_bytes > 0);
+        assert!(rep.secondary_stall_cycles > 0);
+    }
+
+    #[test]
+    fn secondary_costs_time() {
+        let without = run(None);
+        let with = run(Some(SecondaryStorage::default()));
+        assert_eq!(without.secondary_checkpoints, 0);
+        assert!(with.cycles > without.cycles);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::policy::NoOmission;
+    use crate::schedule::{uniform_points, ErrorSchedule};
+    use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+    use acr_sim::{MachineConfig, NoHooks};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(1 << 16);
+        let t = b.thread(0);
+        t.imm(Reg(10), 4096);
+        let l = t.begin_loop(Reg(1), Reg(2), 400);
+        t.alui(AluOp::Mul, Reg(3), Reg(1), 7);
+        t.alui(AluOp::And, Reg(4), Reg(1), 63);
+        t.alui(AluOp::Mul, Reg(4), Reg(4), 8);
+        t.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+        t.store(Reg(3), Reg(5), 0);
+        t.end_loop(l);
+        t.halt();
+        b.build()
+    }
+
+    fn reference(p: &Program) -> (u64, Vec<u64>) {
+        let mut m = Machine::new(MachineConfig::with_cores(1), p);
+        m.run(&mut NoHooks, u64::MAX).unwrap();
+        (m.total_retired(), m.mem().image().words().to_vec())
+    }
+
+    fn engine_with(
+        p: &Program,
+        triggers: Vec<u64>,
+        errors: ErrorSchedule,
+    ) -> BerEngine<'_, NoOmission> {
+        let m = Machine::new(MachineConfig::with_cores(1), p);
+        BerEngine::new(
+            m,
+            NoOmission,
+            BerConfig {
+                scheme: Scheme::GlobalCoordinated,
+                triggers,
+                errors,
+                oracle: true,
+                secondary: None,
+            },
+        )
+    }
+
+    #[test]
+    fn error_before_first_checkpoint_rolls_to_start() {
+        let p = program();
+        let (total, want) = reference(&p);
+        // Error very early, detected before the first trigger.
+        let errors = ErrorSchedule {
+            occurrences: vec![total / 50],
+            detection_latency: total / 50,
+        };
+        let mut e = engine_with(&p, uniform_points(total, 4), errors);
+        let rep = e.run_to_completion().unwrap();
+        assert_eq!(rep.errors_handled, 1);
+        assert_eq!(rep.recoveries[0].safe_epoch, 0, "must restore the start");
+        assert_eq!(e.machine().mem().image().words(), want);
+    }
+
+    #[test]
+    fn error_detected_only_at_halt_is_forced() {
+        let p = program();
+        let (total, want) = reference(&p);
+        // Occurs just before the end; detection point lies beyond the end
+        // of execution, so the engine must force-handle it at halt.
+        let errors = ErrorSchedule {
+            occurrences: vec![total - total / 100],
+            detection_latency: total / 4,
+        };
+        let mut e = engine_with(&p, uniform_points(total, 4), errors);
+        let rep = e.run_to_completion().unwrap();
+        assert_eq!(rep.errors_handled, 1);
+        assert_eq!(e.machine().mem().image().words(), want);
+    }
+
+    #[test]
+    fn second_error_erased_by_first_rollback_is_not_recovered_twice() {
+        let p = program();
+        let (total, want) = reference(&p);
+        // Two errors in quick succession: the rollback for the first also
+        // undoes the second's corruption (occur >= safe progress), so only
+        // one recovery happens but both count as handled.
+        let errors = ErrorSchedule {
+            occurrences: vec![total / 2, total / 2 + total / 100],
+            detection_latency: total / 10,
+        };
+        let mut e = engine_with(&p, uniform_points(total, 8), errors);
+        let rep = e.run_to_completion().unwrap();
+        assert_eq!(rep.errors_handled, 2);
+        assert_eq!(rep.recoveries.len(), 1, "one rollback covers both");
+        assert_eq!(e.machine().mem().image().words(), want);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_skipped() {
+        let p = program();
+        let (total, want) = reference(&p);
+        // Fig 2: the error occurs just before a checkpoint and is detected
+        // after it — the engine must roll back PAST that checkpoint.
+        let trigger = total / 2;
+        let errors = ErrorSchedule {
+            occurrences: vec![trigger - total / 200],
+            detection_latency: total / 50,
+        };
+        let mut e = engine_with(
+            &p,
+            vec![total / 4, trigger, 3 * total / 4],
+            errors,
+        );
+        let rep = e.run_to_completion().unwrap();
+        assert_eq!(rep.errors_handled, 1);
+        // Safe epoch is the one opened by the total/4 checkpoint (epoch 1),
+        // not the corrupted total/2 one (epoch 2).
+        assert_eq!(rep.recoveries[0].safe_epoch, 1);
+        assert_eq!(e.machine().mem().image().words(), want);
+    }
+
+    #[test]
+    fn zero_triggers_still_recovers_to_start() {
+        let p = program();
+        let (total, want) = reference(&p);
+        let errors = ErrorSchedule {
+            occurrences: vec![total / 3],
+            detection_latency: total / 10,
+        };
+        let mut e = engine_with(&p, Vec::new(), errors);
+        let rep = e.run_to_completion().unwrap();
+        assert_eq!(rep.checkpoints_taken, 0);
+        assert_eq!(rep.errors_handled, 1);
+        assert_eq!(rep.recoveries[0].safe_epoch, 0);
+        assert_eq!(e.machine().mem().image().words(), want);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error-rate models (Fig. 1 of the paper).
+
+/// Relative per-bit soft-error rate after `generations` technology
+/// generations, assuming the 8 %/bit/generation degradation the paper's
+/// Fig. 1 plots (after Borkar, IEEE Micro'05).
+pub fn per_bit_error_rate(generations: u32) -> f64 {
+    1.08f64.powi(generations as i32)
+}
+
+/// Relative *component* (chip) error rate after `generations` generations:
+/// per-bit degradation compounded with the transistor-count doubling each
+/// generation — the curve Fig. 1 shows rising steeply across generations.
+pub fn component_error_rate(generations: u32) -> f64 {
+    per_bit_error_rate(generations) * 2f64.powi(generations as i32)
+}
+
+/// Expected number of errors over an execution of `seconds` seconds given
+/// a system-wide error rate of `errors_per_hour`.
+pub fn expected_errors(seconds: f64, errors_per_hour: f64) -> f64 {
+    seconds * errors_per_hour / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_bit_grows_eight_percent() {
+        assert!((per_bit_error_rate(0) - 1.0).abs() < 1e-12);
+        assert!((per_bit_error_rate(1) - 1.08).abs() < 1e-12);
+        let r = per_bit_error_rate(8);
+        assert!((r - 1.08f64.powi(8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_rate_compounds_density() {
+        // One generation: 2x transistors, each 8% worse.
+        assert!((component_error_rate(1) - 2.16).abs() < 1e-12);
+        assert!(component_error_rate(8) > component_error_rate(4));
+    }
+
+    #[test]
+    fn expected_errors_linear_in_time() {
+        let e1 = expected_errors(3600.0, 2.0);
+        assert!((e1 - 2.0).abs() < 1e-12);
+        assert!((expected_errors(7200.0, 2.0) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Checkpoint-frequency selection under an expected error rate.
+//!
+//! Section IV of the paper: "We adjust the checkpointing frequency based
+//! on expected error rates and the execution times of the applications."
+//! This module provides the classic machinery for doing that: the
+//! Young/Daly optimal checkpoint interval, plus a helper that converts a
+//! measured per-checkpoint cost and an expected error rate into a
+//! checkpoint count for a run of known length.
+//!
+//! ACR shifts the optimum: because it shrinks `o_wr,chk`, the optimal
+//! interval shortens (checkpoints become affordable more often), which in
+//! turn shrinks `o_waste` per recovery — a second-order benefit on top of
+//! the direct overhead reduction.
+
+/// Young's first-order optimal checkpoint interval:
+/// `T_opt = sqrt(2 · C · MTBF)` where `C` is the time to take one
+/// checkpoint and `MTBF` the mean time between failures (same units).
+///
+/// ```
+/// let t = acr_ckpt::frequency::young_interval(1.0, 800.0);
+/// assert!((t - 40.0).abs() < 1e-9);
+/// ```
+pub fn young_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
+    (2.0 * checkpoint_cost * mtbf).sqrt()
+}
+
+/// Daly's higher-order refinement of [`young_interval`], more accurate
+/// when the checkpoint cost is not small relative to the MTBF:
+/// `T_opt = sqrt(2 C M) · (1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))) − C`.
+pub fn daly_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
+    let c = checkpoint_cost;
+    let m = mtbf;
+    if c >= 2.0 * m {
+        // Degenerate regime: checkpointing costs as much as failures.
+        return m;
+    }
+    let x = (c / (2.0 * m)).sqrt();
+    ((2.0 * c * m).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - c).max(c)
+}
+
+/// Recommends a checkpoint count for an execution of `exec_cycles`,
+/// given the measured per-checkpoint stall (`checkpoint_cost_cycles`)
+/// and the expected number of errors during the execution.
+///
+/// Returns at least 1 checkpoint whenever an error is expected at all.
+///
+/// ```
+/// // A 10M-cycle run expecting 2 errors with 10k-cycle checkpoints:
+/// let n = acr_ckpt::frequency::recommended_checkpoints(10_000_000, 10_000, 2.0);
+/// assert!((20..=60).contains(&n), "n = {n}");
+/// ```
+pub fn recommended_checkpoints(
+    exec_cycles: u64,
+    checkpoint_cost_cycles: u64,
+    expected_errors: f64,
+) -> u32 {
+    if expected_errors <= 0.0 || exec_cycles == 0 {
+        return 0;
+    }
+    let mtbf = exec_cycles as f64 / expected_errors;
+    let t = daly_interval(checkpoint_cost_cycles.max(1) as f64, mtbf);
+    (exec_cycles as f64 / t).round().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_closed_form() {
+        assert!((young_interval(2.0, 100.0) - 20.0).abs() < 1e-9);
+        // Interval grows with MTBF and with checkpoint cost.
+        assert!(young_interval(1.0, 400.0) > young_interval(1.0, 100.0));
+        assert!(young_interval(4.0, 100.0) > young_interval(1.0, 100.0));
+    }
+
+    #[test]
+    fn daly_close_to_young_for_cheap_checkpoints() {
+        let y = young_interval(0.01, 1000.0);
+        let d = daly_interval(0.01, 1000.0);
+        assert!((d - y).abs() / y < 0.05, "daly {d} vs young {y}");
+    }
+
+    #[test]
+    fn daly_degenerate_regime_bounded() {
+        let d = daly_interval(500.0, 100.0);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn cheaper_checkpoints_mean_more_of_them() {
+        // ACR's effect: reducing per-checkpoint cost raises the
+        // recommended frequency.
+        let plain = recommended_checkpoints(50_000_000, 40_000, 3.0);
+        let acr = recommended_checkpoints(50_000_000, 25_000, 3.0);
+        assert!(
+            acr > plain,
+            "acr {acr} checkpoints should exceed plain {plain}"
+        );
+    }
+
+    #[test]
+    fn no_errors_no_checkpoints() {
+        assert_eq!(recommended_checkpoints(1_000_000, 1_000, 0.0), 0);
+        assert_eq!(recommended_checkpoints(0, 1_000, 2.0), 0);
+    }
+}

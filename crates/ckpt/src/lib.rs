@@ -1,0 +1,43 @@
+//! # acr-ckpt — backward error recovery framework
+//!
+//! Log-based incremental in-memory checkpointing with global and local
+//! coordinated schemes, a fail-stop error model with detection latency, and
+//! rollback/recovery — the BER baseline ACR builds on (Sections II-A, V-E
+//! of the paper; after ReVive/Rebound/SafetyNet).
+//!
+//! The central type is [`BerEngine`]: it owns an `acr-sim` machine, drives
+//! it between checkpoint triggers and error events, performs coordinated
+//! checkpoints (dirty-line flush + old-value logging + register dump),
+//! injects errors, and recovers by rolling the machine back to the most
+//! recent *safe* checkpoint. The engine is generic over an
+//! [`OmissionPolicy`] — the seam where ACR plugs in:
+//!
+//! * [`NoOmission`] gives the plain `Ckpt` baseline configurations,
+//! * `acr::AcrPolicy` (in the `acr` crate) omits recomputable values from
+//!   the log and regenerates them during recovery, giving the `ReCkpt`
+//!   configurations.
+//!
+//! ## Correctness oracle
+//!
+//! With [`BerConfig::oracle`] enabled the engine snapshots functional
+//! memory at every checkpoint (zero simulated cost) and asserts, after
+//! every recovery, that the restored words are bit-identical to the
+//! snapshot — with and without omission. Property tests in the workspace
+//! fuzz programs and error schedules over this invariant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod engine;
+pub mod errors;
+pub mod frequency;
+mod policy;
+mod report;
+mod schedule;
+
+pub use checkpoint::CheckpointRecord;
+pub use engine::{BerConfig, BerEngine, Scheme, SecondaryStorage};
+pub use policy::{NoOmission, OmissionPolicy, Recomputed};
+pub use report::{BerReport, IntervalRecord, RecoveryRecord};
+pub use schedule::{uniform_points, ErrorSchedule};

@@ -1,0 +1,83 @@
+//! Checkpoint and error scheduling in progress units.
+//!
+//! Progress is measured in total retired instructions, which is identical
+//! across the `No_Ckpt`, `Ckpt` and `ReCkpt` configurations of the same
+//! program — the natural simulator analogue of the paper's "checkpoints
+//! (and errors) uniformly distributed over the execution time".
+
+/// Returns `n` points uniformly distributed over `(0, total)`:
+/// `i * total / (n + 1)` for `i = 1..=n`.
+pub fn uniform_points(total: u64, n: u32) -> Vec<u64> {
+    (1..=u64::from(n)).map(|i| i * total / (u64::from(n) + 1)).collect()
+}
+
+/// An error schedule: occurrence points plus a detection latency, both in
+/// progress units. Detection latency must not exceed the checkpoint period
+/// for the two-checkpoint retention to suffice (Section II-A) — callers
+/// construct schedules through [`ErrorSchedule::uniform`], which enforces
+/// this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorSchedule {
+    /// Error occurrence points (ascending progress values).
+    pub occurrences: Vec<u64>,
+    /// Progress between an error's occurrence and its detection.
+    pub detection_latency: u64,
+}
+
+impl ErrorSchedule {
+    /// `num_errors` errors uniformly distributed over `total` progress,
+    /// detected after `latency_frac` of the checkpoint period implied by
+    /// `num_checkpoints`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_frac` is not within `[0, 1]` (the paper assumes
+    /// detection latency no longer than the checkpoint period).
+    pub fn uniform(total: u64, num_errors: u32, num_checkpoints: u32, latency_frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&latency_frac),
+            "detection latency must be at most one checkpoint period"
+        );
+        let period = total / (u64::from(num_checkpoints) + 1);
+        ErrorSchedule {
+            occurrences: uniform_points(total, num_errors),
+            detection_latency: (period as f64 * latency_frac) as u64,
+        }
+    }
+
+    /// No errors (the `*_NE` configurations).
+    pub fn none() -> Self {
+        ErrorSchedule::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_are_interior_and_even() {
+        let p = uniform_points(100, 4);
+        assert_eq!(p, vec![20, 40, 60, 80]);
+        assert!(uniform_points(100, 0).is_empty());
+    }
+
+    #[test]
+    fn uniform_schedule_latency_scales_with_period() {
+        let s = ErrorSchedule::uniform(1000, 2, 9, 0.5);
+        assert_eq!(s.occurrences, vec![333, 666]);
+        assert_eq!(s.detection_latency, 50); // period 100, half
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint period")]
+    fn excessive_latency_rejected() {
+        let _ = ErrorSchedule::uniform(1000, 1, 9, 1.5);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let s = ErrorSchedule::none();
+        assert!(s.occurrences.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! The `AddrMap`: ACR's on-chip ⟨memory address, Slice⟩ association buffer.
+//!
+//! Section III-A: each `ASSOC-ADDR` records a ⟨memory address, Slice
+//! address⟩ pair together with the Slice's captured input operands (the
+//! operand buffer is folded into the record). Associations must remain
+//! valid "as long as the established checkpoint for the corresponding
+//! interval remains in memory", i.e. for the two most recent checkpoints —
+//! so entries are *versioned by epoch*: a lookup for checkpoint `k`
+//! returns the association describing the value the address held at `k`
+//! (the latest association created before `k`), and an uncovered store
+//! writes a *tombstone* version that invalidates the association from that
+//! point on.
+//!
+//! Capacity is bounded per core (Slices are confined to thread-local data,
+//! so each core owns its associations); when a core's budget is exhausted,
+//! new associations are dropped and the corresponding values are simply
+//! checkpointed — ACR degrades gracefully to the baseline.
+
+use std::collections::HashMap;
+
+use acr_isa::SliceId;
+use acr_mem::WordAddr;
+
+/// `AddrMap` sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrMapConfig {
+    /// Live associations each core may hold. The paper argues a small
+    /// buffer suffices because the number of unique addresses updated per
+    /// interval is bounded by the checkpoint period (Section III-C).
+    pub capacity_per_core: usize,
+}
+
+impl Default for AddrMapConfig {
+    fn default() -> Self {
+        AddrMapConfig {
+            capacity_per_core: 16 * 1024,
+        }
+    }
+}
+
+/// One association version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Version {
+    /// Epoch in which the version was created (the association describes
+    /// the address's value from then until the next version).
+    epoch: u64,
+    /// Owning core.
+    core: u32,
+    /// `None` is a tombstone: the address's value is no longer the output
+    /// of a known Slice.
+    assoc: Option<Assoc>,
+}
+
+/// A live association: the Slice and its captured inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Assoc {
+    pub slice: SliceId,
+    pub inputs: Vec<u64>,
+}
+
+/// Usage counters (for capacity ablations and energy accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddrMapUsage {
+    /// Association versions inserted.
+    pub inserted: u64,
+    /// Insertions dropped because the owning core was at capacity.
+    pub rejected_capacity: u64,
+    /// Tombstones written by uncovered stores.
+    pub tombstones: u64,
+    /// Peak live associations across all cores.
+    pub peak_live: usize,
+}
+
+/// The versioned association buffer — see the module-level notes at
+/// the top of this file.
+#[derive(Debug, Clone)]
+pub struct AddrMap {
+    cfg: AddrMapConfig,
+    map: HashMap<WordAddr, Vec<Version>>,
+    live_per_core: Vec<usize>,
+    usage: AddrMapUsage,
+}
+
+impl AddrMap {
+    /// Creates an empty map for `num_cores` cores.
+    pub fn new(cfg: AddrMapConfig, num_cores: usize) -> Self {
+        AddrMap {
+            cfg,
+            map: HashMap::new(),
+            live_per_core: vec![0; num_cores],
+            usage: AddrMapUsage::default(),
+        }
+    }
+
+    /// Usage counters.
+    pub fn usage(&self) -> AddrMapUsage {
+        self.usage
+    }
+
+    /// Live associations currently held by `core`.
+    pub fn live(&self, core: u32) -> usize {
+        self.live_per_core[core as usize]
+    }
+
+    fn note_peak(&mut self) {
+        let total: usize = self.live_per_core.iter().sum();
+        if total > self.usage.peak_live {
+            self.usage.peak_live = total;
+        }
+    }
+
+    /// Records an uncovered store to `addr`: from `epoch` on, the
+    /// address's value is not recomputable. A tombstone is only needed if
+    /// a (non-tombstone) association exists.
+    pub(crate) fn record_store(&mut self, core: u32, addr: WordAddr, epoch: u64) {
+        if let Some(versions) = self.map.get_mut(&addr) {
+            match versions.last_mut() {
+                Some(last) if last.assoc.is_none() => {
+                    // Already dead from an earlier (or equal) epoch on; a
+                    // later uncovered store changes nothing.
+                }
+                Some(last) if last.epoch == epoch => {
+                    // Same-epoch association superseded within the
+                    // interval: it can never be looked up (lookups target
+                    // strictly older epochs), so replace in place.
+                    let owner = last.core;
+                    last.assoc = None;
+                    last.core = core;
+                    self.live_per_core[owner as usize] -= 1;
+                    self.usage.tombstones += 1;
+                }
+                _ => {
+                    versions.push(Version {
+                        epoch,
+                        core,
+                        assoc: None,
+                    });
+                    self.usage.tombstones += 1;
+                }
+            }
+        }
+    }
+
+    /// Records an `ASSOC-ADDR`: the value stored to `addr` in `epoch` is
+    /// the output of `slice` over `inputs`. Returns `false` if dropped for
+    /// capacity.
+    pub(crate) fn record_assoc(
+        &mut self,
+        core: u32,
+        addr: WordAddr,
+        epoch: u64,
+        slice: SliceId,
+        inputs: Vec<u64>,
+    ) -> bool {
+        if self.live_per_core[core as usize] >= self.cfg.capacity_per_core {
+            self.usage.rejected_capacity += 1;
+            // The association (if any) no longer describes the new value.
+            self.record_store(core, addr, epoch);
+            return false;
+        }
+        let versions = self.map.entry(addr).or_default();
+        let assoc = Assoc { slice, inputs };
+        match versions.last_mut() {
+            Some(last) if last.epoch == epoch => {
+                // Supersede the same-interval version in place.
+                if last.assoc.is_some() {
+                    self.live_per_core[last.core as usize] -= 1;
+                }
+                last.core = core;
+                last.assoc = Some(assoc);
+            }
+            _ => {
+                versions.push(Version {
+                    epoch,
+                    core,
+                    assoc: Some(assoc),
+                });
+            }
+        }
+        self.live_per_core[core as usize] += 1;
+        self.usage.inserted += 1;
+        self.note_peak();
+        true
+    }
+
+    /// The association describing the value `addr` held at checkpoint
+    /// `epoch` — the latest version created strictly before `epoch`.
+    /// Returns `None` if that version is a tombstone or absent.
+    pub(crate) fn lookup_for_epoch(&self, addr: WordAddr, epoch: u64) -> Option<&Assoc> {
+        let versions = self.map.get(&addr)?;
+        versions
+            .iter()
+            .rev()
+            .find(|v| v.epoch < epoch)
+            .and_then(|v| v.assoc.as_ref())
+    }
+
+    /// Owning core of the association usable for `epoch`, if any.
+    pub(crate) fn owner_for_epoch(&self, addr: WordAddr, epoch: u64) -> Option<u32> {
+        let versions = self.map.get(&addr)?;
+        versions
+            .iter()
+            .rev()
+            .find(|v| v.epoch < epoch)
+            .filter(|v| v.assoc.is_some())
+            .map(|v| v.core)
+    }
+
+    /// Prunes versions no longer reachable once epoch `sealed` is sealed:
+    /// recovery can only target checkpoints `sealed` and `sealed + 1`, so
+    /// per address we keep every version with `epoch >= sealed` plus the
+    /// latest older one.
+    pub(crate) fn prune(&mut self, sealed: u64) {
+        let live = &mut self.live_per_core;
+        let usage_peak = self.usage.peak_live;
+        self.map.retain(|_, versions| {
+            let keep_from = versions
+                .iter()
+                .rposition(|v| v.epoch < sealed)
+                .unwrap_or(0);
+            for v in versions.drain(..keep_from) {
+                if v.assoc.is_some() {
+                    live[v.core as usize] -= 1;
+                }
+            }
+            // Drop addresses whose only remaining version is an old
+            // tombstone.
+            if versions.len() == 1 && versions[0].assoc.is_none() && versions[0].epoch < sealed {
+                versions.clear();
+            }
+            !versions.is_empty()
+        });
+        self.usage.peak_live = usage_peak;
+    }
+
+    /// Rollback: recovery restored checkpoint `safe_epoch` for the cores
+    /// in `victim_mask`; versions they created in the undone epochs
+    /// (`epoch >= safe_epoch`) describe stores that never happened.
+    pub(crate) fn rollback(&mut self, safe_epoch: u64, victim_mask: u64) {
+        let live = &mut self.live_per_core;
+        self.map.retain(|_, versions| {
+            versions.retain(|v| {
+                let undone = v.epoch >= safe_epoch && victim_mask >> v.core & 1 == 1;
+                if undone && v.assoc.is_some() {
+                    live[v.core as usize] -= 1;
+                }
+                !undone
+            });
+            !versions.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wa(i: u64) -> WordAddr {
+        WordAddr::new(i * 8)
+    }
+
+    fn map(cap: usize) -> AddrMap {
+        AddrMap::new(
+            AddrMapConfig {
+                capacity_per_core: cap,
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn assoc_visible_only_for_later_epochs() {
+        let mut m = map(100);
+        assert!(m.record_assoc(0, wa(1), 3, SliceId(7), vec![10]));
+        // Value stored in epoch 3 describes the state at checkpoints 4, 5…
+        assert!(m.lookup_for_epoch(wa(1), 3).is_none());
+        let a = m.lookup_for_epoch(wa(1), 4).unwrap();
+        assert_eq!(a.slice, SliceId(7));
+        assert_eq!(m.owner_for_epoch(wa(1), 4), Some(0));
+    }
+
+    #[test]
+    fn tombstone_invalidates_from_its_epoch() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 3, SliceId(7), vec![]);
+        m.record_store(1, wa(1), 5);
+        // Checkpoint 4 and 5 still see the association (store was in
+        // epoch 5, after checkpoints 4 and 5 were... checkpoint 5 opens
+        // epoch 5, so the value at checkpoint 5 predates the store).
+        assert!(m.lookup_for_epoch(wa(1), 4).is_some());
+        assert!(m.lookup_for_epoch(wa(1), 5).is_some());
+        // Checkpoint 6 sees the overwritten (unknown) value.
+        assert!(m.lookup_for_epoch(wa(1), 6).is_none());
+    }
+
+    #[test]
+    fn same_epoch_supersede_keeps_single_version() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 3, SliceId(1), vec![1]);
+        m.record_store(0, wa(1), 3); // overwritten in the same interval
+        m.record_assoc(0, wa(1), 3, SliceId(2), vec![2]);
+        let a = m.lookup_for_epoch(wa(1), 4).unwrap();
+        assert_eq!(a.slice, SliceId(2));
+        assert_eq!(m.live(0), 1);
+    }
+
+    #[test]
+    fn capacity_rejection_degrades_to_baseline() {
+        let mut m = map(2);
+        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), vec![]));
+        assert!(m.record_assoc(0, wa(2), 0, SliceId(1), vec![]));
+        assert!(!m.record_assoc(0, wa(3), 0, SliceId(1), vec![]));
+        assert_eq!(m.usage().rejected_capacity, 1);
+        assert!(m.lookup_for_epoch(wa(3), 1).is_none());
+        // Capacity is per core: core 1 still has room.
+        assert!(m.record_assoc(1, wa(4), 0, SliceId(1), vec![]));
+    }
+
+    #[test]
+    fn capacity_rejection_invalidates_stale_assoc() {
+        let mut m = map(1);
+        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), vec![5]));
+        // New store to the same address in a later epoch, but the map is
+        // full: the old association must not survive describing the new
+        // value.
+        assert!(!m.record_assoc(0, wa(1), 1, SliceId(2), vec![6]));
+        assert!(m.lookup_for_epoch(wa(1), 2).is_none());
+        // The old association still describes epoch 1's opening value.
+        assert!(m.lookup_for_epoch(wa(1), 1).is_some());
+    }
+
+    #[test]
+    fn prune_keeps_reachable_versions() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
+        m.record_assoc(0, wa(1), 2, SliceId(2), vec![]);
+        m.record_assoc(0, wa(2), 0, SliceId(3), vec![]);
+        m.prune(2); // checkpoints 2 and 3 remain restorable
+        // wa(1)@epoch0 is the latest version below 2 → kept.
+        assert_eq!(m.lookup_for_epoch(wa(1), 2).unwrap().slice, SliceId(1));
+        assert_eq!(m.lookup_for_epoch(wa(1), 3).unwrap().slice, SliceId(2));
+        assert_eq!(m.lookup_for_epoch(wa(2), 2).unwrap().slice, SliceId(3));
+        assert_eq!(m.live(0), 3);
+        m.prune(4);
+        // Only the latest version per address survives.
+        assert_eq!(m.live(0), 2);
+    }
+
+    #[test]
+    fn rollback_drops_undone_victim_versions() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 1, SliceId(1), vec![]);
+        m.record_assoc(0, wa(2), 3, SliceId(2), vec![]);
+        m.record_assoc(1, wa(3), 3, SliceId(3), vec![]);
+        m.rollback(2, 0b01); // core 0 rolls back to checkpoint 2
+        assert!(m.lookup_for_epoch(wa(1), 2).is_some()); // epoch 1 < 2 kept
+        assert!(m.lookup_for_epoch(wa(2), 4).is_none()); // undone
+        assert!(m.lookup_for_epoch(wa(3), 4).is_some()); // non-victim kept
+        assert_eq!(m.live(0), 1);
+        assert_eq!(m.live(1), 1);
+    }
+
+    #[test]
+    fn tombstone_on_unknown_address_is_free() {
+        let mut m = map(100);
+        m.record_store(0, wa(9), 1);
+        assert_eq!(m.usage().tombstones, 0);
+        assert!(m.lookup_for_epoch(wa(9), 2).is_none());
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water_mark() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
+        m.record_assoc(1, wa(2), 0, SliceId(1), vec![]);
+        assert_eq!(m.usage().peak_live, 2);
+        m.prune(10);
+        // Peak is sticky.
+        assert_eq!(m.usage().peak_live, 2);
+    }
+}

@@ -1,0 +1,567 @@
+//! One-call runners for the paper's configurations.
+
+use std::fmt;
+
+use acr_ckpt::{BerConfig, BerEngine, BerReport, ErrorSchedule, NoOmission, Scheme, SecondaryStorage};
+use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
+use acr_isa::{Program, ProgramError};
+use acr_mem::MemStats;
+use acr_sim::{Machine, MachineConfig, NoHooks, SimError, SimStats};
+use acr_slicer::{instrument, SliceStats, SlicerConfig};
+
+use crate::addr_map::AddrMapConfig;
+use crate::policy::AcrPolicy;
+use crate::stats::AcrStats;
+
+/// Errors from the experiment API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The workload program is malformed.
+    Program(ProgramError),
+    /// The simulator faulted (generator/pass bug).
+    Sim(SimError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Program(e) => write!(f, "invalid program: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<ProgramError> for ExperimentError {
+    fn from(e: ProgramError) -> Self {
+        ExperimentError::Program(e)
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+/// Everything that parameterises a run: Table I machine, BER scheme,
+/// checkpoint/error schedule shape, slicer threshold, `AddrMap` sizing,
+/// energy model.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Machine configuration (Table I defaults).
+    pub machine: MachineConfig,
+    /// Coordination scheme (global unless reproducing Fig. 13).
+    pub scheme: Scheme,
+    /// Checkpoints per nominal execution (the paper's default sweeps use
+    /// 25; Fig. 12 sweeps 25–100).
+    pub num_checkpoints: u32,
+    /// Error detection latency as a fraction of the checkpoint period
+    /// (must be ≤ 1; Section II-A).
+    pub detection_latency_frac: f64,
+    /// Compiler-pass configuration (Slice-length threshold).
+    pub slicer: SlicerConfig,
+    /// `AddrMap` sizing.
+    pub addrmap: AddrMapConfig,
+    /// Shadow-memory verification of recoveries (tests).
+    pub oracle: bool,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Explicit checkpoint trigger points (progress units). When set,
+    /// they replace the uniform schedule — the hook for
+    /// recomputation-aware placement (`acr::placement`, the paper's
+    /// future-work idea in Sections V-D1/V-D3).
+    pub custom_triggers: Option<Vec<u64>>,
+    /// Optional second level of a hierarchical checkpointing framework
+    /// (Section II-A): every k-th checkpoint also streams to slower
+    /// storage, whose traffic ACR's size reductions cut proportionally.
+    pub secondary: Option<SecondaryStorage>,
+    /// Scratchpad-based recomputation (Section II-B): overlap recovery
+    /// recomputation with restore traffic instead of serializing it.
+    pub scratchpad: bool,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            machine: MachineConfig::default(),
+            scheme: Scheme::GlobalCoordinated,
+            num_checkpoints: 25,
+            detection_latency_frac: 0.5,
+            slicer: SlicerConfig::default(),
+            addrmap: AddrMapConfig::default(),
+            oracle: false,
+            energy: EnergyModel::default(),
+            custom_triggers: None,
+            secondary: None,
+            scratchpad: false,
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Sets the core count (chainable).
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.machine.num_cores = cores;
+        self
+    }
+
+    /// Sets the number of checkpoints (chainable).
+    pub fn with_checkpoints(mut self, n: u32) -> Self {
+        self.num_checkpoints = n;
+        self
+    }
+
+    /// Sets the Slice-length threshold (chainable).
+    pub fn with_threshold(mut self, t: usize) -> Self {
+        self.slicer.threshold = t;
+        self
+    }
+
+    /// Sets the coordination scheme (chainable).
+    pub fn with_scheme(mut self, s: Scheme) -> Self {
+        self.scheme = s;
+        self
+    }
+
+    /// Enables the recovery correctness oracle (chainable).
+    pub fn with_oracle(mut self, on: bool) -> Self {
+        self.oracle = on;
+        self
+    }
+}
+
+/// The outcome of one configuration run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration label (`No_Ckpt`, `Ckpt_NE`, `ReCkpt_E`, …).
+    pub label: String,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Execution time in seconds at the configured frequency.
+    pub seconds: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Energy-delay product (J·s).
+    pub edp: f64,
+    /// Instruction-mix statistics.
+    pub sim: SimStats,
+    /// Memory statistics.
+    pub mem: MemStats,
+    /// BER engine report (absent for `No_Ckpt`).
+    pub report: Option<BerReport>,
+    /// ACR hardware statistics (absent for non-amnesic runs).
+    pub acr: Option<AcrStats>,
+    /// Compiler-pass statistics (absent for non-amnesic runs).
+    pub slices: Option<SliceStats>,
+}
+
+impl RunResult {
+    /// Total checkpointed bytes (0 for `No_Ckpt`).
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.report
+            .as_ref()
+            .map(BerReport::total_checkpoint_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Percentage execution-time overhead relative to `base`.
+    pub fn time_overhead_pct(&self, base: &RunResult) -> f64 {
+        100.0 * (self.cycles as f64 - base.cycles as f64) / base.cycles as f64
+    }
+
+    /// Percentage energy overhead relative to `base`.
+    pub fn energy_overhead_pct(&self, base: &RunResult) -> f64 {
+        let a = self.energy.total_joules();
+        let b = base.energy.total_joules();
+        100.0 * (a - b) / b
+    }
+
+    /// Percentage EDP reduction this run achieves versus `other`
+    /// (positive when this run is better).
+    pub fn edp_reduction_pct(&self, other: &RunResult) -> f64 {
+        100.0 * (other.edp - self.edp) / other.edp
+    }
+}
+
+/// Runs the paper's configurations over one workload program, caching the
+/// `No_Ckpt` baseline and the instrumented binary.
+pub struct Experiment {
+    raw: Program,
+    spec: ExperimentSpec,
+    instrumented: Option<(usize, Program, SliceStats)>,
+    no_ckpt: Option<RunResult>,
+}
+
+impl fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Experiment")
+            .field("threads", &self.raw.num_threads())
+            .field("spec", &self.spec.num_checkpoints)
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Creates an experiment over a *raw* (uninstrumented) program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Program`] if the program fails
+    /// validation.
+    pub fn new(raw: Program, spec: ExperimentSpec) -> Result<Self, ExperimentError> {
+        raw.validate()?;
+        Ok(Experiment {
+            raw,
+            spec,
+            instrumented: None,
+            no_ckpt: None,
+        })
+    }
+
+    /// The specification (mutable; invalidates caches where needed).
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Replaces the spec. Clears the instrumented-binary cache if the
+    /// threshold changed (the `No_Ckpt` baseline only depends on the
+    /// machine, which callers must keep fixed within one experiment).
+    pub fn set_spec(&mut self, spec: ExperimentSpec) {
+        if let Some((t, _, _)) = &self.instrumented {
+            if *t != spec.slicer.threshold {
+                self.instrumented = None;
+            }
+        }
+        self.spec = spec;
+    }
+
+    /// The raw program.
+    pub fn program(&self) -> &Program {
+        &self.raw
+    }
+
+    /// The instrumented program and pass statistics (cached per
+    /// threshold).
+    pub fn instrumented(&mut self) -> (&Program, &SliceStats) {
+        let threshold = self.spec.slicer.threshold;
+        if self
+            .instrumented
+            .as_ref()
+            .map(|(t, _, _)| *t != threshold)
+            .unwrap_or(true)
+        {
+            let (p, s) = instrument(&self.raw, &self.spec.slicer);
+            self.instrumented = Some((threshold, p, s));
+        }
+        let (_, p, s) = self.instrumented.as_ref().expect("just filled");
+        (p, s)
+    }
+
+    /// Total work (retired instructions) of the nominal execution — the
+    /// unit checkpoint and error schedules are expressed in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the baseline run.
+    pub fn total_work(&mut self) -> Result<u64, ExperimentError> {
+        Ok(self.run_no_ckpt()?.sim.retired)
+    }
+
+    /// `No_Ckpt`: error-free execution, no checkpointing (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_no_ckpt(&mut self) -> Result<RunResult, ExperimentError> {
+        if let Some(r) = &self.no_ckpt {
+            return Ok(r.clone());
+        }
+        let mut machine = Machine::new(self.spec.machine, &self.raw);
+        machine.run(&mut NoHooks, u64::MAX)?;
+        let cycles = machine.cycles();
+        let sim = *machine.stats();
+        let mem = *machine.mem().stats();
+        let result = self.finish(
+            "No_Ckpt".to_owned(),
+            cycles,
+            sim,
+            mem,
+            None,
+            None,
+            None,
+        );
+        self.no_ckpt = Some(result.clone());
+        Ok(result)
+    }
+
+    fn ber_config(&mut self, errors: u32) -> Result<BerConfig, ExperimentError> {
+        let total = self.total_work()?;
+        let schedule = if errors == 0 {
+            ErrorSchedule::none()
+        } else {
+            ErrorSchedule::uniform(
+                total,
+                errors,
+                self.spec.num_checkpoints,
+                self.spec.detection_latency_frac,
+            )
+        };
+        let triggers = match &self.spec.custom_triggers {
+            Some(t) => t.clone(),
+            None => acr_ckpt::uniform_points(total, self.spec.num_checkpoints),
+        };
+        Ok(BerConfig {
+            scheme: self.spec.scheme,
+            triggers,
+            errors: schedule,
+            oracle: self.spec.oracle,
+            secondary: self.spec.secondary,
+        })
+    }
+
+    /// `Ckpt_NE` / `Ckpt_E[,Loc]`: the non-amnesic baseline with `errors`
+    /// injected errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_ckpt(&mut self, errors: u32) -> Result<RunResult, ExperimentError> {
+        let cfg = self.ber_config(errors)?;
+        let machine = Machine::new(self.spec.machine, &self.raw);
+        let mut engine = BerEngine::new(machine, NoOmission, cfg);
+        let report = engine.run_to_completion()?;
+        let label = label_for("Ckpt", errors, self.spec.scheme);
+        Ok(self.finish(
+            label,
+            report.cycles,
+            report.sim,
+            report.mem,
+            Some(report),
+            None,
+            None,
+        ))
+    }
+
+    /// `ReCkpt_NE` / `ReCkpt_E[,Loc]`: ACR with `errors` injected errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_reckpt(&mut self, errors: u32) -> Result<RunResult, ExperimentError> {
+        let cfg = self.ber_config(errors)?;
+        let spec_machine = self.spec.machine;
+        let addrmap = self.spec.addrmap;
+        let scheme = self.spec.scheme;
+        let (program, slice_stats) = {
+            let (p, s) = self.instrumented();
+            (p.clone(), s.clone())
+        };
+        let machine = Machine::new(spec_machine, &program);
+        let policy = AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+            .with_scratchpad(self.spec.scratchpad);
+        let mut engine = BerEngine::new(machine, policy, cfg);
+        let report = engine.run_to_completion()?;
+        let acr = engine.policy().stats();
+        let label = label_for("ReCkpt", errors, scheme);
+        Ok(self.finish(
+            label,
+            report.cycles,
+            report.sim,
+            report.mem,
+            Some(report),
+            Some(acr),
+            Some(slice_stats),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        label: String,
+        cycles: u64,
+        sim: SimStats,
+        mem: MemStats,
+        report: Option<BerReport>,
+        acr: Option<AcrStats>,
+        slices: Option<SliceStats>,
+    ) -> RunResult {
+        let seconds = self.spec.machine.cycles_to_seconds(cycles);
+        let a = acr.unwrap_or_default();
+        let inputs = EnergyInputs {
+            alu_ops: sim.alu_ops,
+            mul_ops: sim.mul_ops,
+            div_ops: sim.div_ops,
+            instructions: sim.retired + sim.assocs,
+            l1d_accesses: mem.l1d_accesses(),
+            l2_accesses: mem.l2_hits + mem.l2_misses,
+            dram_line_reads: mem.dram_line_reads,
+            dram_line_writes: mem.dram_line_writes,
+            coherence_messages: mem.coherence_messages,
+            c2c_transfers: mem.c2c_transfers,
+            log_record_writes: mem.log_record_writes,
+            log_record_reads: mem.log_record_reads,
+            recovery_word_writes: mem.recovery_word_writes,
+            addrmap_writes: a.addrmap_writes,
+            addrmap_reads: a.addrmap_reads,
+            opbuf_writes: a.opbuf_writes,
+            opbuf_reads: a.opbuf_reads,
+            slice_alu_ops: a.slice_alu_ops,
+            cycles,
+            cores: self.raw.num_threads() as u32,
+        };
+        let energy = self.spec.energy.energy(&inputs);
+        RunResult {
+            label,
+            cycles,
+            seconds,
+            edp: edp(energy.total_joules(), seconds),
+            energy,
+            sim,
+            mem,
+            report,
+            acr,
+            slices,
+        }
+    }
+}
+
+fn label_for(base: &str, errors: u32, scheme: Scheme) -> String {
+    let err = if errors == 0 { "NE" } else { "E" };
+    match scheme {
+        Scheme::GlobalCoordinated => format!("{base}_{err}"),
+        Scheme::LocalCoordinated => format!("{base}_{err},Loc"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_isa::{AluOp, ProgramBuilder, Reg};
+
+    /// A kernel whose stores are all recomputable (short arithmetic
+    /// producers) and which re-writes the same addresses every sweep, so
+    /// first updates across checkpoint intervals have recomputable old
+    /// values for ACR to omit.
+    fn recomputable_kernel(threads: usize, iters: u64) -> Program {
+        let mut b = ProgramBuilder::new(threads);
+        b.set_mem_bytes(1 << 20);
+        for t in 0..threads as u32 {
+            let base = u64::from(t) * 131072;
+            let tb = b.thread(t);
+            tb.imm(Reg(10), base);
+            let outer = tb.begin_loop(Reg(8), Reg(9), 12);
+            let l = tb.begin_loop(Reg(1), Reg(2), iters);
+            tb.alui(AluOp::Mul, Reg(3), Reg(1), 13);
+            tb.alu(AluOp::Xor, Reg(3), Reg(3), Reg(8));
+            tb.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+            tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+            tb.store(Reg(3), Reg(5), 0);
+            tb.end_loop(l);
+            tb.end_loop(outer);
+            tb.halt();
+        }
+        b.build()
+    }
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::default()
+            .with_cores(2)
+            .with_checkpoints(5)
+            .with_oracle(true)
+    }
+
+    #[test]
+    fn reckpt_reduces_checkpoint_size_with_identical_result() {
+        let p = recomputable_kernel(2, 300);
+        let mut exp = Experiment::new(p, spec()).unwrap();
+        let ckpt = exp.run_ckpt(0).unwrap();
+        let reckpt = exp.run_reckpt(0).unwrap();
+        assert_eq!(ckpt.label, "Ckpt_NE");
+        assert_eq!(reckpt.label, "ReCkpt_NE");
+        assert!(
+            reckpt.checkpoint_bytes() < ckpt.checkpoint_bytes(),
+            "ACR must shrink checkpoints: {} vs {}",
+            reckpt.checkpoint_bytes(),
+            ckpt.checkpoint_bytes()
+        );
+        let r = reckpt.report.as_ref().unwrap();
+        assert!(r.overall_reduction_pct() > 10.0);
+        // Functionally identical to the baseline (paper's premise).
+        assert_eq!(
+            ckpt.sim.stores, reckpt.sim.stores,
+            "instrumentation must not change store counts"
+        );
+    }
+
+    #[test]
+    fn reckpt_with_error_recovers_via_recomputation() {
+        let p = recomputable_kernel(2, 300);
+        let mut exp = Experiment::new(p, spec()).unwrap();
+        let reckpt_e = exp.run_reckpt(1).unwrap();
+        assert_eq!(reckpt_e.label, "ReCkpt_E");
+        let report = reckpt_e.report.as_ref().unwrap();
+        assert_eq!(report.errors_handled, 1);
+        let rec = &report.recoveries[0];
+        assert!(
+            rec.recomputed_values > 0,
+            "recovery must exercise recomputation"
+        );
+        let acr = reckpt_e.acr.as_ref().unwrap();
+        assert!(acr.slice_alu_ops > 0);
+        assert_eq!(acr.recomputed_values, rec.recomputed_values);
+    }
+
+    #[test]
+    fn overhead_ordering_matches_paper() {
+        // No_Ckpt <= ReCkpt_NE <= Ckpt_NE in time, and the E variants cost
+        // more than their NE counterparts.
+        let p = recomputable_kernel(2, 300);
+        let mut exp = Experiment::new(p, spec()).unwrap();
+        let no = exp.run_no_ckpt().unwrap();
+        let ckpt_ne = exp.run_ckpt(0).unwrap();
+        let reckpt_ne = exp.run_reckpt(0).unwrap();
+        let ckpt_e = exp.run_ckpt(1).unwrap();
+        assert!(no.cycles < reckpt_ne.cycles);
+        assert!(reckpt_ne.cycles <= ckpt_ne.cycles);
+        assert!(ckpt_ne.cycles < ckpt_e.cycles);
+        assert!(ckpt_ne.time_overhead_pct(&no) > 0.0);
+        assert!(reckpt_ne.edp_reduction_pct(&ckpt_ne) >= 0.0);
+    }
+
+    #[test]
+    fn local_scheme_labels_and_runs() {
+        let p = recomputable_kernel(4, 150);
+        let s = spec().with_cores(4).with_scheme(Scheme::LocalCoordinated);
+        let mut exp = Experiment::new(p, s).unwrap();
+        let r = exp.run_ckpt(0).unwrap();
+        assert_eq!(r.label, "Ckpt_NE,Loc");
+        let r = exp.run_reckpt(1).unwrap();
+        assert_eq!(r.label, "ReCkpt_E,Loc");
+        assert_eq!(r.report.as_ref().unwrap().errors_handled, 1);
+    }
+
+    #[test]
+    fn threshold_change_reinstruments() {
+        let p = recomputable_kernel(1, 100);
+        let mut exp = Experiment::new(p, spec().with_cores(1)).unwrap();
+        let (_, s10) = exp.instrumented();
+        let sliced_10 = s10.sliced_stores;
+        let mut new_spec = exp.spec().clone();
+        new_spec.slicer.threshold = 1;
+        exp.set_spec(new_spec);
+        let (_, s1) = exp.instrumented();
+        assert!(s1.sliced_stores <= sliced_10);
+    }
+
+    #[test]
+    fn energy_and_edp_populated() {
+        let p = recomputable_kernel(1, 100);
+        let mut exp = Experiment::new(p, spec().with_cores(1)).unwrap();
+        let r = exp.run_ckpt(0).unwrap();
+        assert!(r.energy.total_joules() > 0.0);
+        assert!(r.edp > 0.0);
+        assert!(r.seconds > 0.0);
+    }
+}

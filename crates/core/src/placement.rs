@@ -1,0 +1,297 @@
+//! Recomputation-aware checkpoint placement — the paper's future-work
+//! extension.
+//!
+//! Sections V-D1 and V-D3 observe that recomputable values are not
+//! uniformly distributed over time, so "instead of checkpointing in
+//! uniformly distributed intervals, the time to checkpoint can be
+//! adjusted … to exploit more recomputation opportunities", and leave the
+//! exploration to future work. This module implements it:
+//!
+//! 1. **Profile**: run `ReCkpt_NE` once with a finer-than-target uniform
+//!    schedule, recording each micro-interval's omitted fraction.
+//! 2. **Place**: pick the target number of boundaries from the micro
+//!    boundaries by dynamic programming, maximizing the recomputability
+//!    of the work each checkpoint seals, under spacing bounds that keep
+//!    the worst-case `o_waste` close to the uniform schedule's.
+//! 3. **Validate**: run with the adaptive schedule and compare —
+//!    [`tune`] returns both runs so callers can see the actual effect
+//!    rather than a prediction.
+
+use acr_ckpt::BerReport;
+
+use crate::experiment::{Experiment, ExperimentError, RunResult};
+
+/// A per-micro-interval recomputability profile.
+#[derive(Debug, Clone)]
+pub struct PlacementProfile {
+    /// End-of-interval progress values, ascending (the candidate
+    /// checkpoint sites).
+    pub boundaries: Vec<u64>,
+    /// Fraction of each micro-interval's first-updates that were omitted
+    /// (recomputable).
+    pub omitted_frac: Vec<f64>,
+    /// Total work (progress) of the profiled run.
+    pub total_work: u64,
+}
+
+impl PlacementProfile {
+    /// Extracts a profile from a fine-grained `ReCkpt_NE` report.
+    pub fn from_report(report: &BerReport, total_work: u64) -> Self {
+        let mut boundaries = Vec::with_capacity(report.intervals.len());
+        let mut omitted_frac = Vec::with_capacity(report.intervals.len());
+        for i in &report.intervals {
+            boundaries.push(i.progress);
+            let fu = i.records + i.omitted;
+            omitted_frac.push(if fu == 0 {
+                0.0
+            } else {
+                i.omitted as f64 / fu as f64
+            });
+        }
+        PlacementProfile {
+            boundaries,
+            omitted_frac,
+            total_work,
+        }
+    }
+}
+
+/// Chooses `n` checkpoint points from the profile's candidate boundaries,
+/// maximizing the summed omitted fraction at the chosen sites while
+/// keeping consecutive checkpoints within `[min_gap_frac, max_gap_frac]`
+/// of the uniform period (bounding `o_waste` growth). Falls back to the
+/// profile's uniform prefix when the constraints cannot be met.
+pub fn adaptive_triggers(
+    profile: &PlacementProfile,
+    n: u32,
+    min_gap_frac: f64,
+    max_gap_frac: f64,
+) -> Vec<u64> {
+    let m = profile.boundaries.len();
+    let n = n as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    if m == 0 || n > m {
+        return acr_ckpt::uniform_points(profile.total_work, n as u32);
+    }
+    let period = profile.total_work as f64 / (n as f64 + 1.0);
+    let min_gap = (period * min_gap_frac) as u64;
+    let max_gap = (period * max_gap_frac) as u64;
+
+    const NEG: f64 = f64::NEG_INFINITY;
+    // dp[k][j]: best score choosing k boundaries, the k-th at site j.
+    let mut dp = vec![vec![NEG; m]; n + 1];
+    let mut from = vec![vec![usize::MAX; m]; n + 1];
+    for (j, &b) in profile.boundaries.iter().enumerate() {
+        if b >= min_gap && b <= max_gap {
+            dp[1][j] = profile.omitted_frac[j];
+        }
+    }
+    for k in 2..=n {
+        for j in 0..m {
+            let bj = profile.boundaries[j];
+            for i in 0..j {
+                if dp[k - 1][i] == NEG {
+                    continue;
+                }
+                let gap = bj - profile.boundaries[i];
+                if gap < min_gap || gap > max_gap {
+                    continue;
+                }
+                let cand = dp[k - 1][i] + profile.omitted_frac[j];
+                if cand > dp[k][j] {
+                    dp[k][j] = cand;
+                    from[k][j] = i;
+                }
+            }
+        }
+    }
+    // The last checkpoint must leave a bounded tail.
+    let mut best: Option<usize> = None;
+    for j in 0..m {
+        if dp[n][j] == NEG {
+            continue;
+        }
+        let tail = profile.total_work.saturating_sub(profile.boundaries[j]);
+        if tail > max_gap {
+            continue;
+        }
+        if best.map(|b| dp[n][j] > dp[n][b]).unwrap_or(true) {
+            best = Some(j);
+        }
+    }
+    let Some(mut j) = best else {
+        // Constraints unsatisfiable on this profile: fall back to uniform.
+        return acr_ckpt::uniform_points(profile.total_work, n as u32);
+    };
+    let mut picks = Vec::with_capacity(n);
+    let mut k = n;
+    while k >= 1 {
+        picks.push(profile.boundaries[j]);
+        let prev = from[k][j];
+        k -= 1;
+        if k == 0 {
+            break;
+        }
+        j = prev;
+    }
+    picks.reverse();
+    picks
+}
+
+/// Outcome of profile-guided tuning: the uniform baseline run, the
+/// adaptive run, and the schedule used.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// `ReCkpt_NE` with the uniform schedule.
+    pub uniform: RunResult,
+    /// `ReCkpt_NE` with the adaptive schedule.
+    pub adaptive: RunResult,
+    /// The adaptive trigger points.
+    pub triggers: Vec<u64>,
+}
+
+impl TuningOutcome {
+    /// Checkpoint-bytes improvement of adaptive over uniform (%).
+    pub fn bytes_improvement_pct(&self) -> f64 {
+        let u = self.uniform.checkpoint_bytes() as f64;
+        let a = self.adaptive.checkpoint_bytes() as f64;
+        if u == 0.0 {
+            0.0
+        } else {
+            100.0 * (u - a) / u
+        }
+    }
+
+    /// Cycle improvement of adaptive over uniform (%).
+    pub fn time_improvement_pct(&self) -> f64 {
+        let u = self.uniform.cycles as f64;
+        100.0 * (u - self.adaptive.cycles as f64) / u
+    }
+}
+
+/// Profiles `exp` at `micro_factor ×` the target checkpoint count, builds
+/// an adaptive schedule for the spec's `num_checkpoints`, and runs both
+/// schedules. The experiment's spec is left with the adaptive triggers
+/// installed (callers can clear `custom_triggers` to go back).
+///
+/// # Errors
+///
+/// Propagates simulator errors from the profiling and evaluation runs.
+pub fn tune(exp: &mut Experiment, micro_factor: u32) -> Result<TuningOutcome, ExperimentError> {
+    let n = exp.spec().num_checkpoints;
+    let total = exp.total_work()?;
+
+    // Uniform baseline.
+    let mut spec = exp.spec().clone();
+    spec.custom_triggers = None;
+    exp.set_spec(spec);
+    let uniform = exp.run_reckpt(0)?;
+
+    // Profile at fine granularity.
+    let mut spec = exp.spec().clone();
+    spec.num_checkpoints = n * micro_factor.max(2);
+    exp.set_spec(spec);
+    let fine = exp.run_reckpt(0)?;
+    let profile = PlacementProfile::from_report(
+        fine.report.as_ref().expect("reckpt reports"),
+        total,
+    );
+
+    // Adaptive schedule.
+    let triggers = adaptive_triggers(&profile, n, 0.4, 2.0);
+    let mut spec = exp.spec().clone();
+    spec.num_checkpoints = n;
+    spec.custom_triggers = Some(triggers.clone());
+    exp.set_spec(spec);
+    let adaptive = exp.run_reckpt(0)?;
+
+    Ok(TuningOutcome {
+        uniform,
+        adaptive,
+        triggers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(bounds: &[u64], fracs: &[f64], total: u64) -> PlacementProfile {
+        PlacementProfile {
+            boundaries: bounds.to_vec(),
+            omitted_frac: fracs.to_vec(),
+            total_work: total,
+        }
+    }
+
+    #[test]
+    fn picks_high_omission_sites_under_spacing() {
+        // 10 candidate sites; sites 3 and 7 have the best fractions.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let mut fracs = vec![0.1; 10];
+        fracs[2] = 0.9; // site at 300
+        fracs[6] = 0.8; // site at 700
+        let p = profile(&bounds, &fracs, 1000);
+        let t = adaptive_triggers(&p, 2, 0.4, 2.0);
+        assert_eq!(t, vec![300, 700]);
+    }
+
+    #[test]
+    fn respects_max_gap() {
+        // The greedy-best pair (100, 200) leaves an 800-unit tail; with
+        // n=2 and period ≈ 333, max gap 666 forbids it.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let mut fracs = vec![0.0; 10];
+        fracs[0] = 1.0;
+        fracs[1] = 1.0;
+        let p = profile(&bounds, &fracs, 1000);
+        let t = adaptive_triggers(&p, 2, 0.1, 2.0);
+        assert_eq!(t.len(), 2);
+        let tail = 1000 - t[1];
+        assert!(tail <= 666, "tail {tail} violates max gap");
+    }
+
+    #[test]
+    fn falls_back_to_uniform_when_infeasible() {
+        // One candidate site cannot satisfy n=3.
+        let p = profile(&[500], &[1.0], 1000);
+        let t = adaptive_triggers(&p, 3, 0.4, 2.0);
+        assert_eq!(t, acr_ckpt::uniform_points(1000, 3));
+    }
+
+    #[test]
+    fn from_report_computes_fractions() {
+        use acr_ckpt::IntervalRecord;
+        let report = BerReport {
+            intervals: vec![
+                IntervalRecord {
+                    epoch: 0,
+                    progress: 100,
+                    records: 75,
+                    omitted: 25,
+                    bytes: 0,
+                    baseline_bytes: 0,
+                    stall_cycles: 0,
+                    lines_flushed: 0,
+                },
+                IntervalRecord {
+                    epoch: 1,
+                    progress: 200,
+                    records: 0,
+                    omitted: 0,
+                    bytes: 0,
+                    baseline_bytes: 0,
+                    stall_cycles: 0,
+                    lines_flushed: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let p = PlacementProfile::from_report(&report, 250);
+        assert_eq!(p.boundaries, vec![100, 200]);
+        assert!((p.omitted_frac[0] - 0.25).abs() < 1e-12);
+        assert_eq!(p.omitted_frac[1], 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! ACR hardware statistics (energy accounting inputs).
+
+/// Event counts for ACR's on-chip structures (Fig. 5): the `AddrMap`, the
+/// operand buffer and the recomputation datapath.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcrStats {
+    /// `ASSOC-ADDR` instructions handled (checkpoint handler).
+    pub assoc_events: u64,
+    /// `AddrMap` insertions (association versions + tombstones).
+    pub addrmap_writes: u64,
+    /// `AddrMap` lookups (omission checks + recovery resolution).
+    pub addrmap_reads: u64,
+    /// Operand values captured into the operand buffer.
+    pub opbuf_writes: u64,
+    /// Operand values read back during recomputation.
+    pub opbuf_reads: u64,
+    /// ALU operations executed while recomputing Slices (recovery).
+    pub slice_alu_ops: u64,
+    /// Values regenerated during recovery.
+    pub recomputed_values: u64,
+    /// Associations dropped because the `AddrMap` was full.
+    pub capacity_rejections: u64,
+    /// Peak live `AddrMap` associations (storage-complexity ablation).
+    pub addrmap_peak_live: u64,
+}
+
+impl AcrStats {
+    /// Field-wise sum (peak is max-merged).
+    pub fn add(&mut self, o: &AcrStats) {
+        self.assoc_events += o.assoc_events;
+        self.addrmap_writes += o.addrmap_writes;
+        self.addrmap_reads += o.addrmap_reads;
+        self.opbuf_writes += o.opbuf_writes;
+        self.opbuf_reads += o.opbuf_reads;
+        self.slice_alu_ops += o.slice_alu_ops;
+        self.recomputed_values += o.recomputed_values;
+        self.capacity_rejections += o.capacity_rejections;
+        self.addrmap_peak_live = self.addrmap_peak_live.max(o.addrmap_peak_live);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merges_counts_and_peak() {
+        let mut a = AcrStats {
+            assoc_events: 2,
+            addrmap_peak_live: 10,
+            ..Default::default()
+        };
+        a.add(&AcrStats {
+            assoc_events: 3,
+            addrmap_peak_live: 7,
+            slice_alu_ops: 4,
+            ..Default::default()
+        });
+        assert_eq!(a.assoc_events, 5);
+        assert_eq!(a.slice_alu_ops, 4);
+        assert_eq!(a.addrmap_peak_live, 10);
+    }
+}

@@ -1,0 +1,493 @@
+//! A small text assembler for the ACR ISA.
+//!
+//! Useful for writing kernels in tests and examples without the builder
+//! API, and for round-tripping programs while debugging. The syntax is
+//! line-oriented:
+//!
+//! ```text
+//! ; kernel with one thread
+//! mem 8192                 ; data image size in bytes
+//! thread 0
+//!   imm   r1, 42
+//!   addi  r2, r1, 8
+//!   mul   r3, r2, r2
+//!   ld    r4, [r1+0x10]
+//!   st    r3, [r1+8]
+//! loop:
+//!   addi  r5, r5, 1
+//!   blt   r5, r2, loop
+//!   barrier
+//!   halt
+//! ```
+//!
+//! Mnemonics: `imm rd, k` · three-register ALU ops (`add sub mul div rem
+//! and or xor shl shr min max`) · immediate forms with an `i` suffix
+//! (`addi`, `muli`, …) · `ld rd, [base+disp]` · `st rs, [base+disp]` ·
+//! branches `beq bne blt bge ra, rb, label` · `jmp label` · `barrier` ·
+//! `halt`. Labels are `name:` on their own line or before an instruction.
+//! `ASSOC-ADDR` is deliberately not expressible: associations are the
+//! compiler pass's job (`acr-slicer`), not the programmer's.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{AluOp, BranchCond, Instr, Reg};
+use crate::program::{Program, ThreadCode};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, found `{t}`")))?;
+    let idx: u8 = n
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{t}`")))?;
+    if usize::from(idx) >= crate::NUM_REGS {
+        return Err(err(line, format!("register {t} out of range")));
+    }
+    Ok(Reg(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (digits, radix, neg) = if let Some(h) = t.strip_prefix("0x") {
+        (h, 16, false)
+    } else if let Some(h) = t.strip_prefix("-") {
+        (h, 10, true)
+    } else {
+        (t, 10, false)
+    };
+    let v = u64::from_str_radix(digits, radix)
+        .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+/// Parses `[base+disp]` (disp optional, decimal or 0x-hex).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(Reg, u64), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [base+disp], found `{t}`")))?;
+    match inner.split_once('+') {
+        Some((b, d)) => Ok((parse_reg(b, line)?, parse_imm(d, line)?)),
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
+    Some(match mnemonic {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        _ => return None,
+    })
+}
+
+#[derive(Debug)]
+enum Pending {
+    Done(Instr),
+    Branch {
+        cond: BranchCond,
+        ra: Reg,
+        rb: Reg,
+        label: String,
+        line: usize,
+    },
+    Jump {
+        label: String,
+        line: usize,
+    },
+}
+
+/// Assembles a program from source text. See the [module docs](self) for
+/// the syntax.
+///
+/// ```
+/// let program = acr_isa::asm::assemble(
+///     "mem 4096\n\
+///      thread 0\n\
+///        imm r1, 21\n\
+///        add r2, r1, r1\n\
+///        st r2, [r0+64]\n\
+///        halt",
+/// )?;
+/// let mut interp = acr_isa::interp::Interp::new(&program);
+/// interp.run_to_completion(100)?;
+/// assert_eq!(interp.mem_word(64), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad
+/// operand, duplicate/undefined label, missing `thread` header…).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut mem_bytes: u64 = 0;
+    let mut threads: Vec<Vec<Pending>> = Vec::new();
+    let mut labels: Vec<HashMap<String, u32>> = Vec::new();
+    let mut current: Option<usize> = None;
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw;
+        if let Some(p) = line.find(';') {
+            line = &line[..p];
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Labels (possibly followed by an instruction on the same line).
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            if head.contains(char::is_whitespace) {
+                break; // not a label, e.g. an operand list
+            }
+            let t = current.ok_or_else(|| err(line_no, "label outside a thread"))?;
+            let pc = threads[t].len() as u32;
+            if labels[t].insert(head.to_owned(), pc).is_some() {
+                return Err(err(line_no, format!("duplicate label `{head}`")));
+            }
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        let mut toks = rest.split_whitespace();
+        let mnemonic = toks.next().expect("non-empty line");
+        let args: Vec<&str> = toks.collect();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operands, found {}", args.len()),
+                ))
+            }
+        };
+
+        match mnemonic {
+            "mem" => {
+                need(1)?;
+                mem_bytes = parse_imm(args[0], line_no)?;
+                continue;
+            }
+            "thread" => {
+                need(1)?;
+                let idx = parse_imm(args[0], line_no)? as usize;
+                while threads.len() <= idx {
+                    threads.push(Vec::new());
+                    labels.push(HashMap::new());
+                }
+                current = Some(idx);
+                continue;
+            }
+            _ => {}
+        }
+
+        let t = current.ok_or_else(|| err(line_no, "instruction outside a thread"))?;
+        let instr = match mnemonic {
+            "imm" => {
+                need(2)?;
+                Pending::Done(Instr::Imm {
+                    rd: parse_reg(args[0], line_no)?,
+                    imm: parse_imm(args[1], line_no)?,
+                })
+            }
+            "ld" => {
+                need(2)?;
+                let (base, disp) = parse_mem_operand(args[1], line_no)?;
+                Pending::Done(Instr::Load {
+                    rd: parse_reg(args[0], line_no)?,
+                    base,
+                    disp,
+                })
+            }
+            "st" => {
+                need(2)?;
+                let (base, disp) = parse_mem_operand(args[1], line_no)?;
+                Pending::Done(Instr::Store {
+                    rs: parse_reg(args[0], line_no)?,
+                    base,
+                    disp,
+                })
+            }
+            "jmp" => {
+                need(1)?;
+                Pending::Jump {
+                    label: args[0].to_owned(),
+                    line: line_no,
+                }
+            }
+            "barrier" => {
+                need(0)?;
+                Pending::Done(Instr::Barrier)
+            }
+            "halt" => {
+                need(0)?;
+                Pending::Done(Instr::Halt)
+            }
+            m => {
+                if let Some(cond) = branch_cond(m) {
+                    need(3)?;
+                    Pending::Branch {
+                        cond,
+                        ra: parse_reg(args[0], line_no)?,
+                        rb: parse_reg(args[1], line_no)?,
+                        label: args[2].to_owned(),
+                        line: line_no,
+                    }
+                } else if let Some(op) = m.strip_suffix('i').and_then(alu_op) {
+                    need(3)?;
+                    Pending::Done(Instr::AluI {
+                        op,
+                        rd: parse_reg(args[0], line_no)?,
+                        ra: parse_reg(args[1], line_no)?,
+                        imm: parse_imm(args[2], line_no)?,
+                    })
+                } else if let Some(op) = alu_op(m) {
+                    need(3)?;
+                    Pending::Done(Instr::Alu {
+                        op,
+                        rd: parse_reg(args[0], line_no)?,
+                        ra: parse_reg(args[1], line_no)?,
+                        rb: parse_reg(args[2], line_no)?,
+                    })
+                } else {
+                    return Err(err(line_no, format!("unknown mnemonic `{m}`")));
+                }
+            }
+        };
+        threads[t].push(instr);
+    }
+
+    // Resolve labels.
+    let mut codes = Vec::with_capacity(threads.len());
+    for (t, pendings) in threads.into_iter().enumerate() {
+        let resolve = |label: &str, line: usize| -> Result<u32, AsmError> {
+            labels[t]
+                .get(label)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label `{label}`")))
+        };
+        let mut instrs = Vec::with_capacity(pendings.len());
+        for p in pendings {
+            instrs.push(match p {
+                Pending::Done(i) => i,
+                Pending::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    label,
+                    line,
+                } => Instr::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target: resolve(&label, line)?,
+                },
+                Pending::Jump { label, line } => Instr::Jump {
+                    target: resolve(&label, line)?,
+                },
+            });
+        }
+        codes.push(ThreadCode::new(instrs));
+    }
+    Ok(Program::new(codes, Vec::new(), mem_bytes))
+}
+
+/// Disassembles a program back to (approximately) the assembler syntax —
+/// labels are synthesized as `L<pc>` at branch targets. `ASSOC-ADDR`
+/// instructions (from instrumented binaries) render as comments since
+/// the assembler cannot express them.
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "mem {}", program.mem_bytes());
+    for (t, code) in program.threads().iter().enumerate() {
+        let _ = writeln!(out, "thread {t}");
+        let mut is_target = vec![false; code.len()];
+        for instr in code.instrs() {
+            if let Instr::Branch { target, .. } | Instr::Jump { target } = instr {
+                if (*target as usize) < is_target.len() {
+                    is_target[*target as usize] = true;
+                }
+            }
+        }
+        for (pc, instr) in code.instrs().iter().enumerate() {
+            if is_target[pc] {
+                let _ = writeln!(out, "L{pc}:");
+            }
+            let line = match instr {
+                Instr::Imm { rd, imm } => format!("imm {rd}, {imm:#x}"),
+                Instr::Alu { op, rd, ra, rb } => format!("{op} {rd}, {ra}, {rb}"),
+                Instr::AluI { op, rd, ra, imm } => format!("{op}i {rd}, {ra}, {imm:#x}"),
+                Instr::Load { rd, base, disp } => format!("ld {rd}, [{base}+{disp:#x}]"),
+                Instr::Store { rs, base, disp } => format!("st {rs}, [{base}+{disp:#x}]"),
+                Instr::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } => {
+                    let m = match cond {
+                        BranchCond::Eq => "beq",
+                        BranchCond::Ne => "bne",
+                        BranchCond::Lt => "blt",
+                        BranchCond::Ge => "bge",
+                    };
+                    format!("{m} {ra}, {rb}, L{target}")
+                }
+                Instr::Jump { target } => format!("jmp L{target}"),
+                Instr::AssocAddr { slice, .. } => format!("; assoc-addr {slice}"),
+                Instr::Barrier => "barrier".to_owned(),
+                Instr::Halt => "halt".to_owned(),
+            };
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    const KERNEL: &str = r"
+        ; sum 0..9 into mem[64]
+        mem 4096
+        thread 0
+          imm r1, 0
+          imm r2, 10
+          imm r5, 0
+        loop:
+          bge r1, r2, done
+          add r5, r5, r1
+          addi r1, r1, 1
+          jmp loop
+        done:
+          st r5, [r0+64]
+          halt
+    ";
+
+    #[test]
+    fn assembles_and_runs() {
+        let p = assemble(KERNEL).expect("assembles");
+        p.validate().expect("valid");
+        let mut i = Interp::new(&p);
+        i.run_to_completion(10_000).expect("runs");
+        assert_eq!(i.mem_word(64), 45);
+    }
+
+    #[test]
+    fn roundtrips_through_disassembler() {
+        let p = assemble(KERNEL).expect("assembles");
+        let text = disassemble(&p);
+        let p2 = assemble(&text).expect("reassembles");
+        assert_eq!(p.threads(), p2.threads());
+        assert_eq!(p.mem_bytes(), p2.mem_bytes());
+    }
+
+    #[test]
+    fn multithreaded_with_barrier() {
+        let src = r"
+            mem 4096
+            thread 0
+              imm r1, 7
+              st r1, [r0+0]
+              barrier
+              halt
+            thread 1
+              barrier
+              ld r2, [r0+0]
+              st r2, [r0+8]
+              halt
+        ";
+        let p = assemble(src).expect("assembles");
+        let mut i = Interp::new(&p);
+        i.run_to_completion(10_000).expect("runs");
+        assert_eq!(i.mem_word(8), 7);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let cases = [
+            ("thread 0\n  bogus r1, r2", "unknown mnemonic"),
+            ("thread 0\n  imm r99, 1", "out of range"),
+            ("thread 0\n  jmp nowhere\n  halt", "undefined label"),
+            ("  imm r1, 1", "outside a thread"),
+            ("thread 0\nx:\nx:\n  halt", "duplicate label"),
+            ("thread 0\n  imm r1", "expects 2 operands"),
+            ("thread 0\n  ld r1, r2", "expected [base+disp]"),
+        ];
+        for (src, needle) in cases {
+            let e = assemble(src).expect_err(src);
+            assert!(
+                e.to_string().contains(needle),
+                "`{src}` gave `{e}`, wanted `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("thread 0\n  imm r1, 0xff\n  addi r2, r1, -1\n  halt").unwrap();
+        let mut i = Interp::new(&p);
+        // mem 0 → no memory accesses allowed; arithmetic only.
+        i.run_to_completion(10).unwrap();
+        assert_eq!(i.reg(crate::ThreadId(0), Reg(1)), 0xff);
+        assert_eq!(i.reg(crate::ThreadId(0), Reg(2)), 0xfe);
+    }
+}

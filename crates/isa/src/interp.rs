@@ -1,0 +1,487 @@
+//! Pure functional reference interpreter.
+//!
+//! The interpreter executes a [`Program`] with no timing model at all. It is
+//! the semantic oracle for the timing simulator in `acr-sim` (which must
+//! compute the same final memory image) and for the slicer (with
+//! [`Interp::verify_slices`] enabled it checks, at every `ASSOC-ADDR`, that
+//! executing the associated Slice over the captured input operands
+//! reproduces the value just stored).
+
+use std::fmt;
+
+use crate::instr::{Instr, Reg};
+use crate::program::{Program, ThreadId};
+use crate::{NUM_REGS, WORD_BYTES};
+
+/// Execution errors. A well-formed workload never triggers these; they exist
+/// to make generator/pass bugs loud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Memory access outside the program's declared memory image.
+    OutOfBounds {
+        /// Thread performing the access.
+        thread: ThreadId,
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// Misaligned (non word-aligned) access.
+    Misaligned {
+        /// Thread performing the access.
+        thread: ThreadId,
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// The step budget was exhausted before all threads halted.
+    FuelExhausted,
+    /// All runnable threads are blocked on a barrier that can never be
+    /// released (should be impossible: halted threads count as arrived).
+    BarrierDeadlock,
+    /// `ASSOC-ADDR` slice verification failed (slicer bug).
+    SliceMismatch {
+        /// Thread executing the `ASSOC-ADDR`.
+        thread: ThreadId,
+        /// Program counter of the `ASSOC-ADDR`.
+        pc: u32,
+        /// The value the store wrote.
+        stored: u64,
+        /// The value the Slice recomputed.
+        recomputed: u64,
+    },
+    /// `ASSOC-ADDR` executed without a pending store (validation should have
+    /// rejected the program).
+    AssocWithoutStore {
+        /// Thread executing the `ASSOC-ADDR`.
+        thread: ThreadId,
+        /// Program counter.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { thread, addr } => {
+                write!(f, "{thread}: access at {addr:#x} out of bounds")
+            }
+            ExecError::Misaligned { thread, addr } => {
+                write!(f, "{thread}: misaligned access at {addr:#x}")
+            }
+            ExecError::FuelExhausted => write!(f, "step budget exhausted"),
+            ExecError::BarrierDeadlock => write!(f, "barrier deadlock"),
+            ExecError::SliceMismatch {
+                thread,
+                pc,
+                stored,
+                recomputed,
+            } => write!(
+                f,
+                "{thread}@{pc}: slice recomputed {recomputed:#x}, store wrote {stored:#x}"
+            ),
+            ExecError::AssocWithoutStore { thread, pc } => {
+                write!(f, "{thread}@{pc}: assoc-addr without preceding store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone)]
+struct ThreadState {
+    regs: [u64; NUM_REGS],
+    pc: u32,
+    halted: bool,
+    at_barrier: bool,
+    /// Address/value of the store executed in the previous step, consumed by
+    /// a following `ASSOC-ADDR`.
+    last_store: Option<(u64, u64)>,
+    retired: u64,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            regs: [0; NUM_REGS],
+            pc: 0,
+            halted: false,
+            at_barrier: false,
+            last_store: None,
+            retired: 0,
+        }
+    }
+}
+
+/// The reference interpreter. See the [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    threads: Vec<ThreadState>,
+    mem: Vec<u64>,
+    verify_slices: bool,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with zero-initialized memory and registers.
+    pub fn new(program: &'p Program) -> Self {
+        let words = (program.mem_bytes() / WORD_BYTES) as usize;
+        Interp {
+            program,
+            threads: (0..program.num_threads())
+                .map(|_| ThreadState::new())
+                .collect(),
+            mem: vec![0; words],
+            verify_slices: false,
+        }
+    }
+
+    /// Enables per-`ASSOC-ADDR` verification that the Slice reproduces the
+    /// stored value (the slicer-correctness oracle).
+    pub fn verify_slices(&mut self, on: bool) -> &mut Self {
+        self.verify_slices = on;
+        self
+    }
+
+    /// Reads the memory word at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned or out of bounds.
+    pub fn mem_word(&self, addr: u64) -> u64 {
+        assert_eq!(addr % WORD_BYTES, 0, "misaligned read in test harness");
+        self.mem[(addr / WORD_BYTES) as usize]
+    }
+
+    /// The full memory image, for whole-state comparison.
+    pub fn mem(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Register `r` of thread `t`.
+    pub fn reg(&self, t: ThreadId, r: Reg) -> u64 {
+        self.threads[t.index()].regs[r.index()]
+    }
+
+    /// Dynamic (retired) instruction count per thread.
+    pub fn retired(&self) -> Vec<u64> {
+        self.threads.iter().map(|t| t.retired).collect()
+    }
+
+    /// Returns `true` once every thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Runs round-robin (one instruction per runnable thread per round)
+    /// until all threads halt or `fuel` total instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] encountered, including [`ExecError::FuelExhausted`].
+    pub fn run_to_completion(&mut self, mut fuel: u64) -> Result<(), ExecError> {
+        while !self.all_halted() {
+            let mut progressed = false;
+            for t in 0..self.threads.len() {
+                if self.threads[t].halted || self.threads[t].at_barrier {
+                    continue;
+                }
+                if fuel == 0 {
+                    return Err(ExecError::FuelExhausted);
+                }
+                fuel -= 1;
+                self.step(ThreadId(t as u32))?;
+                progressed = true;
+            }
+            self.release_barrier_if_ready();
+            if !progressed && !self.all_halted() && !self.barrier_released() {
+                return Err(ExecError::BarrierDeadlock);
+            }
+        }
+        Ok(())
+    }
+
+    fn barrier_released(&self) -> bool {
+        self.threads.iter().any(|t| !t.halted && !t.at_barrier)
+    }
+
+    fn release_barrier_if_ready(&mut self) {
+        let all_arrived = self
+            .threads
+            .iter()
+            .all(|t| t.halted || t.at_barrier);
+        if all_arrived {
+            for t in &mut self.threads {
+                if t.at_barrier {
+                    t.at_barrier = false;
+                    t.pc += 1;
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction on thread `t`. Callers must ensure the
+    /// thread is runnable (not halted, not waiting at a barrier).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] raised by the instruction.
+    pub fn step(&mut self, t: ThreadId) -> Result<(), ExecError> {
+        let code = self.program.thread(t.0);
+        let pc = self.threads[t.index()].pc;
+        let instr = *code.fetch(pc).unwrap_or(&Instr::Halt);
+        let state = &mut self.threads[t.index()];
+        state.retired += 1;
+        // The pending-store window is exactly one instruction wide.
+        let pending_store = state.last_store.take();
+        match instr {
+            Instr::Imm { rd, imm } => {
+                state.regs[rd.index()] = imm;
+                state.pc += 1;
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                state.regs[rd.index()] =
+                    op.apply(state.regs[ra.index()], state.regs[rb.index()]);
+                state.pc += 1;
+            }
+            Instr::AluI { op, rd, ra, imm } => {
+                state.regs[rd.index()] = op.apply(state.regs[ra.index()], imm);
+                state.pc += 1;
+            }
+            Instr::Load { rd, base, disp } => {
+                let addr = state.regs[base.index()].wrapping_add(disp);
+                let w = self.load_word(t, addr)?;
+                self.threads[t.index()].regs[rd.index()] = w;
+                self.threads[t.index()].pc += 1;
+            }
+            Instr::Store { rs, base, disp } => {
+                let addr = state.regs[base.index()].wrapping_add(disp);
+                let val = state.regs[rs.index()];
+                self.store_word(t, addr, val)?;
+                let st = &mut self.threads[t.index()];
+                st.last_store = Some((addr, val));
+                st.pc += 1;
+            }
+            Instr::AssocAddr { slice, inputs } => {
+                let Some((_addr, stored)) = pending_store else {
+                    return Err(ExecError::AssocWithoutStore { thread: t, pc });
+                };
+                if self.verify_slices {
+                    let s = self
+                        .program
+                        .slice(slice)
+                        .expect("validated program has the slice");
+                    let vals: Vec<u64> = inputs
+                        .iter()
+                        .map(|r| self.threads[t.index()].regs[r.index()])
+                        .collect();
+                    let recomputed = s
+                        .execute(&vals)
+                        .expect("validated slice arity matches capture list");
+                    if recomputed != stored {
+                        return Err(ExecError::SliceMismatch {
+                            thread: t,
+                            pc,
+                            stored,
+                            recomputed,
+                        });
+                    }
+                }
+                self.threads[t.index()].pc += 1;
+            }
+            Instr::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                if cond.eval(state.regs[ra.index()], state.regs[rb.index()]) {
+                    state.pc = target;
+                } else {
+                    state.pc += 1;
+                }
+            }
+            Instr::Jump { target } => state.pc = target,
+            Instr::Barrier => {
+                state.at_barrier = true;
+                // pc advanced on release.
+            }
+            Instr::Halt => state.halted = true,
+        }
+        Ok(())
+    }
+
+    fn check_addr(&self, t: ThreadId, addr: u64) -> Result<usize, ExecError> {
+        if !addr.is_multiple_of(WORD_BYTES) {
+            return Err(ExecError::Misaligned { thread: t, addr });
+        }
+        let idx = (addr / WORD_BYTES) as usize;
+        if idx >= self.mem.len() {
+            return Err(ExecError::OutOfBounds { thread: t, addr });
+        }
+        Ok(idx)
+    }
+
+    fn load_word(&self, t: ThreadId, addr: u64) -> Result<u64, ExecError> {
+        Ok(self.mem[self.check_addr(t, addr)?])
+    }
+
+    fn store_word(&mut self, t: ThreadId, addr: u64, val: u64) -> Result<(), ExecError> {
+        let idx = self.check_addr(t, addr)?;
+        self.mem[idx] = val;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{AluOp, InputRegs};
+    use crate::slice::{Slice, SliceId, SliceInstr, SliceOperand};
+
+    #[test]
+    fn barrier_synchronizes_threads() {
+        let mut b = ProgramBuilder::new(2);
+        b.set_mem_bytes(4096);
+        // t0: long loop, then store flag; t1 waits at barrier then reads flag.
+        {
+            let t = b.thread(0);
+            let l = t.begin_loop(Reg(1), Reg(2), 100);
+            t.alui(AluOp::Add, Reg(3), Reg(3), 1);
+            t.end_loop(l);
+            t.imm(Reg(4), 42);
+            t.store(Reg(4), Reg(0), 0);
+            t.barrier();
+            t.halt();
+        }
+        {
+            let t = b.thread(1);
+            t.barrier();
+            t.load(Reg(5), Reg(0), 0);
+            t.store(Reg(5), Reg(0), 8);
+            t.halt();
+        }
+        let p = b.build();
+        p.validate().unwrap();
+        let mut i = Interp::new(&p);
+        i.run_to_completion(100_000).unwrap();
+        assert_eq!(i.mem_word(8), 42);
+    }
+
+    #[test]
+    fn halted_threads_release_barriers() {
+        let mut b = ProgramBuilder::new(2);
+        b.set_mem_bytes(64);
+        b.thread(0).halt();
+        b.thread(1).barrier();
+        b.thread(1).halt();
+        let p = b.build();
+        let mut i = Interp::new(&p);
+        i.run_to_completion(100).unwrap();
+        assert!(i.all_halted());
+    }
+
+    #[test]
+    fn oob_and_misaligned_reported() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(64);
+        b.thread(0).imm(Reg(1), 1).load(Reg(2), Reg(0), 4).halt();
+        let p = b.build();
+        let mut i = Interp::new(&p);
+        assert!(matches!(
+            i.run_to_completion(100),
+            Err(ExecError::Misaligned { .. })
+        ));
+
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(64);
+        b.thread(0).load(Reg(2), Reg(0), 1 << 20).halt();
+        let p = b.build();
+        let mut i = Interp::new(&p);
+        assert!(matches!(
+            i.run_to_completion(100),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(64);
+        let t = b.thread(0);
+        let top = t.here();
+        t.raw(Instr::Jump { target: top });
+        t.halt();
+        let p = b.build();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run_to_completion(10), Err(ExecError::FuelExhausted));
+    }
+
+    #[test]
+    fn slice_verification_passes_for_correct_assoc() {
+        // store r3 = r1 + r2, slice: in0 + in1
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(64);
+        let t = b.thread(0);
+        t.imm(Reg(1), 5);
+        t.imm(Reg(2), 9);
+        t.alu(AluOp::Add, Reg(3), Reg(1), Reg(2));
+        t.store(Reg(3), Reg(0), 16);
+        t.raw(Instr::AssocAddr {
+            slice: SliceId(0),
+            inputs: InputRegs::new(&[Reg(1), Reg(2)]),
+        });
+        t.halt();
+        let mut p = b.build();
+        p.push_slice(
+            Slice::new(
+                vec![SliceInstr {
+                    op: AluOp::Add,
+                    a: SliceOperand::Input(0),
+                    b: SliceOperand::Input(1),
+                }],
+                2,
+            )
+            .unwrap(),
+        );
+        p.validate().unwrap();
+        let mut i = Interp::new(&p);
+        i.verify_slices(true);
+        i.run_to_completion(100).unwrap();
+        assert_eq!(i.mem_word(16), 14);
+    }
+
+    #[test]
+    fn slice_verification_catches_wrong_slice() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(64);
+        let t = b.thread(0);
+        t.imm(Reg(1), 5);
+        t.imm(Reg(2), 9);
+        t.alu(AluOp::Add, Reg(3), Reg(1), Reg(2));
+        t.store(Reg(3), Reg(0), 16);
+        t.raw(Instr::AssocAddr {
+            slice: SliceId(0),
+            inputs: InputRegs::new(&[Reg(1), Reg(2)]),
+        });
+        t.halt();
+        let mut p = b.build();
+        p.push_slice(
+            Slice::new(
+                vec![SliceInstr {
+                    op: AluOp::Mul, // wrong op
+                    a: SliceOperand::Input(0),
+                    b: SliceOperand::Input(1),
+                }],
+                2,
+            )
+            .unwrap(),
+        );
+        p.validate().unwrap();
+        let mut i = Interp::new(&p);
+        i.verify_slices(true);
+        assert!(matches!(
+            i.run_to_completion(100),
+            Err(ExecError::SliceMismatch { .. })
+        ));
+    }
+}

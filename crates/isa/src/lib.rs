@@ -1,0 +1,57 @@
+//! # acr-isa — instruction set, programs and reference semantics
+//!
+//! The ACR paper evaluates on x86 binaries instrumented with Pin. This
+//! reproduction instead defines a small register-machine ISA that the
+//! workload generators target, the slicing compiler pass analyses, and the
+//! multicore simulator executes. The ISA is deliberately minimal but
+//! complete enough to express the NAS-like kernels the paper evaluates:
+//!
+//! * 32 general-purpose 64-bit registers per hardware thread,
+//! * arithmetic/logic operations ([`AluOp`]),
+//! * loads and stores with base+displacement addressing,
+//! * conditional branches and unconditional jumps,
+//! * the paper's `ASSOC-ADDR` instruction ([`Instr::AssocAddr`]), which
+//!   associates the effective address of the immediately preceding store
+//!   with a recomputation [`Slice`] embedded in the binary,
+//! * `Barrier` for the coordinated checkpointing schemes, and `Halt`.
+//!
+//! A [`Program`] couples per-thread instruction streams with the embedded
+//! Slice table produced by the compiler pass (`acr-slicer`). The
+//! [`interp`] module provides a pure functional reference interpreter used
+//! as the correctness oracle for the timing simulator.
+//!
+//! ```
+//! use acr_isa::{ProgramBuilder, Reg, AluOp};
+//!
+//! let mut b = ProgramBuilder::new(1);
+//! let t = b.thread(0);
+//! t.imm(Reg(1), 21);
+//! t.alu(AluOp::Add, Reg(2), Reg(1), Reg(1));
+//! t.store(Reg(2), Reg(0), 0x100);
+//! t.halt();
+//! let program = b.build();
+//! assert_eq!(program.thread(0).len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod builder;
+mod instr;
+pub mod interp;
+mod program;
+mod slice;
+
+pub use builder::{LoopHandle, ProgramBuilder, ThreadBuilder};
+pub use instr::{AluOp, BranchCond, InputRegs, Instr, Reg};
+pub use program::{InstructionMix, Program, ProgramError, ThreadCode, ThreadId};
+pub use slice::{Slice, SliceError, SliceId, SliceInstr, SliceOperand, MAX_SLICE_INPUTS};
+
+/// Size of a machine word in bytes. All memory accesses are word-sized and
+/// word-aligned; this matches the 8-byte log-record granularity discussed in
+/// `DESIGN.md`.
+pub const WORD_BYTES: u64 = 8;
+
+/// Number of architectural general-purpose registers per hardware thread.
+pub const NUM_REGS: usize = 32;

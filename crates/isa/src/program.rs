@@ -1,0 +1,475 @@
+//! Programs: per-thread instruction streams plus the embedded Slice table.
+
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::slice::{Slice, SliceId};
+
+/// Identifier of a hardware thread (== core in this study: the paper pins
+/// one thread per core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// Thread id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The instruction stream of one thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadCode {
+    instrs: Vec<Instr>,
+}
+
+impl ThreadCode {
+    /// Creates thread code from raw instructions.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        ThreadCode { instrs }
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the stream is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Fetches the instruction at `pc`, if in bounds.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<&Instr> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// All instructions, for analysis passes.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Mutable access for instrumentation passes (`acr-slicer`).
+    #[inline]
+    pub fn instrs_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.instrs
+    }
+}
+
+/// A complete multithreaded program: one instruction stream per thread and
+/// the Slice table the compiler pass embedded into the "binary".
+///
+/// The Slice table is program-global (Slices are identified by [`SliceId`]);
+/// Slices are confined to thread-local data per Section III-A, which the
+/// slicer guarantees by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    threads: Vec<ThreadCode>,
+    slices: Vec<Slice>,
+    /// Size of the data memory image in bytes the program expects.
+    mem_bytes: u64,
+}
+
+/// Static instruction mix of a program (see
+/// [`Program::instruction_mix`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstructionMix {
+    /// Arithmetic/logic/immediate instructions.
+    pub arith: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches and jumps.
+    pub branches: u64,
+    /// `ASSOC-ADDR` instructions (instrumented binaries only).
+    pub assocs: u64,
+    /// Barriers.
+    pub barriers: u64,
+    /// Halts.
+    pub halts: u64,
+}
+
+impl InstructionMix {
+    /// Total static instructions.
+    pub fn total(&self) -> u64 {
+        self.arith + self.loads + self.stores + self.branches + self.assocs + self.barriers
+            + self.halts
+    }
+
+    /// Stores as a fraction of the total (the density ACR's bookkeeping
+    /// scales with).
+    pub fn store_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Errors produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A branch or jump targets an out-of-range instruction index.
+    BadTarget {
+        /// Offending thread.
+        thread: ThreadId,
+        /// Instruction index of the branch/jump.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// An `ASSOC-ADDR` references a Slice id missing from the table.
+    UnknownSlice {
+        /// Offending thread.
+        thread: ThreadId,
+        /// Instruction index of the `ASSOC-ADDR`.
+        pc: u32,
+        /// The unknown id.
+        slice: SliceId,
+    },
+    /// An `ASSOC-ADDR` is not immediately preceded by a store.
+    OrphanAssoc {
+        /// Offending thread.
+        thread: ThreadId,
+        /// Instruction index of the `ASSOC-ADDR`.
+        pc: u32,
+    },
+    /// An `ASSOC-ADDR` captures a different number of registers than its
+    /// Slice declares inputs.
+    InputArity {
+        /// Offending thread.
+        thread: ThreadId,
+        /// Instruction index of the `ASSOC-ADDR`.
+        pc: u32,
+        /// Inputs the Slice declares.
+        expected: u8,
+        /// Registers the instruction captures.
+        got: u8,
+    },
+    /// A thread's stream does not end with `Halt` (or is empty).
+    MissingHalt {
+        /// Offending thread.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BadTarget { thread, pc, target } => {
+                write!(f, "{thread}@{pc}: branch target {target} out of range")
+            }
+            ProgramError::UnknownSlice { thread, pc, slice } => {
+                write!(f, "{thread}@{pc}: {slice} not in slice table")
+            }
+            ProgramError::OrphanAssoc { thread, pc } => {
+                write!(f, "{thread}@{pc}: assoc-addr not preceded by a store")
+            }
+            ProgramError::InputArity {
+                thread,
+                pc,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{thread}@{pc}: assoc-addr captures {got} registers, slice expects {expected}"
+            ),
+            ProgramError::MissingHalt { thread } => {
+                write!(f, "{thread}: instruction stream does not end with halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Assembles a program from parts.
+    pub fn new(threads: Vec<ThreadCode>, slices: Vec<Slice>, mem_bytes: u64) -> Self {
+        Program {
+            threads,
+            slices,
+            mem_bytes,
+        }
+    }
+
+    /// Number of threads.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The instruction stream of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn thread(&self, t: u32) -> &ThreadCode {
+        &self.threads[t as usize]
+    }
+
+    /// Mutable thread access for instrumentation passes.
+    #[inline]
+    pub fn thread_mut(&mut self, t: u32) -> &mut ThreadCode {
+        &mut self.threads[t as usize]
+    }
+
+    /// All thread streams.
+    #[inline]
+    pub fn threads(&self) -> &[ThreadCode] {
+        &self.threads
+    }
+
+    /// The embedded Slice table.
+    #[inline]
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Looks up a Slice by id.
+    #[inline]
+    pub fn slice(&self, id: SliceId) -> Option<&Slice> {
+        self.slices.get(id.0 as usize)
+    }
+
+    /// Appends a Slice to the table, returning its id. Used by the slicer.
+    pub fn push_slice(&mut self, slice: Slice) -> SliceId {
+        let id = SliceId(self.slices.len() as u32);
+        self.slices.push(slice);
+        id
+    }
+
+    /// Replaces the entire slice table (used when re-instrumenting at a
+    /// different threshold).
+    pub fn set_slices(&mut self, slices: Vec<Slice>) {
+        self.slices = slices;
+    }
+
+    /// Size of the data memory image the program expects, in bytes.
+    #[inline]
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Total static instruction count across threads (the "binary size" the
+    /// paper's footnote 4 bounds: embedded slices stay < 2 % for `is`).
+    pub fn static_len(&self) -> usize {
+        self.threads.iter().map(ThreadCode::len).sum()
+    }
+
+    /// Total instructions across all embedded Slices.
+    pub fn slice_table_len(&self) -> usize {
+        self.slices.iter().map(Slice::len).sum()
+    }
+
+    /// Static instruction mix across all threads.
+    pub fn instruction_mix(&self) -> InstructionMix {
+        let mut mix = InstructionMix::default();
+        for code in &self.threads {
+            for i in code.instrs() {
+                match i {
+                    Instr::Imm { .. } | Instr::Alu { .. } | Instr::AluI { .. } => {
+                        mix.arith += 1;
+                    }
+                    Instr::Load { .. } => mix.loads += 1,
+                    Instr::Store { .. } => mix.stores += 1,
+                    Instr::Branch { .. } | Instr::Jump { .. } => mix.branches += 1,
+                    Instr::AssocAddr { .. } => mix.assocs += 1,
+                    Instr::Barrier => mix.barriers += 1,
+                    Instr::Halt => mix.halts += 1,
+                }
+            }
+        }
+        mix
+    }
+
+    /// Structural validation: branch targets in range, `ASSOC-ADDR` adjacency
+    /// and slice-table references, `Halt` termination, valid slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        for (ti, code) in self.threads.iter().enumerate() {
+            let thread = ThreadId(ti as u32);
+            let n = code.len() as u32;
+            match code.instrs().last() {
+                Some(Instr::Halt) => {}
+                _ => return Err(ProgramError::MissingHalt { thread }),
+            }
+            for (pc, instr) in code.instrs().iter().enumerate() {
+                let pc = pc as u32;
+                match instr {
+                    Instr::Branch { target, .. } | Instr::Jump { target }
+                        if *target >= n => {
+                            return Err(ProgramError::BadTarget {
+                                thread,
+                                pc,
+                                target: *target,
+                            });
+                        }
+                    Instr::AssocAddr { slice, inputs } => {
+                        let Some(s) = self.slice(*slice) else {
+                            return Err(ProgramError::UnknownSlice {
+                                thread,
+                                pc,
+                                slice: *slice,
+                            });
+                        };
+                        if s.num_inputs as usize != inputs.len() {
+                            return Err(ProgramError::InputArity {
+                                thread,
+                                pc,
+                                expected: s.num_inputs,
+                                got: inputs.len() as u8,
+                            });
+                        }
+                        let prev = pc.checked_sub(1).and_then(|p| code.fetch(p));
+                        if !matches!(prev, Some(Instr::Store { .. })) {
+                            return Err(ProgramError::OrphanAssoc { thread, pc });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, InputRegs, Reg};
+    use crate::slice::{SliceInstr, SliceOperand};
+
+    fn one_slice() -> Slice {
+        Slice::new(
+            vec![SliceInstr {
+                op: AluOp::Add,
+                a: SliceOperand::Input(0),
+                b: SliceOperand::Imm(1),
+            }],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let code = ThreadCode::new(vec![
+            Instr::Imm { rd: Reg(1), imm: 1 },
+            Instr::Store {
+                rs: Reg(1),
+                base: Reg(0),
+                disp: 0,
+            },
+            Instr::AssocAddr {
+                slice: SliceId(0),
+                inputs: InputRegs::new(&[Reg(1)]),
+            },
+            Instr::Halt,
+        ]);
+        let p = Program::new(vec![code], vec![one_slice()], 4096);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.static_len(), 4);
+        assert_eq!(p.slice_table_len(), 1);
+    }
+
+    #[test]
+    fn instruction_mix_counts() {
+        let code = ThreadCode::new(vec![
+            Instr::Imm { rd: Reg(1), imm: 1 },
+            Instr::Load {
+                rd: Reg(2),
+                base: Reg(0),
+                disp: 0,
+            },
+            Instr::Store {
+                rs: Reg(1),
+                base: Reg(0),
+                disp: 8,
+            },
+            Instr::Jump { target: 4 },
+            Instr::Barrier,
+            Instr::Halt,
+        ]);
+        let p = Program::new(vec![code], vec![], 64);
+        let mix = p.instruction_mix();
+        assert_eq!(mix.arith, 1);
+        assert_eq!(mix.loads, 1);
+        assert_eq!(mix.stores, 1);
+        assert_eq!(mix.branches, 1);
+        assert_eq!(mix.barriers, 1);
+        assert_eq!(mix.halts, 1);
+        assert_eq!(mix.total(), 6);
+        assert!((mix.store_fraction() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_orphan_assoc() {
+        let code = ThreadCode::new(vec![
+            Instr::AssocAddr {
+                slice: SliceId(0),
+                inputs: InputRegs::new(&[Reg(1)]),
+            },
+            Instr::Halt,
+        ]);
+        let p = Program::new(vec![code], vec![one_slice()], 0);
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::OrphanAssoc { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_slice() {
+        let code = ThreadCode::new(vec![
+            Instr::Store {
+                rs: Reg(1),
+                base: Reg(0),
+                disp: 0,
+            },
+            Instr::AssocAddr {
+                slice: SliceId(9),
+                inputs: InputRegs::new(&[]),
+            },
+            Instr::Halt,
+        ]);
+        let p = Program::new(vec![code], vec![], 0);
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::UnknownSlice { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target_and_missing_halt() {
+        let p = Program::new(
+            vec![ThreadCode::new(vec![Instr::Jump { target: 5 }, Instr::Halt])],
+            vec![],
+            0,
+        );
+        assert!(matches!(p.validate(), Err(ProgramError::BadTarget { .. })));
+
+        let p = Program::new(vec![ThreadCode::new(vec![Instr::Barrier])], vec![], 0);
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::MissingHalt { .. })
+        ));
+    }
+}

@@ -1,0 +1,330 @@
+//! Recomputation Slices.
+//!
+//! A *Slice* (Section II-B of the paper) is a backward slice of pure
+//! arithmetic/logic instructions that regenerates one stored data value. By
+//! construction a Slice contains **no loads, stores or branches**: every
+//! value that the original backward slice obtained from memory (or that was
+//! live into the store's basic block) becomes an *input operand*, captured in
+//! a small operand buffer at `ASSOC-ADDR` time and replayed at recomputation
+//! time (Fig. 3(d) of the paper).
+
+use std::fmt;
+
+use crate::instr::AluOp;
+
+/// Maximum number of input operands a Slice may take.
+///
+/// The paper argues a "small buffer would be sufficient" for Slice inputs;
+/// we bound inputs so each `AddrMap` record has a fixed small footprint.
+pub const MAX_SLICE_INPUTS: usize = 8;
+
+/// Identifier of a Slice in a program's embedded Slice table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SliceId(pub u32);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice#{}", self.0)
+    }
+}
+
+/// An operand of a [`SliceInstr`]: either a captured input, the result of an
+/// earlier Slice instruction (a slice-local virtual register), or an
+/// immediate baked into the Slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SliceOperand {
+    /// The `k`-th captured input operand.
+    Input(u8),
+    /// The result of the `k`-th instruction of this Slice.
+    Temp(u16),
+    /// An immediate constant.
+    Imm(u64),
+}
+
+/// One arithmetic instruction inside a Slice. Its result becomes
+/// `Temp(index)` where `index` is its position in [`Slice::instrs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SliceInstr {
+    /// The ALU operation.
+    pub op: AluOp,
+    /// Left operand.
+    pub a: SliceOperand,
+    /// Right operand.
+    pub b: SliceOperand,
+}
+
+/// A memory-free backward slice regenerating a single stored value.
+///
+/// The value produced by the *last* instruction is the recomputed data value.
+/// A Slice with an empty instruction list is not representable on purpose:
+/// such a "slice" would merely buffer the stored value itself, which is
+/// equivalent to checkpointing it (see `DESIGN.md`, ablation
+/// `ablation_trivial_slices`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Slice {
+    /// The arithmetic instructions, in dependence order.
+    pub instrs: Vec<SliceInstr>,
+    /// Number of captured input operands (≤ [`MAX_SLICE_INPUTS`]).
+    pub num_inputs: u8,
+}
+
+/// Errors from [`Slice::validate`] and [`Slice::execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceError {
+    /// The Slice has no instructions.
+    Empty,
+    /// The Slice declares more inputs than [`MAX_SLICE_INPUTS`].
+    TooManyInputs(u8),
+    /// An operand references input `k` but only `num_inputs` are declared.
+    UndeclaredInput(u8),
+    /// An operand references the result of instruction `k` at or after its
+    /// own position (Slices are in dependence order).
+    ForwardTemp(u16),
+    /// `execute` was called with the wrong number of input values.
+    InputArity {
+        /// Number of inputs the Slice declares.
+        expected: u8,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SliceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceError::Empty => write!(f, "slice contains no instructions"),
+            SliceError::TooManyInputs(n) => {
+                write!(f, "slice declares {n} inputs, max is {MAX_SLICE_INPUTS}")
+            }
+            SliceError::UndeclaredInput(k) => write!(f, "operand references undeclared input {k}"),
+            SliceError::ForwardTemp(k) => {
+                write!(f, "operand references temp {k} not yet computed")
+            }
+            SliceError::InputArity { expected, got } => {
+                write!(f, "slice expects {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SliceError {}
+
+impl Slice {
+    /// Creates a Slice, validating its structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SliceError`] if the slice is empty, declares too many
+    /// inputs, or references undeclared inputs / forward temps.
+    pub fn new(instrs: Vec<SliceInstr>, num_inputs: u8) -> Result<Self, SliceError> {
+        let s = Slice { instrs, num_inputs };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Number of instructions — the "Slice length" the paper's threshold
+    /// parameter caps (Section V-D1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the Slice has no instructions (never true for a
+    /// validated Slice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Checks the structural invariants described on [`Slice`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SliceError`].
+    pub fn validate(&self) -> Result<(), SliceError> {
+        if self.instrs.is_empty() {
+            return Err(SliceError::Empty);
+        }
+        if self.num_inputs as usize > MAX_SLICE_INPUTS {
+            return Err(SliceError::TooManyInputs(self.num_inputs));
+        }
+        for (i, instr) in self.instrs.iter().enumerate() {
+            for operand in [instr.a, instr.b] {
+                match operand {
+                    SliceOperand::Input(k) => {
+                        if k >= self.num_inputs {
+                            return Err(SliceError::UndeclaredInput(k));
+                        }
+                    }
+                    SliceOperand::Temp(k) => {
+                        if k as usize >= i {
+                            return Err(SliceError::ForwardTemp(k));
+                        }
+                    }
+                    SliceOperand::Imm(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the Slice over captured input values and returns the
+    /// recomputed data value.
+    ///
+    /// This is the functional core of ACR's recovery-time recomputation;
+    /// its timing/energy cost is charged by the `acr` crate's policy.
+    ///
+    /// ```
+    /// use acr_isa::{AluOp, Slice, SliceInstr, SliceOperand};
+    ///
+    /// // (input0 + input1) * 3
+    /// let slice = Slice::new(
+    ///     vec![
+    ///         SliceInstr { op: AluOp::Add, a: SliceOperand::Input(0), b: SliceOperand::Input(1) },
+    ///         SliceInstr { op: AluOp::Mul, a: SliceOperand::Temp(0), b: SliceOperand::Imm(3) },
+    ///     ],
+    ///     2,
+    /// )?;
+    /// assert_eq!(slice.execute(&[4, 6])?, 30);
+    /// # Ok::<(), acr_isa::SliceError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SliceError::InputArity`] if `inputs.len()` differs from the
+    /// declared input count.
+    pub fn execute(&self, inputs: &[u64]) -> Result<u64, SliceError> {
+        if inputs.len() != self.num_inputs as usize {
+            return Err(SliceError::InputArity {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        let mut temps = Vec::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            let a = Self::read(instr.a, inputs, &temps);
+            let b = Self::read(instr.b, inputs, &temps);
+            temps.push(instr.op.apply(a, b));
+        }
+        Ok(*temps.last().expect("validated slice is non-empty"))
+    }
+
+    #[inline]
+    fn read(op: SliceOperand, inputs: &[u64], temps: &[u64]) -> u64 {
+        match op {
+            SliceOperand::Input(k) => inputs[k as usize],
+            SliceOperand::Temp(k) => temps[k as usize],
+            SliceOperand::Imm(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Slice {
+        // input0 + 1 + 1 + ... (n adds)
+        let mut instrs = vec![SliceInstr {
+            op: AluOp::Add,
+            a: SliceOperand::Input(0),
+            b: SliceOperand::Imm(1),
+        }];
+        for i in 1..n {
+            instrs.push(SliceInstr {
+                op: AluOp::Add,
+                a: SliceOperand::Temp((i - 1) as u16),
+                b: SliceOperand::Imm(1),
+            });
+        }
+        Slice::new(instrs, 1).unwrap()
+    }
+
+    #[test]
+    fn executes_dependence_chain() {
+        let s = chain(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.execute(&[10]).unwrap(), 15);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Slice::new(vec![], 0), Err(SliceError::Empty));
+    }
+
+    #[test]
+    fn rejects_undeclared_input() {
+        let r = Slice::new(
+            vec![SliceInstr {
+                op: AluOp::Add,
+                a: SliceOperand::Input(2),
+                b: SliceOperand::Imm(0),
+            }],
+            1,
+        );
+        assert_eq!(r, Err(SliceError::UndeclaredInput(2)));
+    }
+
+    #[test]
+    fn rejects_forward_temp() {
+        let r = Slice::new(
+            vec![SliceInstr {
+                op: AluOp::Add,
+                a: SliceOperand::Temp(0),
+                b: SliceOperand::Imm(0),
+            }],
+            0,
+        );
+        assert_eq!(r, Err(SliceError::ForwardTemp(0)));
+    }
+
+    #[test]
+    fn rejects_too_many_inputs() {
+        let r = Slice::new(
+            vec![SliceInstr {
+                op: AluOp::Add,
+                a: SliceOperand::Imm(1),
+                b: SliceOperand::Imm(2),
+            }],
+            (MAX_SLICE_INPUTS + 1) as u8,
+        );
+        assert!(matches!(r, Err(SliceError::TooManyInputs(_))));
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let s = chain(1);
+        assert!(matches!(
+            s.execute(&[]),
+            Err(SliceError::InputArity { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn mixed_operands() {
+        // (in0 * in1) ^ (in0 >> 3)
+        let s = Slice::new(
+            vec![
+                SliceInstr {
+                    op: AluOp::Mul,
+                    a: SliceOperand::Input(0),
+                    b: SliceOperand::Input(1),
+                },
+                SliceInstr {
+                    op: AluOp::Shr,
+                    a: SliceOperand::Input(0),
+                    b: SliceOperand::Imm(3),
+                },
+                SliceInstr {
+                    op: AluOp::Xor,
+                    a: SliceOperand::Temp(0),
+                    b: SliceOperand::Temp(1),
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        let v = s.execute(&[100, 7]).unwrap();
+        assert_eq!(v, (100u64 * 7) ^ (100u64 >> 3));
+    }
+}

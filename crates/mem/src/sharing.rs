@@ -1,0 +1,192 @@
+//! Inter-core communication tracking for coordinated *local* checkpointing.
+//!
+//! Section V-E: under coordinated local checkpointing, only cores that
+//! *communicated* within the current checkpoint interval need to checkpoint
+//! (and roll back) together. Identifying communicating cores "necessitates
+//! a mechanism to track inter-core data dependencies"; in hardware this
+//! piggybacks on the directory. We track, per memory word, the last writer
+//! and the reader set within the current interval and accumulate a
+//! symmetric communication graph:
+//!
+//! * RAW: core *i* reads a word written by *j* in this interval → edge.
+//! * WAW/WAR: core *i* writes a word written or read by *j* in this
+//!   interval → edge.
+//!
+//! At each checkpoint the engine takes the connected components of the
+//! graph as the checkpoint groups and then resets the tracker.
+
+/// Tracks intra-interval sharing and the induced communication graph.
+#[derive(Debug, Clone)]
+pub struct SharingTracker {
+    num_cores: u32,
+    /// Interval stamp; per-word state older than this is ignored.
+    stamp: u32,
+    /// Per-word last writer (core + stamp).
+    writer: Vec<(u32, u32)>,
+    /// Per-word reader mask + stamp.
+    readers: Vec<(u64, u32)>,
+    /// Adjacency masks: `graph[i]` has bit `j` set if `i` and `j`
+    /// communicated this interval.
+    graph: Vec<u64>,
+}
+
+impl SharingTracker {
+    /// Creates a tracker for `num_words` words and `num_cores` cores
+    /// (≤ 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores > 64`.
+    pub fn new(num_words: usize, num_cores: u32) -> Self {
+        assert!(num_cores <= 64, "sharer masks support up to 64 cores");
+        SharingTracker {
+            num_cores,
+            stamp: 1,
+            writer: vec![(0, 0); num_words],
+            readers: vec![(0, 0); num_words],
+            graph: vec![0; num_cores as usize],
+        }
+    }
+
+    #[inline]
+    fn edge(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.graph[a as usize] |= 1 << b;
+            self.graph[b as usize] |= 1 << a;
+        }
+    }
+
+    /// Records a load of word index `w` by `core`.
+    #[inline]
+    pub fn on_read(&mut self, core: u32, w: usize) {
+        let (wr, ws) = self.writer[w];
+        if ws == self.stamp {
+            self.edge(core, wr);
+        }
+        let (mask, rs) = self.readers[w];
+        let mask = if rs == self.stamp { mask } else { 0 };
+        self.readers[w] = (mask | (1 << core), self.stamp);
+    }
+
+    /// Records a store to word index `w` by `core`.
+    #[inline]
+    pub fn on_write(&mut self, core: u32, w: usize) {
+        let (wr, ws) = self.writer[w];
+        if ws == self.stamp {
+            self.edge(core, wr);
+        }
+        let (mask, rs) = self.readers[w];
+        if rs == self.stamp {
+            let mut m = mask & !(1u64 << core);
+            while m != 0 {
+                let j = m.trailing_zeros();
+                self.edge(core, j);
+                m &= m - 1;
+            }
+        }
+        self.writer[w] = (core, self.stamp);
+    }
+
+    /// Connected components of the communication graph — the checkpoint
+    /// groups. Each component is returned as a core bitmask; singleton
+    /// (non-communicating) cores form their own groups.
+    pub fn groups(&self) -> Vec<u64> {
+        let n = self.num_cores as usize;
+        let mut seen = 0u64;
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen >> start & 1 == 1 {
+                continue;
+            }
+            // BFS over adjacency masks.
+            let mut comp = 1u64 << start;
+            let mut frontier = 1u64 << start;
+            while frontier != 0 {
+                let mut next = 0u64;
+                let mut f = frontier;
+                while f != 0 {
+                    let i = f.trailing_zeros() as usize;
+                    f &= f - 1;
+                    next |= self.graph[i] & !comp;
+                }
+                comp |= next;
+                frontier = next;
+            }
+            seen |= comp;
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Starts a new interval: clears the graph and (lazily, via stamping)
+    /// the per-word state.
+    pub fn new_interval(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: hard-reset per-word state to avoid aliasing.
+            self.writer.fill((0, 0));
+            self.readers.fill((0, 0));
+            self.stamp = 1;
+        }
+        self.graph.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_creates_edge() {
+        let mut t = SharingTracker::new(64, 4);
+        t.on_write(1, 5);
+        t.on_read(2, 5);
+        let g = t.groups();
+        assert!(g.contains(&0b110)); // cores 1 and 2 together
+        assert!(g.contains(&0b001));
+        assert!(g.contains(&0b1000));
+    }
+
+    #[test]
+    fn waw_and_war_create_edges() {
+        let mut t = SharingTracker::new(64, 4);
+        t.on_write(0, 7);
+        t.on_write(3, 7); // WAW 0-3
+        assert!(t.groups().contains(&0b1001));
+
+        let mut t = SharingTracker::new(64, 4);
+        t.on_read(2, 9);
+        t.on_write(0, 9); // WAR 0-2
+        assert!(t.groups().contains(&0b101));
+    }
+
+    #[test]
+    fn no_edge_across_intervals() {
+        let mut t = SharingTracker::new(64, 4);
+        t.on_write(1, 5);
+        t.new_interval();
+        t.on_read(2, 5); // writer stamp stale: no communication
+        assert_eq!(t.groups().len(), 4);
+    }
+
+    #[test]
+    fn components_merge_transitively() {
+        let mut t = SharingTracker::new(64, 8);
+        t.on_write(0, 1);
+        t.on_read(1, 1); // 0-1
+        t.on_write(1, 2);
+        t.on_read(2, 2); // 1-2
+        let g = t.groups();
+        assert!(g.contains(&0b111));
+        assert_eq!(g.len(), 6); // {0,1,2} + 5 singletons
+    }
+
+    #[test]
+    fn self_access_no_edge() {
+        let mut t = SharingTracker::new(64, 2);
+        t.on_write(0, 3);
+        t.on_read(0, 3);
+        t.on_write(0, 3);
+        assert_eq!(t.groups(), vec![0b01, 0b10]);
+    }
+}

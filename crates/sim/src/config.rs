@@ -1,0 +1,149 @@
+//! Machine configuration (Table I of the paper).
+
+use acr_mem::MemConfig;
+
+/// Full simulated-machine configuration. Defaults reproduce Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (the paper evaluates 8/16/32; one thread per core).
+    pub num_cores: u32,
+    /// Core frequency in GHz (Table I: 1.09).
+    pub freq_ghz: f64,
+    /// Issue width (Table I: 4-issue, in-order).
+    pub issue_width: u32,
+    /// Outstanding load/store queue entries (Table I: 8).
+    pub lsq_entries: usize,
+    /// Single-cycle ALU latency (add/logic), in cycles.
+    pub alu_latency: u64,
+    /// Multiply latency, in cycles.
+    pub mul_latency: u64,
+    /// Divide/remainder latency, in cycles.
+    pub div_latency: u64,
+    /// Latency charged to the `ASSOC-ADDR` instruction. The paper models
+    /// it "after a store to L1-D" (Section IV), so this defaults to the
+    /// L1-D hit latency.
+    pub assoc_latency: u64,
+    /// Base latency of a full synchronization barrier; the total barrier
+    /// cost additionally grows logarithmically with participant count (see
+    /// [`MachineConfig::barrier_cycles`]).
+    pub barrier_base: u64,
+    /// Per-participant serialization cost of *checkpoint* coordination
+    /// (core drain + ack collection at the coordinator). This is what
+    /// makes checkpointing overhead grow with core count (Section V-D4);
+    /// program-level barriers do not pay it.
+    pub coord_per_core: u64,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_cores: 8,
+            freq_ghz: 1.09,
+            issue_width: 4,
+            lsq_entries: 8,
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 12,
+            assoc_latency: 4,
+            barrier_base: 40,
+            coord_per_core: 100,
+            mem: MemConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A Table-I machine with `num_cores` cores.
+    pub fn with_cores(num_cores: u32) -> Self {
+        MachineConfig {
+            num_cores,
+            ..Default::default()
+        }
+    }
+
+    /// Coordination cost of a barrier among `participants` cores: a
+    /// tree-structured barrier costs `base * ceil(log2(n))` plus the base
+    /// arrival round.
+    pub fn barrier_cycles(&self, participants: u32) -> u64 {
+        let n = participants.max(1);
+        let log = 32 - (n - 1).leading_zeros(); // ceil(log2(n)), 0 for n=1
+        self.barrier_base * (1 + u64::from(log))
+    }
+
+    /// Coordination cost of establishing a checkpoint among `participants`
+    /// cores: the barrier plus per-core drain/ack serialization.
+    pub fn checkpoint_coordination_cycles(&self, participants: u32) -> u64 {
+        self.barrier_cycles(participants) + self.coord_per_core * u64::from(participants)
+    }
+
+    /// Converts cycles to seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Renders the configuration in the shape of the paper's Table I.
+    pub fn table_i(&self) -> String {
+        let m = &self.mem;
+        format!(
+            "Technology node: 22nm\n\
+             Freq: {:.2} GHz, {}-issue, in-order, {} outstanding ld/st\n\
+             L1-I (LRU):      32KB, 4-way, 3.66ns\n\
+             L1-D (LRU, WB):  {}KB, {}-way, {:.2}ns\n\
+             L2 (LRU, WB):    {}KB, {}-way, {:.2}ns\n\
+             Main Memory:     {:.0}ns, 7.6 GB/s/controller, 1 contr. per {}-cores\n\
+             Cores: {}",
+            self.freq_ghz,
+            self.issue_width,
+            self.lsq_entries,
+            m.l1d.size_bytes / 1024,
+            m.l1d.ways,
+            m.l1d.latency_cycles as f64 / self.freq_ghz,
+            m.l2.size_bytes / 1024,
+            m.l2.ways,
+            m.l2.latency_cycles as f64 / self.freq_ghz,
+            m.dram.latency_cycles as f64 / self.freq_ghz,
+            m.dram.cores_per_ctrl,
+            self.num_cores,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_i() {
+        let c = MachineConfig::default();
+        assert_eq!(c.num_cores, 8);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.lsq_entries, 8);
+        assert_eq!(c.mem.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.mem.l2.size_bytes, 512 * 1024);
+        assert!((c.freq_ghz - 1.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_grows_with_cores() {
+        let c = MachineConfig::default();
+        assert_eq!(c.barrier_cycles(1), c.barrier_base);
+        assert!(c.barrier_cycles(8) < c.barrier_cycles(32));
+    }
+
+    #[test]
+    fn table_i_mentions_key_parameters() {
+        let s = MachineConfig::with_cores(16).table_i();
+        assert!(s.contains("1.09 GHz"));
+        assert!(s.contains("512KB"));
+        assert!(s.contains("Cores: 16"));
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = MachineConfig::default();
+        let s = c.cycles_to_seconds(1_090_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

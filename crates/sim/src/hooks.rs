@@ -1,0 +1,60 @@
+//! Instrumentation hooks the checkpoint/recovery machinery attaches to.
+
+use acr_isa::SliceId;
+use acr_mem::{CoreId, WordAddr};
+
+/// A store retired by a core: the event the incremental checkpoint log
+/// observes (first-update detection happens in the hook's implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// Core that stored.
+    pub core: CoreId,
+    /// Target word.
+    pub addr: WordAddr,
+    /// Value the word held *before* this store.
+    pub old: u64,
+    /// Value stored.
+    pub new: u64,
+}
+
+/// An `ASSOC-ADDR` retired by a core: associates the preceding store's
+/// address with a Slice, capturing its input operands.
+#[derive(Debug, Clone)]
+pub struct AssocEvent {
+    /// Core that executed the association.
+    pub core: CoreId,
+    /// Address of the associated (preceding) store.
+    pub addr: WordAddr,
+    /// Value that store wrote (the value the Slice recomputes).
+    pub value: u64,
+    /// The Slice embedded in the binary.
+    pub slice: SliceId,
+    /// Captured input operand values, in Slice input order.
+    pub inputs: Vec<u64>,
+}
+
+/// Execution hooks. Implementations return extra cycles to charge to the
+/// executing core (e.g. an `AddrMap` insertion modelled after an L1-D
+/// store).
+pub trait ExecHooks {
+    /// Called after every retired store, before the next instruction
+    /// issues.
+    fn on_store(&mut self, ev: StoreEvent) -> u64;
+
+    /// Called for every retired `ASSOC-ADDR`.
+    fn on_assoc(&mut self, ev: AssocEvent) -> u64;
+}
+
+/// No instrumentation: the `No_Ckpt` baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl ExecHooks for NoHooks {
+    fn on_store(&mut self, _ev: StoreEvent) -> u64 {
+        0
+    }
+
+    fn on_assoc(&mut self, _ev: AssocEvent) -> u64 {
+        0
+    }
+}

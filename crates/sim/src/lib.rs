@@ -1,0 +1,40 @@
+//! # acr-sim — multicore timing simulator
+//!
+//! The paper implements ACR in Snipersim (Table I): in-order 4-issue cores
+//! at 1.09 GHz with 8 outstanding loads/stores, per-core L1-I/L1-D/L2 and
+//! directory coherence. This crate is our Sniper substitute:
+//!
+//! * [`CoreModel`] — an in-order, multi-issue core approximation with a
+//!   register scoreboard and a bounded load/store queue (non-blocking
+//!   misses overlap until a dependent use or a full LSQ stalls issue),
+//! * [`Machine`] — N cores over an `acr-mem` [`acr_mem::MemSystem`],
+//!   scheduled deterministically by local time with a bounded skew quantum
+//!   (results are bit-for-bit reproducible),
+//! * [`ExecHooks`] — the instrumentation surface the checkpoint/recovery
+//!   engine (`acr-ckpt`) and ACR (`acr`) attach to: store events for
+//!   first-update logging, `ASSOC-ADDR` events for `AddrMap` maintenance,
+//! * [`MachineConfig`] — Table I parameters, printable via
+//!   [`MachineConfig::table_i`].
+//!
+//! Functional correctness of the timing simulator is tested against the
+//! `acr-isa` reference interpreter: both must produce identical final
+//! memory images for the same program.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core_model;
+mod hooks;
+mod machine;
+mod stats;
+
+pub use config::MachineConfig;
+pub use core_model::{CoreModel, CoreSnapshot};
+pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreEvent};
+pub use machine::{Machine, RunOutcome, SimError};
+pub use stats::SimStats;
+
+/// Scheduling ticks per core cycle (one tick is one issue slot of the
+/// 4-issue core).
+pub const TICKS_PER_CYCLE: u64 = 4;

@@ -1,0 +1,518 @@
+//! The multicore machine: deterministic scheduling of N cores over a
+//! shared memory system.
+
+use std::fmt;
+
+use acr_isa::{Instr, Program};
+use acr_mem::{CoreId, MemSystem};
+
+use crate::config::MachineConfig;
+use crate::core_model::{CoreModel, CoreSnapshot, StepKind};
+use crate::hooks::ExecHooks;
+use crate::stats::SimStats;
+use crate::TICKS_PER_CYCLE;
+
+/// Maximum local-time skew (in ticks) a core may run ahead of the slowest
+/// runnable core before the scheduler switches. Bounds the coherence
+/// interleaving error while keeping scheduling cheap.
+const SKEW_QUANTUM_TICKS: u64 = 400;
+
+/// Maximum instructions per scheduling batch, so stop conditions are
+/// checked often enough.
+const BATCH_INSTRS: u64 = 1024;
+
+/// Simulator execution errors (program/generator bugs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Memory access outside the data image.
+    OutOfBounds {
+        /// Faulting core.
+        core: CoreId,
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// Misaligned access.
+    Misaligned {
+        /// Faulting core.
+        core: CoreId,
+        /// Faulting byte address.
+        addr: u64,
+    },
+    /// `ASSOC-ADDR` with no pending store.
+    AssocWithoutStore {
+        /// Faulting core.
+        core: CoreId,
+        /// Program counter of the `ASSOC-ADDR`.
+        pc: u32,
+    },
+    /// The machine's global fuel (instruction budget) ran out — almost
+    /// certainly an accidental infinite loop in a generated kernel.
+    FuelExhausted,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { core, addr } => {
+                write!(f, "core {}: access at {addr:#x} out of bounds", core.0)
+            }
+            SimError::Misaligned { core, addr } => {
+                write!(f, "core {}: misaligned access at {addr:#x}", core.0)
+            }
+            SimError::AssocWithoutStore { core, pc } => {
+                write!(f, "core {}@{pc}: assoc-addr without preceding store", core.0)
+            }
+            SimError::FuelExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The retired-instruction target was reached (checkpoint/error point).
+    ProgressReached,
+    /// Every core halted.
+    AllHalted,
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use acr_isa::{AluOp, ProgramBuilder, Reg};
+/// use acr_sim::{Machine, MachineConfig, NoHooks};
+///
+/// let mut b = ProgramBuilder::new(1);
+/// b.set_mem_bytes(4096);
+/// let t = b.thread(0);
+/// t.imm(Reg(1), 21);
+/// t.alu(AluOp::Add, Reg(2), Reg(1), Reg(1));
+/// t.store(Reg(2), Reg(0), 64);
+/// t.halt();
+/// let program = b.build();
+///
+/// let mut machine = Machine::new(MachineConfig::with_cores(1), &program);
+/// machine.run(&mut NoHooks, u64::MAX)?;
+/// assert_eq!(machine.mem().image().read(acr_mem::WordAddr::new(64)), 42);
+/// assert!(machine.cycles() > 0);
+/// # Ok::<(), acr_sim::SimError>(())
+/// ```
+pub struct Machine<'p> {
+    cfg: MachineConfig,
+    program: &'p Program,
+    cores: Vec<CoreModel>,
+    mem: MemSystem,
+    stats: SimStats,
+    fuel: u64,
+}
+
+impl fmt::Debug for Machine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("retired", &self.total_retired())
+            .field("cycles", &self.cycles())
+            .finish()
+    }
+}
+
+impl<'p> Machine<'p> {
+    /// Builds a machine for `program` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has more threads than the machine has cores
+    /// (the paper pins one thread per core).
+    pub fn new(cfg: MachineConfig, program: &'p Program) -> Self {
+        assert!(
+            program.num_threads() <= cfg.num_cores as usize,
+            "program has {} threads but machine has {} cores",
+            program.num_threads(),
+            cfg.num_cores
+        );
+        let mem = MemSystem::new(cfg.mem, cfg.num_cores, program.mem_bytes());
+        let mut cores: Vec<CoreModel> = (0..program.num_threads() as u32)
+            .map(|i| CoreModel::new(CoreId(i)))
+            .collect();
+        // Cores with no thread are parked (halted) from the start.
+        for c in &mut cores {
+            let _ = c;
+        }
+        Machine {
+            cfg,
+            program,
+            cores,
+            mem,
+            stats: SimStats::default(),
+            fuel: u64::MAX,
+        }
+    }
+
+    /// Sets a global instruction budget (defence against runaway loops).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable memory system (checkpoint flushes, recovery restores).
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Simulator statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The cores.
+    pub fn cores(&self) -> &[CoreModel] {
+        &self.cores
+    }
+
+    /// Total retired instructions (the progress metric checkpoint and
+    /// error schedules are expressed in).
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(CoreModel::retired).sum()
+    }
+
+    /// Machine time in ticks: the maximum local time across cores.
+    pub fn ticks(&self) -> u64 {
+        self.cores.iter().map(CoreModel::ticks).max().unwrap_or(0)
+    }
+
+    /// Machine time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.ticks() / TICKS_PER_CYCLE
+    }
+
+    /// True when every core halted.
+    pub fn all_halted(&self) -> bool {
+        self.cores.iter().all(|c| c.halted())
+    }
+
+    /// Stalls the cores in `mask` until at least `resume_ticks`
+    /// (checkpoint stalls).
+    pub fn stall_cores(&mut self, mask: u64, resume_ticks: u64) {
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if mask >> i & 1 == 1 {
+                c.advance_to(resume_ticks);
+            }
+        }
+    }
+
+    /// Maximum local time (ticks) among the cores in `mask`.
+    pub fn mask_ticks(&self, mask: u64) -> u64 {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, c)| c.ticks())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshots every core's architectural state (the register/PC part of
+    /// a checkpoint).
+    pub fn snapshot_arch(&self) -> Vec<CoreSnapshot> {
+        self.cores.iter().map(CoreModel::snapshot).collect()
+    }
+
+    /// Restores the cores in `mask` from `snaps` (indexed by core),
+    /// resuming them at `resume_ticks` (recovery).
+    pub fn restore_arch(&mut self, snaps: &[CoreSnapshot], mask: u64, resume_ticks: u64) {
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if mask >> i & 1 == 1 {
+                c.restore(&snaps[i], resume_ticks);
+            }
+        }
+    }
+
+    /// All-cores mask for this machine.
+    pub fn all_mask(&self) -> u64 {
+        if self.cores.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cores.len()) - 1
+        }
+    }
+
+    fn release_barrier_if_ready(&mut self) -> bool {
+        let participants: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.at_barrier())
+            .map(|(i, _)| i)
+            .collect();
+        if participants.is_empty() {
+            return false;
+        }
+        let all_arrived = self.cores.iter().all(|c| c.halted() || c.at_barrier());
+        if !all_arrived {
+            return false;
+        }
+        let arrival = participants
+            .iter()
+            .map(|&i| self.cores[i].ticks())
+            .max()
+            .expect("non-empty");
+        let cost = self.cfg.barrier_cycles(participants.len() as u32) * TICKS_PER_CYCLE;
+        for &i in &participants {
+            self.cores[i].release_barrier(arrival + cost);
+            self.stats.barrier_waits += 1;
+        }
+        true
+    }
+
+    /// Runs until total retired instructions reach `until_retired` or all
+    /// cores halt, whichever comes first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the cores, including fuel exhaustion.
+    pub fn run(
+        &mut self,
+        hooks: &mut dyn ExecHooks,
+        until_retired: u64,
+    ) -> Result<RunOutcome, SimError> {
+        loop {
+            if self.total_retired() >= until_retired {
+                return Ok(RunOutcome::ProgressReached);
+            }
+            if self.all_halted() {
+                return Ok(RunOutcome::AllHalted);
+            }
+            // Pick the runnable core with minimum local time.
+            let mut min_i = None;
+            let mut min_t = u64::MAX;
+            let mut second_t = u64::MAX;
+            for (i, c) in self.cores.iter().enumerate() {
+                if !c.runnable() {
+                    continue;
+                }
+                let t = c.ticks();
+                if t < min_t {
+                    second_t = min_t;
+                    min_t = t;
+                    min_i = Some(i);
+                } else if t < second_t {
+                    second_t = t;
+                }
+            }
+            let Some(i) = min_i else {
+                // No runnable core: all non-halted cores are at a barrier.
+                if !self.release_barrier_if_ready() {
+                    // All halted (checked above) or inconsistent state.
+                    return Ok(RunOutcome::AllHalted);
+                }
+                continue;
+            };
+            let limit = second_t.saturating_add(SKEW_QUANTUM_TICKS);
+            self.run_core_batch(i, limit, hooks, until_retired)?;
+        }
+    }
+
+    /// Runs core `i` until its local time exceeds `limit_ticks`, it blocks,
+    /// or the global stop condition is met.
+    fn run_core_batch(
+        &mut self,
+        i: usize,
+        limit_ticks: u64,
+        hooks: &mut dyn ExecHooks,
+        until_retired: u64,
+    ) -> Result<(), SimError> {
+        let code = self.program.thread(i as u32);
+        let mut batch = 0u64;
+        let mut retired_total = self.total_retired();
+        loop {
+            let core = &mut self.cores[i];
+            if !core.runnable() || core.ticks() > limit_ticks || batch >= BATCH_INSTRS {
+                return Ok(());
+            }
+            if retired_total >= until_retired {
+                return Ok(());
+            }
+            if self.fuel == 0 {
+                return Err(SimError::FuelExhausted);
+            }
+            self.fuel -= 1;
+            let pc = core.pc();
+            let instr = *code.fetch(pc).unwrap_or(&Instr::Halt);
+            let kind = core.step(&instr, &self.cfg, &mut self.mem, &mut self.stats, hooks)?;
+            batch += 1;
+            retired_total += 1;
+            match kind {
+                StepKind::Store => {
+                    // Retire an adjacent ASSOC-ADDR atomically with its
+                    // store so a checkpoint can never split the pair.
+                    let next_pc = self.cores[i].pc();
+                    if let Some(next @ Instr::AssocAddr { .. }) = code.fetch(next_pc) {
+                        let next = *next;
+                        if self.fuel == 0 {
+                            return Err(SimError::FuelExhausted);
+                        }
+                        self.fuel -= 1;
+                        self.cores[i].step(
+                            &next,
+                            &self.cfg,
+                            &mut self.mem,
+                            &mut self.stats,
+                            hooks,
+                        )?;
+                        batch += 1;
+                        retired_total += 1;
+                    }
+                }
+                StepKind::Barrier | StepKind::Halt => return Ok(()),
+                StepKind::Normal => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_isa::interp::Interp;
+    use acr_isa::{AluOp, ProgramBuilder, Reg};
+    use crate::hooks::NoHooks;
+
+    fn demo_program(threads: usize) -> acr_isa::Program {
+        let mut b = ProgramBuilder::new(threads);
+        b.set_mem_bytes(1 << 20);
+        for t in 0..threads as u32 {
+            let base = u64::from(t) * 65536;
+            let tb = b.thread(t);
+            tb.imm(Reg(10), base);
+            tb.imm(Reg(5), 0);
+            let l = tb.begin_loop(Reg(1), Reg(2), 200);
+            tb.alu(AluOp::Add, Reg(5), Reg(5), Reg(1));
+            tb.alui(AluOp::Mul, Reg(6), Reg(1), 8);
+            tb.alu(AluOp::Add, Reg(7), Reg(10), Reg(6));
+            tb.store(Reg(5), Reg(7), 0);
+            tb.end_loop(l);
+            tb.barrier();
+            tb.load(Reg(8), Reg(10), 8);
+            tb.store(Reg(8), Reg(10), 4096);
+            tb.halt();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_reference_interpreter() {
+        let p = demo_program(4);
+        p.validate().unwrap();
+        let mut interp = Interp::new(&p);
+        interp.run_to_completion(10_000_000).unwrap();
+
+        let cfg = MachineConfig::with_cores(4);
+        let mut m = Machine::new(cfg, &p);
+        let out = m.run(&mut NoHooks, u64::MAX).unwrap();
+        assert_eq!(out, RunOutcome::AllHalted);
+        assert_eq!(m.mem().image().words(), interp.mem());
+        assert_eq!(m.total_retired(), interp.retired().iter().sum::<u64>());
+    }
+
+    #[test]
+    fn cycles_advance_and_are_deterministic() {
+        let p = demo_program(2);
+        let cfg = MachineConfig::with_cores(2);
+        let mut m1 = Machine::new(cfg, &p);
+        m1.run(&mut NoHooks, u64::MAX).unwrap();
+        let mut m2 = Machine::new(cfg, &p);
+        m2.run(&mut NoHooks, u64::MAX).unwrap();
+        assert!(m1.cycles() > 0);
+        assert_eq!(m1.cycles(), m2.cycles());
+        assert_eq!(m1.stats(), m2.stats());
+    }
+
+    #[test]
+    fn progress_target_pauses_run() {
+        let p = demo_program(2);
+        let cfg = MachineConfig::with_cores(2);
+        let mut m = Machine::new(cfg, &p);
+        let out = m.run(&mut NoHooks, 100).unwrap();
+        assert_eq!(out, RunOutcome::ProgressReached);
+        let r = m.total_retired();
+        assert!((100..4000).contains(&r), "retired {r}");
+        // Resume to completion.
+        let out = m.run(&mut NoHooks, u64::MAX).unwrap();
+        assert_eq!(out, RunOutcome::AllHalted);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_reexecutes_identically() {
+        let p = demo_program(2);
+        let cfg = MachineConfig::with_cores(2);
+
+        // Reference: run to completion.
+        let mut reference = Machine::new(cfg, &p);
+        reference.run(&mut NoHooks, u64::MAX).unwrap();
+
+        // Snapshot mid-run, capture memory, run further, then roll back.
+        let mut m = Machine::new(cfg, &p);
+        m.run(&mut NoHooks, 500).unwrap();
+        let snaps = m.snapshot_arch();
+        let mem_snapshot = m.mem().image().snapshot();
+        m.run(&mut NoHooks, 1500).unwrap();
+
+        // "Recovery": restore memory image and architectural state.
+        let mask = m.all_mask();
+        let words: Vec<(usize, u64)> = mem_snapshot.iter().copied().enumerate().collect();
+        for (i, w) in words {
+            let addr = acr_mem::WordAddr::new(i as u64 * 8);
+            m.mem_mut().image_mut().write(addr, w);
+        }
+        let resume = m.ticks();
+        m.restore_arch(&snaps, mask, resume);
+        m.mem_mut().invalidate_all();
+        m.run(&mut NoHooks, u64::MAX).unwrap();
+
+        assert_eq!(m.mem().image().words(), reference.mem().image().words());
+    }
+
+    #[test]
+    fn stall_cores_advances_time() {
+        let p = demo_program(2);
+        let cfg = MachineConfig::with_cores(2);
+        let mut m = Machine::new(cfg, &p);
+        m.run(&mut NoHooks, 100).unwrap();
+        let before = m.ticks();
+        m.stall_cores(m.all_mask(), before + 4000);
+        assert_eq!(m.ticks(), before + 4000);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(4096);
+        let t = b.thread(0);
+        let top = t.here();
+        t.raw(acr_isa::Instr::Jump { target: top });
+        t.halt();
+        let p = b.build();
+        let mut m = Machine::new(MachineConfig::with_cores(1), &p);
+        m.set_fuel(1000);
+        assert_eq!(
+            m.run(&mut NoHooks, u64::MAX),
+            Err(SimError::FuelExhausted)
+        );
+    }
+}

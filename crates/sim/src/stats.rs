@@ -1,0 +1,63 @@
+//! Simulator-level statistics (instruction mix, cycles).
+
+/// Dynamic instruction mix and time, accumulated by the [`crate::Machine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Retired simple ALU operations (add/sub/logic/shift/min/max) and
+    /// immediates.
+    pub alu_ops: u64,
+    /// Retired multiplies.
+    pub mul_ops: u64,
+    /// Retired divides/remainders.
+    pub div_ops: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired branches and jumps.
+    pub branches: u64,
+    /// Retired `ASSOC-ADDR` instructions.
+    pub assocs: u64,
+    /// Barriers released (per participating core).
+    pub barrier_waits: u64,
+    /// Total retired instructions.
+    pub retired: u64,
+}
+
+impl SimStats {
+    /// Field-wise sum.
+    pub fn add(&mut self, o: &SimStats) {
+        self.alu_ops += o.alu_ops;
+        self.mul_ops += o.mul_ops;
+        self.div_ops += o.div_ops;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.branches += o.branches;
+        self.assocs += o.assocs;
+        self.barrier_waits += o.barrier_waits;
+        self.retired += o.retired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = SimStats {
+            loads: 3,
+            retired: 10,
+            ..Default::default()
+        };
+        a.add(&SimStats {
+            loads: 2,
+            stores: 1,
+            retired: 5,
+            ..Default::default()
+        });
+        assert_eq!(a.loads, 5);
+        assert_eq!(a.stores, 1);
+        assert_eq!(a.retired, 15);
+    }
+}

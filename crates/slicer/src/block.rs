@@ -1,0 +1,96 @@
+//! Basic-block discovery.
+
+use acr_isa::{Instr, ThreadCode};
+
+/// Returns the half-open `[start, end)` index ranges of the basic blocks of
+/// a thread's instruction stream, in program order.
+///
+/// Leaders are instruction 0, every branch/jump target, and every
+/// instruction following a branch or jump. Barriers, stores and
+/// `ASSOC-ADDR`s do not end blocks (they do not affect thread-local
+/// register dataflow, which is all the slicer reasons about).
+pub fn basic_blocks(code: &ThreadCode) -> Vec<(u32, u32)> {
+    let n = code.len() as u32;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut leader = vec![false; n as usize];
+    leader[0] = true;
+    for (pc, instr) in code.instrs().iter().enumerate() {
+        match instr {
+            Instr::Branch { target, .. } | Instr::Jump { target } => {
+                if (*target as usize) < leader.len() {
+                    leader[*target as usize] = true;
+                }
+                if pc + 1 < leader.len() {
+                    leader[pc + 1] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0u32;
+    for pc in 1..n {
+        if leader[pc as usize] {
+            blocks.push((start, pc));
+            start = pc;
+        }
+    }
+    blocks.push((start, n));
+    blocks
+}
+
+/// Finds the basic block containing `pc`.
+pub(crate) fn block_of(blocks: &[(u32, u32)], pc: u32) -> (u32, u32) {
+    let idx = blocks
+        .partition_point(|&(s, _)| s <= pc)
+        .checked_sub(1)
+        .expect("pc inside some block");
+    blocks[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_isa::{AluOp, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new(1);
+        let t = b.thread(0);
+        t.imm(Reg(1), 1);
+        t.alu(AluOp::Add, Reg(2), Reg(1), Reg(1));
+        t.store(Reg(2), Reg(0), 0);
+        t.halt();
+        let p = b.build();
+        assert_eq!(basic_blocks(p.thread(0)), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn loop_splits_blocks() {
+        let mut b = ProgramBuilder::new(1);
+        let t = b.thread(0);
+        t.imm(Reg(5), 0); // 0
+        let l = t.begin_loop(Reg(1), Reg(2), 3); // 1,2 imm; 3 branch
+        t.alui(AluOp::Add, Reg(5), Reg(5), 1); // 4 body
+        t.end_loop(l); // 5 add, 6 jump
+        t.halt(); // 7
+        let p = b.build();
+        let blocks = basic_blocks(p.thread(0));
+        // Leaders: 0; 3 (branch target via jump@6 -> 3, and after-branch 4);
+        // 4; 7 (after jump, branch target).
+        assert!(blocks.contains(&(0, 3)));
+        assert!(blocks.contains(&(3, 4)));
+        assert!(blocks.contains(&(4, 7)));
+        assert!(blocks.contains(&(7, 8)));
+    }
+
+    #[test]
+    fn block_of_locates() {
+        let blocks = vec![(0u32, 3u32), (3, 6), (6, 10)];
+        assert_eq!(block_of(&blocks, 0), (0, 3));
+        assert_eq!(block_of(&blocks, 4), (3, 6));
+        assert_eq!(block_of(&blocks, 9), (6, 10));
+    }
+}

@@ -1,0 +1,445 @@
+//! Backward slice extraction for a single store.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use acr_isa::{Instr, Reg, Slice, SliceInstr, SliceOperand, ThreadCode, MAX_SLICE_INPUTS};
+
+use crate::block::{basic_blocks, block_of};
+
+/// Why a store could not be given a Slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// The stored value involves no arithmetic (a pure copy of a load or a
+    /// live-in): buffering its inputs would be equivalent to checkpointing
+    /// the value itself, so recomputation cannot win.
+    NoArith,
+    /// The Slice exceeds the configured length threshold (applied by the
+    /// pass, recorded here when an explicit cap is used).
+    TooLong,
+    /// More inputs than the operand buffer can capture.
+    TooManyInputs,
+    /// An input register is overwritten between its producing point and
+    /// the `ASSOC-ADDR`, so its value cannot be captured from the register
+    /// file (Section II-B discusses scratchpad alternatives; we model the
+    /// simple register-file capture).
+    InputClobbered,
+    /// The instruction at the given pc is not a store.
+    NotAStore,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::NoArith => "no arithmetic in producer chain",
+            RejectReason::TooLong => "slice exceeds length threshold",
+            RejectReason::TooManyInputs => "too many input operands",
+            RejectReason::InputClobbered => "input register clobbered before assoc",
+            RejectReason::NotAStore => "not a store instruction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A successfully extracted Slice for one static store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedSlice {
+    /// The Slice (validated).
+    pub slice: Slice,
+    /// Registers to capture as inputs, in Slice input order.
+    pub input_regs: Vec<Reg>,
+    /// The store's instruction index.
+    pub store_pc: u32,
+}
+
+/// Hard cap on extracted slice length; Table II sweeps thresholds up to
+/// 50, so anything beyond this is never useful.
+const HARD_LEN_CAP: usize = 256;
+
+/// How the backward walk resolved a demanded register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// Constant-folded immediate.
+    Imm(u64),
+    /// Slice input (load result or block live-in), resolved at `def_pc`
+    /// (`None` for live-ins, conceptually resolved at block entry).
+    Input { def_pc: Option<u32> },
+    /// An included arithmetic instruction at `pc`.
+    Arith { pc: u32 },
+}
+
+/// Extracts the backward slice for the store at `store_pc` of thread
+/// `code`.
+///
+/// # Errors
+///
+/// Returns the [`RejectReason`] making the store unsliceable.
+pub fn extract_store_slice(
+    code: &ThreadCode,
+    store_pc: u32,
+) -> Result<ExtractedSlice, RejectReason> {
+    let blocks = basic_blocks(code);
+    extract_in_blocks(code, &blocks, store_pc)
+}
+
+/// As [`extract_store_slice`] but with precomputed basic blocks (the pass
+/// calls this in a loop).
+pub(crate) fn extract_in_blocks(
+    code: &ThreadCode,
+    blocks: &[(u32, u32)],
+    store_pc: u32,
+) -> Result<ExtractedSlice, RejectReason> {
+    let Some(Instr::Store { rs, .. }) = code.fetch(store_pc) else {
+        return Err(RejectReason::NotAStore);
+    };
+    let rs = *rs;
+    let (bs, _be) = block_of(blocks, store_pc);
+
+    // Backward demand-driven walk.
+    let mut demands: BTreeSet<Reg> = BTreeSet::new();
+    demands.insert(rs);
+    // Resolution per (pc) for included/resolver defs, and per live-in reg.
+    let mut resolved_at: BTreeMap<u32, (Reg, Resolution)> = BTreeMap::new();
+    let mut included = 0usize;
+    for q in (bs..store_pc).rev() {
+        let instr = &code.instrs()[q as usize];
+        let Some(rd) = instr.def() else { continue };
+        if !demands.remove(&rd) {
+            continue;
+        }
+        match instr {
+            Instr::Imm { imm, .. } => {
+                resolved_at.insert(q, (rd, Resolution::Imm(*imm)));
+            }
+            Instr::Load { .. } => {
+                resolved_at.insert(q, (rd, Resolution::Input { def_pc: Some(q) }));
+            }
+            Instr::Alu { ra, rb, .. } => {
+                included += 1;
+                if included > HARD_LEN_CAP {
+                    return Err(RejectReason::TooLong);
+                }
+                resolved_at.insert(q, (rd, Resolution::Arith { pc: q }));
+                demands.insert(*ra);
+                demands.insert(*rb);
+            }
+            Instr::AluI { ra, .. } => {
+                included += 1;
+                if included > HARD_LEN_CAP {
+                    return Err(RejectReason::TooLong);
+                }
+                resolved_at.insert(q, (rd, Resolution::Arith { pc: q }));
+                demands.insert(*ra);
+            }
+            _ => unreachable!("def() only for Imm/Alu/AluI/Load"),
+        }
+    }
+    // Remaining demands are block live-ins → inputs.
+    let live_ins: Vec<Reg> = demands.iter().copied().collect();
+
+    // Assign input slots in deterministic order: live-ins first (by reg),
+    // then load-resolved inputs by position.
+    let mut input_regs: Vec<Reg> = Vec::new();
+    let mut input_of: BTreeMap<(Option<u32>, Reg), u8> = BTreeMap::new();
+    for r in &live_ins {
+        input_of.insert((None, *r), input_regs.len() as u8);
+        input_regs.push(*r);
+    }
+    for (&q, &(rd, res)) in &resolved_at {
+        if matches!(res, Resolution::Input { .. }) {
+            input_of.insert((Some(q), rd), input_regs.len() as u8);
+            input_regs.push(rd);
+        }
+    }
+    if input_regs.len() > MAX_SLICE_INPUTS {
+        return Err(RejectReason::TooManyInputs);
+    }
+
+    // Capture validity: an input register must not be redefined between
+    // its resolver and the store (the ASSOC-ADDR reads the register file).
+    for &(def_pc, r) in input_of.keys() {
+        let from = def_pc.map_or(bs, |q| q + 1);
+        for q in from..store_pc {
+            if code.instrs()[q as usize].def() == Some(r) {
+                // The resolver itself is at def_pc (excluded by `from`).
+                return Err(RejectReason::InputClobbered);
+            }
+        }
+    }
+
+    // Forward pass: build Slice instructions in dependence order.
+    let mut cur: BTreeMap<Reg, SliceOperand> = BTreeMap::new();
+    for r in &live_ins {
+        cur.insert(*r, SliceOperand::Input(input_of[&(None, *r)]));
+    }
+    let mut instrs: Vec<SliceInstr> = Vec::new();
+    for q in bs..store_pc {
+        let instr = &code.instrs()[q as usize];
+        match resolved_at.get(&q) {
+            Some(&(rd, Resolution::Imm(v))) => {
+                cur.insert(rd, SliceOperand::Imm(v));
+            }
+            Some(&(rd, Resolution::Input { def_pc })) => {
+                cur.insert(rd, SliceOperand::Input(input_of[&(def_pc, rd)]));
+            }
+            Some(&(rd, Resolution::Arith { .. })) => {
+                let (op, a, b) = match instr {
+                    Instr::Alu { op, ra, rb, .. } => (*op, cur[ra], cur[rb]),
+                    Instr::AluI { op, ra, imm, .. } => (*op, cur[ra], SliceOperand::Imm(*imm)),
+                    _ => unreachable!("arith resolution on non-arith"),
+                };
+                let idx = instrs.len() as u16;
+                instrs.push(SliceInstr { op, a, b });
+                cur.insert(rd, SliceOperand::Temp(idx));
+            }
+            None => {
+                // A def not in the slice kills any stale mapping.
+                if let Some(rd) = instr.def() {
+                    cur.remove(&rd);
+                }
+            }
+        }
+    }
+
+    // The stored value.
+    let result = cur.get(&rs).copied();
+    match result {
+        Some(SliceOperand::Temp(t)) if t as usize == instrs.len() - 1 => {}
+        Some(SliceOperand::Imm(v)) => {
+            // Store of a constant: a one-instruction Slice regenerates it.
+            debug_assert!(instrs.is_empty() || result.is_some());
+            instrs.push(SliceInstr {
+                op: acr_isa::AluOp::Add,
+                a: SliceOperand::Imm(v),
+                b: SliceOperand::Imm(0),
+            });
+        }
+        Some(SliceOperand::Input(_)) | None => {
+            // Pure copy of a load/live-in, or unresolved: recomputation
+            // cannot beat checkpointing.
+            return Err(RejectReason::NoArith);
+        }
+        Some(SliceOperand::Temp(t)) => {
+            // The final value is an intermediate temp (later slice instrs
+            // were for other registers — possible when rd chains diverge).
+            // Append a copy so the last instruction produces the value.
+            instrs.push(SliceInstr {
+                op: acr_isa::AluOp::Add,
+                a: SliceOperand::Temp(t),
+                b: SliceOperand::Imm(0),
+            });
+        }
+    }
+
+    // Drop inputs that ended up unused (their uses were all resolved to
+    // later defs)? They were demanded, so they are used by construction.
+    let slice = Slice::new(instrs, input_regs.len() as u8).map_err(|_| RejectReason::NoArith)?;
+    Ok(ExtractedSlice {
+        slice,
+        input_regs,
+        store_pc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_isa::{AluOp, ProgramBuilder};
+
+    fn code_of(build: impl FnOnce(&mut acr_isa::ThreadBuilder)) -> acr_isa::Program {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(4096);
+        build(b.thread(0));
+        b.build()
+    }
+
+    #[test]
+    fn expression_tree_extracted() {
+        // r3 = (r1 + r2) * r1, store r3. r1, r2 live-in.
+        let p = code_of(|t| {
+            t.alu(AluOp::Add, Reg(3), Reg(1), Reg(2));
+            t.alu(AluOp::Mul, Reg(3), Reg(3), Reg(1));
+            t.store(Reg(3), Reg(0), 0);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 2).unwrap();
+        assert_eq!(e.slice.len(), 2);
+        assert_eq!(e.input_regs, vec![Reg(1), Reg(2)]);
+        // Verify semantics: inputs r1=5, r2=7 → (5+7)*5 = 60.
+        assert_eq!(e.slice.execute(&[5, 7]).unwrap(), 60);
+    }
+
+    #[test]
+    fn loads_become_inputs() {
+        // Fig 3(d): loads feed the slice through the operand buffer.
+        let p = code_of(|t| {
+            t.load(Reg(1), Reg(0), 8);
+            t.load(Reg(2), Reg(0), 16);
+            t.alu(AluOp::Add, Reg(3), Reg(1), Reg(2));
+            t.store(Reg(3), Reg(0), 24);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 3).unwrap();
+        assert_eq!(e.slice.len(), 1);
+        assert_eq!(e.slice.num_inputs, 2);
+        assert_eq!(e.slice.execute(&[3, 4]).unwrap(), 7);
+    }
+
+    #[test]
+    fn immediates_fold_into_operands() {
+        let p = code_of(|t| {
+            t.imm(Reg(1), 100);
+            t.alui(AluOp::Add, Reg(2), Reg(1), 23);
+            t.store(Reg(2), Reg(0), 0);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 2).unwrap();
+        assert_eq!(e.slice.len(), 1);
+        assert_eq!(e.slice.num_inputs, 0);
+        assert_eq!(e.slice.execute(&[]).unwrap(), 123);
+    }
+
+    #[test]
+    fn constant_store_gets_unit_slice() {
+        let p = code_of(|t| {
+            t.imm(Reg(1), 55);
+            t.store(Reg(1), Reg(0), 0);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 1).unwrap();
+        assert_eq!(e.slice.len(), 1);
+        assert_eq!(e.slice.execute(&[]).unwrap(), 55);
+    }
+
+    #[test]
+    fn pure_copy_rejected() {
+        let p = code_of(|t| {
+            t.load(Reg(1), Reg(0), 8);
+            t.store(Reg(1), Reg(0), 16);
+            t.halt();
+        });
+        assert_eq!(
+            extract_store_slice(p.thread(0), 1),
+            Err(RejectReason::NoArith)
+        );
+    }
+
+    #[test]
+    fn clobbered_input_rejected() {
+        // r1 loaded, used, then r1 reloaded before the store: the first
+        // load's value cannot be captured at the assoc.
+        let p = code_of(|t| {
+            t.load(Reg(1), Reg(0), 8);
+            t.alu(AluOp::Add, Reg(3), Reg(1), Reg(1));
+            t.load(Reg(1), Reg(0), 16); // clobbers input r1
+            t.alu(AluOp::Add, Reg(4), Reg(3), Reg(3));
+            t.store(Reg(4), Reg(0), 24);
+            t.halt();
+        });
+        assert_eq!(
+            extract_store_slice(p.thread(0), 4),
+            Err(RejectReason::InputClobbered)
+        );
+    }
+
+    #[test]
+    fn redefined_register_resolves_to_nearest_def() {
+        // r1 = in + in; r2 = r1 * 3; r1 = 7 (imm); r3 = r2 + r1; store r3.
+        let p = code_of(|t| {
+            t.alu(AluOp::Add, Reg(1), Reg(5), Reg(5));
+            t.alui(AluOp::Mul, Reg(2), Reg(1), 3);
+            t.imm(Reg(1), 7);
+            t.alu(AluOp::Add, Reg(3), Reg(2), Reg(1));
+            t.store(Reg(3), Reg(0), 0);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 4).unwrap();
+        // r5 live-in; (r5+r5)*3 + 7
+        assert_eq!(e.input_regs, vec![Reg(5)]);
+        assert_eq!(e.slice.execute(&[2]).unwrap(), (2 + 2) * 3 + 7);
+    }
+
+    #[test]
+    fn slice_confined_to_basic_block() {
+        // The producing arithmetic sits before a loop; the store is inside
+        // the loop body, in a different block: the value is a live-in.
+        let p = code_of(|t| {
+            t.alu(AluOp::Add, Reg(6), Reg(1), Reg(2));
+            let l = t.begin_loop(Reg(3), Reg(4), 2);
+            t.store(Reg(6), Reg(0), 0);
+            t.end_loop(l);
+            t.halt();
+        });
+        // store is at pc 4 (0 add, 1-2 loop imms, 3 branch, 4 store).
+        assert_eq!(
+            extract_store_slice(p.thread(0), 4),
+            Err(RejectReason::NoArith)
+        );
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        // Nine distinct loads feed the stored value: one more input than
+        // the operand buffer captures.
+        let p = code_of(|t| {
+            for j in 0..9u8 {
+                t.load(Reg(16 + j), Reg(0), u64::from(j) * 8);
+            }
+            t.alu(AluOp::Add, Reg(28), Reg(16), Reg(17));
+            for j in 2..9u8 {
+                t.alu(AluOp::Add, Reg(28), Reg(28), Reg(16 + j));
+            }
+            t.store(Reg(28), Reg(0), 128);
+            t.halt();
+        });
+        assert_eq!(
+            extract_store_slice(p.thread(0), 17),
+            Err(RejectReason::TooManyInputs)
+        );
+    }
+
+    #[test]
+    fn eight_inputs_accepted() {
+        let p = code_of(|t| {
+            for j in 0..8u8 {
+                t.load(Reg(16 + j), Reg(0), u64::from(j) * 8);
+            }
+            t.alu(AluOp::Add, Reg(28), Reg(16), Reg(17));
+            for j in 2..8u8 {
+                t.alu(AluOp::Add, Reg(28), Reg(28), Reg(16 + j));
+            }
+            t.store(Reg(28), Reg(0), 128);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 15).unwrap();
+        assert_eq!(e.slice.num_inputs, 8);
+        assert_eq!(e.slice.execute(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap(), 36);
+    }
+
+    #[test]
+    fn not_a_store_rejected() {
+        let p = code_of(|t| {
+            t.imm(Reg(1), 1);
+            t.halt();
+        });
+        assert_eq!(
+            extract_store_slice(p.thread(0), 0),
+            Err(RejectReason::NotAStore)
+        );
+    }
+
+    #[test]
+    fn long_dependence_chain_counts_length() {
+        let p = code_of(|t| {
+            t.alu(AluOp::Add, Reg(1), Reg(2), Reg(3));
+            for _ in 0..20 {
+                t.alui(AluOp::Add, Reg(1), Reg(1), 1);
+            }
+            t.store(Reg(1), Reg(0), 0);
+            t.halt();
+        });
+        let e = extract_store_slice(p.thread(0), 21).unwrap();
+        assert_eq!(e.slice.len(), 21);
+        assert_eq!(e.slice.execute(&[10, 5]).unwrap(), 35);
+    }
+}

@@ -1,0 +1,585 @@
+//! Program emission from a [`KernelSpec`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use acr_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg, ThreadBuilder};
+
+use crate::spec::{kernel_spec, ClassKind, ClassSpec, Comm, PhaseSpec};
+use crate::{Benchmark, WorkloadConfig};
+
+/// Store sites per inner-loop iteration. Class weights are realised over
+/// this many static sites via largest-remainder apportionment, giving
+/// ≈ 1.6 % weight resolution.
+const SITES: u32 = 64;
+
+/// Register conventions used by the generators.
+mod regs {
+    use acr_isa::Reg;
+
+    /// Always zero.
+    pub const ZERO: Reg = Reg(15);
+    /// Shared-region base.
+    pub const SHARED: Reg = Reg(11);
+    /// Input-array base (per thread).
+    pub const INPUT: Reg = Reg(12);
+    /// Output-region base (per thread).
+    pub const OUT: Reg = Reg(10);
+    /// Sweep counter / limit.
+    pub const SWEEP: Reg = Reg(1);
+    pub const SWEEP_LIM: Reg = Reg(2);
+    /// Inner counter / limit.
+    pub const INNER: Reg = Reg(3);
+    pub const INNER_LIM: Reg = Reg(4);
+    /// Address scratch.
+    pub const ADDR: Reg = Reg(5);
+    pub const ADDR_T: Reg = Reg(6);
+    /// Guard scratch.
+    pub const GUARD: Reg = Reg(7);
+    /// Load scratch.
+    pub const LD0: Reg = Reg(20);
+    pub const LD1: Reg = Reg(21);
+    /// Expression accumulator.
+    pub const ACC: Reg = Reg(22);
+    /// Communication accumulator (never stored: values read from peers
+    /// are timing-dependent, so they must not reach memory).
+    pub const COMM: Reg = Reg(24);
+}
+
+/// Generates the program for `bench` under `cfg`.
+///
+/// The returned program is *raw* (no `ASSOC-ADDR`s); run it through
+/// `acr_slicer::instrument` (or `acr::Experiment`) for the ACR
+/// configurations. The program is validated before being returned.
+///
+/// ```
+/// use acr_workloads::{generate, Benchmark, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig::default().with_threads(2).with_scale(0.2);
+/// let program = generate(Benchmark::Is, &cfg);
+/// assert_eq!(program.num_threads(), 2);
+/// assert!(program.validate().is_ok());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the generator produces an invalid program (a bug, covered by
+/// tests for every benchmark).
+pub fn generate(bench: Benchmark, cfg: &WorkloadConfig) -> Program {
+    let spec = kernel_spec(bench);
+    let threads = cfg.threads.max(1);
+
+    // Memory layout.
+    let shared_bytes = round_up(u64::from(threads) * 64, 4096);
+    let max_addrs = spec
+        .phases
+        .iter()
+        .map(|p| p.addrs)
+        .max()
+        .unwrap_or(0);
+    let max_extra = spec
+        .phases
+        .iter()
+        .filter_map(|p| p.heavy.map(|h| h.extra_addrs))
+        .max()
+        .unwrap_or(0);
+    let region_bytes = round_up(
+        u64::from(spec.input_words + max_addrs + max_extra) * 8,
+        4096,
+    );
+    let heavy_off = u64::from(max_addrs) * 8;
+
+    let mut b = ProgramBuilder::new(threads as usize);
+    b.set_mem_bytes(shared_bytes + u64::from(threads) * region_bytes);
+
+    for t in 0..threads {
+        let input_base = shared_bytes + u64::from(t) * region_bytes;
+        let out_base = input_base + u64::from(spec.input_words) * 8;
+        let tb = b.thread(t);
+        tb.imm(regs::ZERO, 0);
+        tb.imm(regs::SHARED, 0);
+        tb.imm(regs::INPUT, input_base);
+        tb.imm(regs::OUT, out_base);
+        tb.imm(regs::COMM, 0);
+
+        emit_init(tb, &spec, cfg.seed, t);
+        tb.barrier();
+
+        for (pi, phase) in spec.phases.iter().enumerate() {
+            emit_phase(
+                tb,
+                phase,
+                pi as u32,
+                t,
+                threads,
+                heavy_off,
+                u64::from(spec.input_words),
+                cfg,
+            );
+            tb.barrier();
+        }
+        tb.halt();
+    }
+    let p = b.build();
+    p.validate().expect("generated program is well-formed");
+    p
+}
+
+fn round_up(x: u64, to: u64) -> u64 {
+    x.div_ceil(to) * to
+}
+
+fn site_rng(seed: u64, t: u32, phase: u32, site: u32) -> SmallRng {
+    let mix = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((u64::from(t) << 40) | (u64::from(phase) << 20) | u64::from(site));
+    SmallRng::seed_from_u64(mix)
+}
+
+/// Initialises the per-thread input array with index-derived values.
+fn emit_init(tb: &mut ThreadBuilder, spec: &crate::KernelSpec, seed: u64, t: u32) {
+    let iters = u64::from(spec.input_words / SITES);
+    let l = tb.begin_loop(regs::INNER, regs::INNER_LIM, iters);
+    tb.alui(AluOp::Mul, regs::ADDR_T, regs::INNER, u64::from(SITES) * 8);
+    tb.alu(AluOp::Add, regs::ADDR, regs::INPUT, regs::ADDR_T);
+    for site in 0..SITES {
+        let mut rng = site_rng(seed, t, u32::MAX, site);
+        let k: u64 = rng.gen_range(3..=61) | 1;
+        let c: u64 = rng.gen_range(1..=0xFFFF);
+        tb.alui(AluOp::Mul, regs::ACC, regs::INNER, k);
+        tb.alui(AluOp::Xor, regs::ACC, regs::ACC, c);
+        tb.store(regs::ACC, regs::ADDR, u64::from(site) * 8);
+    }
+    tb.end_loop(l);
+}
+
+/// Assigns classes to the `SITES` static store sites by largest-remainder
+/// apportionment of the class weights.
+fn apportion(classes: &[ClassSpec]) -> Vec<usize> {
+    let mut counts: Vec<u32> = classes
+        .iter()
+        .map(|c| (c.weight * f64::from(SITES)).floor() as u32)
+        .collect();
+    let assigned: u32 = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let exact = c.weight * f64::from(SITES);
+            (i, exact - exact.floor())
+        })
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut left = SITES.saturating_sub(assigned);
+    for (i, _) in remainders {
+        if left == 0 {
+            break;
+        }
+        counts[i] += 1;
+        left -= 1;
+    }
+    // Pad/truncate defensively to exactly SITES.
+    let mut out = Vec::with_capacity(SITES as usize);
+    for (i, n) in counts.iter().enumerate() {
+        for _ in 0..*n {
+            if out.len() < SITES as usize {
+                out.push(i);
+            }
+        }
+    }
+    while out.len() < SITES as usize {
+        out.push(0);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_phase(
+    tb: &mut ThreadBuilder,
+    phase: &PhaseSpec,
+    pi: u32,
+    t: u32,
+    threads: u32,
+    heavy_off: u64,
+    input_words: u64,
+    cfg: &WorkloadConfig,
+) {
+    let sweeps = ((f64::from(phase.sweeps) * cfg.scale).round() as u64).max(1);
+    let assignment = apportion(&phase.classes);
+
+    let sweep_loop = tb.begin_loop(regs::SWEEP, regs::SWEEP_LIM, sweeps);
+
+    // Main store sweep.
+    emit_store_block(
+        tb,
+        phase,
+        &assignment,
+        u64::from(phase.addrs / SITES),
+        0,
+        cfg.seed ^ u64::from(pi) << 8,
+        t,
+        pi,
+        input_words,
+    );
+
+    // Periodic burst block: staggered bursts fire when
+    // (sweep + t) % period == 0 (rotating imbalance); unstaggered bursts
+    // fire for every thread in the same sweep.
+    if let Some(h) = phase.heavy {
+        // The +1 keeps sweep 0 burst-free (for unstaggered bursts), so the
+        // first-touch interval does not swallow the burst volume.
+        let stagger = if h.staggered { u64::from(t) + 1 } else { 1 };
+        tb.alui(AluOp::Add, regs::GUARD, regs::SWEEP, stagger);
+        tb.alui(AluOp::And, regs::GUARD, regs::GUARD, u64::from(h.period - 1));
+        let bp = tb.branch_placeholder(BranchCond::Ne, regs::GUARD, regs::ZERO);
+        emit_store_block(
+            tb,
+            phase,
+            &assignment,
+            u64::from(h.extra_addrs / SITES),
+            heavy_off,
+            cfg.seed ^ 0xBEEF ^ u64::from(pi) << 8,
+            t,
+            pi + 100,
+            input_words,
+        );
+        let after = tb.here();
+        tb.patch_branch(bp, after);
+    }
+
+    // Communication block.
+    match phase.comm {
+        Comm::None => {}
+        Comm::AllToAll { period } => {
+            emit_comm(tb, period, &all_to_all_partners(t, threads));
+        }
+        Comm::Groups { size, period } => {
+            emit_comm(tb, period, &group_partners(t, threads, size));
+        }
+    }
+    tb.end_loop(sweep_loop);
+}
+
+/// One inner loop writing `iters * SITES` words at `regs::OUT + extra_off`.
+#[allow(clippy::too_many_arguments)]
+fn emit_store_block(
+    tb: &mut ThreadBuilder,
+    phase: &PhaseSpec,
+    assignment: &[usize],
+    iters: u64,
+    extra_off: u64,
+    seed: u64,
+    t: u32,
+    phase_key: u32,
+    input_words: u64,
+) {
+    if iters == 0 {
+        return;
+    }
+    let l = tb.begin_loop(regs::INNER, regs::INNER_LIM, iters);
+    tb.alui(AluOp::Mul, regs::ADDR_T, regs::INNER, u64::from(SITES) * 8);
+    tb.alu(AluOp::Add, regs::ADDR, regs::OUT, regs::ADDR_T);
+    if extra_off != 0 {
+        tb.alui(AluOp::Add, regs::ADDR, regs::ADDR, extra_off);
+    }
+    for site in 0..SITES {
+        let class = &phase.classes[assignment[site as usize]];
+        let mut rng = site_rng(seed, t, phase_key, site);
+        let value_reg = emit_value(tb, class, &mut rng, input_words);
+        tb.store(value_reg, regs::ADDR, u64::from(site) * 8);
+    }
+    tb.end_loop(l);
+}
+
+/// Emits one store site's value computation; returns the value register.
+fn emit_value(
+    tb: &mut ThreadBuilder,
+    class: &ClassSpec,
+    rng: &mut SmallRng,
+    input_words: u64,
+) -> Reg {
+    match class.kind {
+        ClassKind::Copy => {
+            let off = rng.gen_range(0..input_words) * 8;
+            tb.load(regs::LD0, regs::INPUT, off);
+            regs::LD0
+        }
+        ClassKind::Arith => {
+            let depth = rng.gen_range(class.depth.0..=class.depth.1) as u32;
+            let loads = class.loads.min(2);
+            for r in [regs::LD0, regs::LD1].iter().take(loads as usize) {
+                let off = rng.gen_range(0..input_words) * 8;
+                tb.load(*r, regs::INPUT, off);
+            }
+            let first = *[AluOp::Add, AluOp::Xor, AluOp::Or]
+                .get(rng.gen_range(0..3usize))
+                .expect("index in range");
+            match loads {
+                2 => tb.alu(first, regs::ACC, regs::LD0, regs::LD1),
+                1 => tb.alu(first, regs::ACC, regs::LD0, regs::SWEEP),
+                _ => tb.alu(first, regs::ACC, regs::INNER, regs::SWEEP),
+            };
+            for k in 1..depth {
+                if k % 9 == 4 {
+                    tb.alu(AluOp::Xor, regs::ACC, regs::ACC, regs::INNER);
+                } else if k % 13 == 7 {
+                    tb.alu(AluOp::Add, regs::ACC, regs::ACC, regs::SWEEP);
+                } else {
+                    let (op, c) = random_op(rng);
+                    tb.alui(op, regs::ACC, regs::ACC, c);
+                }
+            }
+            regs::ACC
+        }
+    }
+}
+
+fn random_op(rng: &mut SmallRng) -> (AluOp, u64) {
+    match rng.gen_range(0..8u32) {
+        0 | 1 => (AluOp::Add, rng.gen_range(1..=0xF_FFFF)),
+        2 => (AluOp::Sub, rng.gen_range(1..=0xFFFF)),
+        3 | 4 => (AluOp::Xor, rng.gen_range(1..=0xFFFF_FFFF)),
+        5 => (AluOp::Mul, rng.gen_range(1..=31u64) * 2 + 1),
+        6 => (AluOp::Shl, rng.gen_range(1..=3)),
+        _ => (AluOp::Shr, rng.gen_range(1..=2)),
+    }
+}
+
+/// Exchange with partners every `period`-th sweep: publish the sweep
+/// counter to our shared slot, read each partner's slot into the comm
+/// accumulator. Peer values never reach memory (see `regs::COMM`).
+fn emit_comm(tb: &mut ThreadBuilder, period: u32, partners: &[(u32, u32)]) {
+    let guarded = period > 1;
+    let bp = if guarded {
+        tb.alui(
+            AluOp::And,
+            regs::GUARD,
+            regs::SWEEP,
+            u64::from(period - 1),
+        );
+        Some(tb.branch_placeholder(BranchCond::Ne, regs::GUARD, regs::ZERO))
+    } else {
+        None
+    };
+    for &(me, partner) in partners {
+        tb.store(regs::SWEEP, regs::SHARED, u64::from(me) * 64);
+        tb.load(regs::LD0, regs::SHARED, u64::from(partner) * 64);
+        tb.alu(AluOp::Add, regs::COMM, regs::COMM, regs::LD0);
+    }
+    if let Some(bp) = bp {
+        let after = tb.here();
+        tb.patch_branch(bp, after);
+    }
+}
+
+/// Ring + chord: connects every thread into one component.
+fn all_to_all_partners(t: u32, threads: u32) -> Vec<(u32, u32)> {
+    if threads < 2 {
+        return Vec::new();
+    }
+    let mut v = vec![(t, (t + 1) % threads)];
+    if threads > 2 {
+        v.push((t, (t + 2) % threads));
+    }
+    v
+}
+
+/// Ring within a disjoint group of `size` threads.
+fn group_partners(t: u32, threads: u32, size: u32) -> Vec<(u32, u32)> {
+    let size = size.max(1).min(threads);
+    if size < 2 {
+        return Vec::new();
+    }
+    let g = t / size;
+    let base = g * size;
+    let span = size.min(threads - base);
+    if span < 2 {
+        return Vec::new();
+    }
+    let partner = base + (t - base + 1) % span;
+    vec![(t, partner)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_isa::interp::Interp;
+    use acr_slicer::{instrument, SlicerConfig};
+
+    fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 4,
+            scale: 0.34,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_generate_valid_programs() {
+        for b in Benchmark::ALL {
+            let p = generate(b, &small());
+            assert!(p.num_threads() == 4, "{b}");
+            assert!(p.static_len() > 1000, "{b} too small");
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(Benchmark::Ft, &small());
+        let b = generate(Benchmark::Ft, &small());
+        assert_eq!(a, b);
+        let c = generate(Benchmark::Ft, &WorkloadConfig { seed: 8, ..small() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn instrumented_kernels_verify_slices_end_to_end() {
+        // The strongest slicer/workload oracle: run every instrumented
+        // benchmark in the reference interpreter with per-ASSOC-ADDR
+        // verification that the Slice reproduces the stored value.
+        for b in Benchmark::ALL {
+            let cfg = WorkloadConfig {
+                threads: 2,
+                scale: 0.2,
+                seed: 11,
+            };
+            let p = generate(b, &cfg);
+            let (ip, stats) = instrument(
+                &p,
+                &SlicerConfig {
+                    threshold: b.default_threshold(),
+                },
+            );
+            assert!(stats.sliced_stores > 0, "{b} has no sliceable stores");
+            let mut i = Interp::new(&ip);
+            i.verify_slices(true);
+            i.run_to_completion(200_000_000)
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn coverage_shapes_follow_table_ii() {
+        let cfg = small();
+        let coverage = |b: Benchmark, threshold: usize| {
+            let p = generate(b, &cfg);
+            let (_, s) = instrument(&p, &SlicerConfig { threshold });
+            s.static_coverage()
+        };
+        // is is extremely amenable even at threshold 5.
+        assert!(coverage(Benchmark::Is, 5) > 0.65);
+        // cg is barely coverable at 10 but jumps at 20 and 30 (Table II).
+        // (Static coverage here includes the init phase, which inflates
+        // the absolute numbers; the dynamic checkpoint-size reductions are
+        // asserted at the experiment level and in table2 harness tests.)
+        let cg10 = coverage(Benchmark::Cg, 10);
+        let cg20 = coverage(Benchmark::Cg, 20);
+        let cg30 = coverage(Benchmark::Cg, 30);
+        assert!(cg20 > cg10 + 0.25, "cg@10 = {cg10}, cg@20 = {cg20}");
+        assert!(cg30 > cg20 + 0.1, "cg@30 = {cg30}");
+        // bt climbs steeply between 20 and 30.
+        let bt20 = coverage(Benchmark::Bt, 20);
+        let bt30 = coverage(Benchmark::Bt, 30);
+        assert!(bt30 > bt20 + 0.2, "bt {bt20} -> {bt30}");
+    }
+
+    #[test]
+    fn partners_connectivity() {
+        // All-to-all must connect all threads through ring edges.
+        let mut reach = [false; 8];
+        reach[0] = true;
+        for _ in 0..8 {
+            for t in 0..8u32 {
+                for (a, b) in all_to_all_partners(t, 8) {
+                    if reach[a as usize] || reach[b as usize] {
+                        reach[a as usize] = true;
+                        reach[b as usize] = true;
+                    }
+                }
+            }
+        }
+        assert!(reach.iter().all(|&r| r));
+        // Group partners stay within the group.
+        for t in 0..8u32 {
+            for (a, b) in group_partners(t, 8, 4) {
+                assert_eq!(a / 4, b / 4);
+            }
+        }
+        // Degenerate cases.
+        assert!(group_partners(0, 1, 4).is_empty());
+        assert!(all_to_all_partners(0, 1).is_empty());
+    }
+
+    #[test]
+    fn apportion_matches_weights_by_largest_remainder() {
+        use crate::spec::ClassSpec;
+        let classes = [
+            ClassSpec {
+                weight: 0.50,
+                kind: ClassKind::Arith,
+                depth: (2, 4),
+                loads: 0,
+            },
+            ClassSpec {
+                weight: 0.30,
+                kind: ClassKind::Arith,
+                depth: (5, 9),
+                loads: 1,
+            },
+            ClassSpec {
+                weight: 0.15,
+                kind: ClassKind::Arith,
+                depth: (12, 19),
+                loads: 1,
+            },
+            ClassSpec {
+                weight: 0.05,
+                kind: ClassKind::Copy,
+                depth: (0, 0),
+                loads: 1,
+            },
+        ];
+        let a = apportion(&classes);
+        assert_eq!(a.len(), SITES as usize);
+        let count = |c: usize| a.iter().filter(|&&x| x == c).count();
+        assert_eq!(count(0), 32); // 0.50 * 64
+        assert_eq!(count(1), 19); // 0.30 * 64 = 19.2
+        assert_eq!(count(2), 10); // 0.15 * 64 = 9.6 -> rounds up via remainder
+        assert_eq!(count(3), 3); // 0.05 * 64 = 3.2
+    }
+
+    #[test]
+    fn tiny_weights_survive_apportionment_or_vanish_gracefully() {
+        use crate::spec::ClassSpec;
+        let classes = [
+            ClassSpec {
+                weight: 0.995,
+                kind: ClassKind::Arith,
+                depth: (2, 4),
+                loads: 0,
+            },
+            ClassSpec {
+                weight: 0.005,
+                kind: ClassKind::Copy,
+                depth: (0, 0),
+                loads: 1,
+            },
+        ];
+        let a = apportion(&classes);
+        assert_eq!(a.len(), SITES as usize);
+        // 0.005 * 64 = 0.32 sites: either 0 or 1, never more.
+        assert!(a.iter().filter(|&&x| x == 1).count() <= 1);
+    }
+
+    #[test]
+    fn thread_count_scales_memory() {
+        let p8 = generate(Benchmark::Mg, &WorkloadConfig::default());
+        let p32 = generate(
+            Benchmark::Mg,
+            &WorkloadConfig::default().with_threads(32),
+        );
+        assert!(p32.mem_bytes() > p8.mem_bytes() * 3);
+        assert_eq!(p32.num_threads(), 32);
+    }
+}

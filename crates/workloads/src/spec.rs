@@ -1,0 +1,586 @@
+//! Per-benchmark kernel specifications.
+//!
+//! The class-weight tables below encode each benchmark's producer-chain
+//! depth distribution so that the cumulative coverage at Slice thresholds
+//! {5, 10, 20, 30, 40, 50} lands near Table II of the paper, and the
+//! state/sweep volumes are sized so per-benchmark checkpoint overheads
+//! land near Fig. 6 (large-state `ft` suffers most; tiny-state `cg`
+//! spends only ≈ 9 % of its time checkpointing). See the crate docs for
+//! the provenance of each shape.
+
+use crate::Benchmark;
+
+/// What a store site's value computation looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// An arithmetic producer chain (sliceable if short enough).
+    Arith,
+    /// A pure copy of a loaded value (never sliceable — buffering the
+    /// input would be equivalent to checkpointing the value).
+    Copy,
+}
+
+/// One store-site class: a weight within the phase and a depth range for
+/// the arithmetic chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSpec {
+    /// Fraction of the phase's store sites in this class.
+    pub weight: f64,
+    /// Kind of producer.
+    pub kind: ClassKind,
+    /// Arithmetic-chain depth range (inclusive); ignored for copies.
+    pub depth: (u8, u8),
+    /// Loads feeding the chain (become Slice inputs), 0–2.
+    pub loads: u8,
+}
+
+impl ClassSpec {
+    const fn arith(weight: f64, lo: u8, hi: u8, loads: u8) -> Self {
+        ClassSpec {
+            weight,
+            kind: ClassKind::Arith,
+            depth: (lo, hi),
+            loads,
+        }
+    }
+
+    const fn copy(weight: f64) -> Self {
+        ClassSpec {
+            weight,
+            kind: ClassKind::Copy,
+            depth: (0, 0),
+            loads: 1,
+        }
+    }
+}
+
+/// Inter-core communication pattern of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comm {
+    /// No communication.
+    None,
+    /// Ring exchange within disjoint groups of `size` threads, every
+    /// `period`-th sweep (`period` must be a power of two).
+    Groups {
+        /// Group size (threads).
+        size: u32,
+        /// Sweep period (power of two).
+        period: u32,
+    },
+    /// Ring exchange connecting *all* threads, every `period`-th sweep.
+    AllToAll {
+        /// Sweep period (power of two).
+        period: u32,
+    },
+}
+
+/// Periodic extra store volume. Staggered bursts rotate the heavy role
+/// across threads (per-interval load imbalance — the source of the local
+/// scheme's advantage in Fig. 13); unstaggered bursts hit all threads in
+/// the same sweep (interval-size variation without imbalance, the source
+/// of Fig. 10's temporal structure for the all-to-all benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavySpec {
+    /// Burst period in sweeps (power of two).
+    pub period: u32,
+    /// Extra words written on a burst sweep.
+    pub extra_addrs: u32,
+    /// Whether the burst rotates across threads.
+    pub staggered: bool,
+}
+
+/// One execution phase (per thread).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Phase name (diagnostics).
+    pub name: &'static str,
+    /// Unique output words written per sweep (multiple of 64).
+    pub addrs: u32,
+    /// Sweeps over the output array (scaled by `WorkloadConfig::scale`).
+    pub sweeps: u32,
+    /// Store-site classes (weights sum to ≈ 1).
+    pub classes: Vec<ClassSpec>,
+    /// Communication pattern.
+    pub comm: Comm,
+    /// Periodic extra store volume, if any.
+    pub heavy: Option<HeavySpec>,
+}
+
+/// A complete kernel: an input-initialisation phase is implicit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Benchmark this models.
+    pub bench: Benchmark,
+    /// Read-only input array size per thread, in words (multiple of 64).
+    pub input_words: u32,
+    /// Compute phases, separated by barriers.
+    pub phases: Vec<PhaseSpec>,
+}
+
+/// The specification for `bench`. Class weights follow the Table II /
+/// Fig. 9 shapes; communication and imbalance follow Fig. 13 (see the
+/// crate docs).
+pub fn kernel_spec(bench: Benchmark) -> KernelSpec {
+    use ClassSpec as C;
+    let phases = match bench {
+        // Block-tridiagonal solver: shallow RHS updates plus deep 5x5
+        // block solves; all-to-all face exchanges every sweep.
+        Benchmark::Bt => vec![
+            PhaseSpec {
+                name: "rhs",
+                addrs: 512,
+                sweeps: 12,
+                classes: vec![
+                    C::arith(0.20, 4, 8, 1),
+                    C::arith(0.30, 6, 9, 1),
+                    C::arith(0.10, 12, 18, 1),
+                    C::arith(0.28, 22, 28, 2),
+                    C::arith(0.04, 32, 38, 1),
+                    C::arith(0.02, 42, 48, 1),
+                    C::copy(0.06),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 512,
+                    staggered: false,
+                }),
+            },
+            PhaseSpec {
+                name: "solve",
+                addrs: 768,
+                sweeps: 14,
+                classes: vec![
+                    C::arith(0.06, 4, 8, 1),
+                    C::arith(0.12, 6, 9, 2),
+                    C::arith(0.08, 13, 19, 1),
+                    C::arith(0.56, 22, 29, 2),
+                    C::arith(0.03, 33, 39, 1),
+                    C::arith(0.02, 43, 49, 1),
+                    C::arith(0.10, 55, 68, 1),
+                    C::copy(0.03),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: None,
+            },
+            PhaseSpec {
+                name: "add",
+                addrs: 512,
+                sweeps: 12,
+                classes: vec![
+                    C::arith(0.55, 4, 9, 1),
+                    C::arith(0.08, 12, 18, 1),
+                    C::arith(0.27, 22, 28, 1),
+                    C::arith(0.04, 32, 38, 1),
+                    C::copy(0.06),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 512,
+                    staggered: false,
+                }),
+            },
+        ],
+        // Conjugate gradient: a tiny result vector rewritten many times by
+        // long sparse dot-product accumulations (tiny checkpoints — ≈ 9 %
+        // of time in checkpointing — and deep slices); all-to-all
+        // reductions every sweep.
+        Benchmark::Cg => vec![
+            PhaseSpec {
+                name: "spmv",
+                addrs: 64,
+                sweeps: 160,
+                classes: vec![
+                    C::arith(0.02, 3, 5, 1),
+                    C::arith(0.05, 6, 9, 2),
+                    C::arith(0.60, 12, 19, 2),
+                    C::arith(0.23, 22, 29, 2),
+                    C::arith(0.05, 55, 70, 2),
+                    C::copy(0.05),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: Some(HeavySpec {
+                    period: 16,
+                    extra_addrs: 64,
+                    staggered: false,
+                }),
+            },
+            PhaseSpec {
+                name: "axpy",
+                addrs: 64,
+                sweeps: 128,
+                classes: vec![
+                    C::arith(0.02, 3, 5, 1),
+                    C::arith(0.05, 6, 9, 1),
+                    C::arith(0.60, 12, 18, 2),
+                    C::arith(0.22, 22, 28, 2),
+                    C::arith(0.05, 55, 66, 1),
+                    C::copy(0.06),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: None,
+            },
+        ],
+        // Data cube: shallow aggregation counters over large state; group
+        // communication every other sweep, moderate rotating imbalance.
+        Benchmark::Dc => vec![
+            PhaseSpec {
+                name: "aggregate",
+                addrs: 512,
+                sweeps: 20,
+                classes: vec![
+                    C::arith(0.48, 3, 6, 1),
+                    C::arith(0.26, 6, 9, 1),
+                    C::arith(0.09, 12, 18, 1),
+                    C::arith(0.03, 22, 28, 1),
+                    C::copy(0.14),
+                ],
+                comm: Comm::Groups { size: 4, period: 2 },
+                heavy: Some(HeavySpec {
+                    period: 8,
+                    extra_addrs: 1024,
+                    staggered: true,
+                }),
+            },
+            PhaseSpec {
+                name: "rollup",
+                addrs: 512,
+                sweeps: 16,
+                classes: vec![
+                    C::arith(0.45, 3, 6, 1),
+                    C::arith(0.25, 6, 9, 2),
+                    C::arith(0.11, 12, 19, 1),
+                    C::arith(0.03, 22, 29, 1),
+                    C::copy(0.16),
+                ],
+                comm: Comm::Groups { size: 4, period: 2 },
+                heavy: Some(HeavySpec {
+                    period: 8,
+                    extra_addrs: 1024,
+                    staggered: true,
+                }),
+            },
+        ],
+        // 3-D FFT: large state (largest checkpoints — ft suffers the most
+        // from checkpointing), butterfly chains of 11–40 ops; transposes
+        // communicate rarely in pairs, strong rotating imbalance.
+        Benchmark::Ft => vec![
+            PhaseSpec {
+                name: "butterfly",
+                addrs: 2048,
+                sweeps: 6,
+                classes: vec![
+                    C::arith(0.08, 4, 7, 2),
+                    C::arith(0.15, 6, 9, 2),
+                    C::arith(0.48, 12, 19, 2),
+                    C::arith(0.18, 22, 29, 2),
+                    C::arith(0.108, 32, 39, 2),
+                    C::arith(0.002, 43, 49, 1),
+                    C::copy(0.002),
+                ],
+                comm: Comm::Groups { size: 2, period: 8 },
+                heavy: Some(HeavySpec {
+                    period: 2,
+                    extra_addrs: 1024,
+                    staggered: true,
+                }),
+            },
+            PhaseSpec {
+                name: "transpose",
+                addrs: 2048,
+                sweeps: 5,
+                classes: vec![
+                    C::arith(0.08, 4, 7, 1),
+                    C::arith(0.15, 6, 9, 1),
+                    C::arith(0.46, 12, 19, 2),
+                    C::arith(0.17, 22, 29, 2),
+                    C::arith(0.12, 32, 39, 1),
+                    C::arith(0.01, 43, 49, 1),
+                    C::copy(0.01),
+                ],
+                comm: Comm::Groups { size: 2, period: 8 },
+                heavy: Some(HeavySpec {
+                    period: 2,
+                    extra_addrs: 1024,
+                    staggered: true,
+                }),
+            },
+        ],
+        // Integer sort: tiny ranking computations (97 % coverable even at
+        // threshold 5) followed by one large pure-permutation pass whose
+        // interval dominates the Max checkpoint but contains nothing
+        // recomputable (Fig. 9's is corner case).
+        Benchmark::Is => vec![
+            PhaseSpec {
+                name: "rank",
+                addrs: 768,
+                sweeps: 14,
+                classes: vec![
+                    C::arith(0.80, 2, 4, 1),
+                    C::arith(0.174, 2, 4, 0),
+                    C::arith(0.021, 22, 28, 1),
+                    C::copy(0.005),
+                ],
+                comm: Comm::Groups { size: 2, period: 4 },
+                heavy: Some(HeavySpec {
+                    period: 2,
+                    extra_addrs: 768,
+                    staggered: true,
+                }),
+            },
+            PhaseSpec {
+                name: "permute",
+                addrs: 6144,
+                sweeps: 1,
+                classes: vec![C::arith(0.02, 2, 4, 1), C::copy(0.98)],
+                comm: Comm::None,
+                heavy: None,
+            },
+        ],
+        // LU decomposition: shallow pivot updates plus a long tail of deep
+        // and uncoverable elimination chains; all-to-all every other
+        // sweep, mild imbalance.
+        Benchmark::Lu => vec![
+            PhaseSpec {
+                name: "jacld",
+                addrs: 640,
+                sweeps: 16,
+                classes: vec![
+                    C::arith(0.16, 4, 8, 1),
+                    C::arith(0.30, 6, 9, 2),
+                    C::arith(0.04, 12, 18, 1),
+                    C::arith(0.17, 22, 29, 2),
+                    C::arith(0.10, 32, 39, 1),
+                    C::arith(0.06, 42, 49, 1),
+                    C::arith(0.10, 55, 70, 1),
+                    C::copy(0.07),
+                ],
+                comm: Comm::AllToAll { period: 2 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 192,
+                    staggered: true,
+                }),
+            },
+            PhaseSpec {
+                name: "blts",
+                addrs: 640,
+                sweeps: 16,
+                classes: vec![
+                    C::arith(0.12, 4, 8, 1),
+                    C::arith(0.28, 6, 9, 1),
+                    C::arith(0.04, 13, 19, 1),
+                    C::arith(0.19, 22, 29, 2),
+                    C::arith(0.11, 33, 39, 2),
+                    C::arith(0.07, 43, 49, 1),
+                    C::arith(0.13, 56, 70, 1),
+                    C::copy(0.06),
+                ],
+                comm: Comm::AllToAll { period: 2 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 192,
+                    staggered: true,
+                }),
+            },
+        ],
+        // Multigrid: V-cycle over levels of different sizes; restriction/
+        // prolongation stencils are mostly 21–30 ops deep; neighbour
+        // groups communicate rarely, moderate imbalance.
+        Benchmark::Mg => vec![
+            PhaseSpec {
+                name: "fine",
+                addrs: 1024,
+                sweeps: 9,
+                classes: vec![
+                    C::arith(0.04, 4, 7, 1),
+                    C::arith(0.08, 6, 9, 2),
+                    C::arith(0.08, 12, 19, 2),
+                    C::arith(0.68, 22, 29, 2),
+                    C::arith(0.025, 32, 38, 1),
+                    C::arith(0.045, 55, 66, 1),
+                    C::copy(0.05),
+                ],
+                comm: Comm::Groups { size: 4, period: 4 },
+                heavy: Some(HeavySpec {
+                    period: 2,
+                    extra_addrs: 512,
+                    staggered: true,
+                }),
+            },
+            PhaseSpec {
+                name: "coarse",
+                addrs: 256,
+                sweeps: 14,
+                classes: vec![
+                    C::arith(0.04, 4, 7, 1),
+                    C::arith(0.08, 6, 9, 1),
+                    C::arith(0.09, 12, 18, 1),
+                    C::arith(0.69, 22, 28, 2),
+                    C::arith(0.02, 32, 38, 1),
+                    C::arith(0.04, 55, 64, 1),
+                    C::copy(0.04),
+                ],
+                comm: Comm::Groups { size: 4, period: 4 },
+                heavy: None,
+            },
+            PhaseSpec {
+                name: "interp",
+                addrs: 1024,
+                sweeps: 9,
+                classes: vec![
+                    C::arith(0.04, 4, 7, 1),
+                    C::arith(0.08, 6, 9, 1),
+                    C::arith(0.07, 12, 18, 2),
+                    C::arith(0.67, 22, 29, 2),
+                    C::arith(0.025, 32, 38, 1),
+                    C::arith(0.05, 55, 66, 1),
+                    C::copy(0.065),
+                ],
+                comm: Comm::Groups { size: 4, period: 4 },
+                heavy: Some(HeavySpec {
+                    period: 2,
+                    extra_addrs: 512,
+                    staggered: true,
+                }),
+            },
+        ],
+        // Scalar pentadiagonal solver: like bt but with a fatter 31–40
+        // band; all-to-all every sweep.
+        Benchmark::Sp => vec![
+            PhaseSpec {
+                name: "rhs",
+                addrs: 640,
+                sweeps: 16,
+                classes: vec![
+                    C::arith(0.14, 4, 8, 1),
+                    C::arith(0.24, 6, 9, 1),
+                    C::arith(0.10, 12, 18, 2),
+                    C::arith(0.24, 22, 29, 2),
+                    C::arith(0.21, 32, 39, 1),
+                    C::arith(0.025, 42, 49, 1),
+                    C::arith(0.02, 55, 64, 1),
+                    C::copy(0.02),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 384,
+                    staggered: false,
+                }),
+            },
+            PhaseSpec {
+                name: "solve",
+                addrs: 768,
+                sweeps: 16,
+                classes: vec![
+                    C::arith(0.12, 4, 8, 1),
+                    C::arith(0.24, 6, 9, 2),
+                    C::arith(0.11, 13, 19, 1),
+                    C::arith(0.24, 22, 29, 2),
+                    C::arith(0.23, 33, 39, 2),
+                    C::arith(0.02, 43, 49, 1),
+                    C::arith(0.02, 56, 66, 1),
+                    C::copy(0.02),
+                ],
+                comm: Comm::AllToAll { period: 1 },
+                heavy: Some(HeavySpec {
+                    period: 4,
+                    extra_addrs: 384,
+                    staggered: false,
+                }),
+            },
+        ],
+    };
+    KernelSpec {
+        bench,
+        input_words: 128,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        for b in Benchmark::ALL {
+            let spec = kernel_spec(b);
+            assert_eq!(spec.input_words % 64, 0);
+            for p in &spec.phases {
+                let sum: f64 = p.classes.iter().map(|c| c.weight).sum();
+                assert!(
+                    (sum - 1.0).abs() < 0.02,
+                    "{b} phase {} weights sum to {sum}",
+                    p.name
+                );
+                assert_eq!(p.addrs % 64, 0, "{b}/{}: addrs must be site-aligned", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn comm_periods_are_powers_of_two() {
+        for b in Benchmark::ALL {
+            for p in kernel_spec(b).phases {
+                let period = match p.comm {
+                    Comm::None => 1,
+                    Comm::Groups { period, .. } | Comm::AllToAll { period } => period,
+                };
+                assert!(period.is_power_of_two(), "{b}/{}", p.name);
+                if let Some(h) = p.heavy {
+                    assert!(h.period.is_power_of_two());
+                    assert_eq!(h.extra_addrs % 64, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_roles_encoded() {
+        // The all-to-all benchmarks (local == global in Fig. 13) must not
+        // carry staggered imbalance; the local-friendly ones must.
+        for b in [Benchmark::Bt, Benchmark::Cg, Benchmark::Sp] {
+            for p in kernel_spec(b).phases {
+                assert!(matches!(p.comm, Comm::AllToAll { period: 1 }), "{b}");
+                if let Some(h) = p.heavy {
+                    assert!(!h.staggered, "{b} must not be imbalanced");
+                }
+            }
+        }
+        for b in [Benchmark::Ft, Benchmark::Is, Benchmark::Mg, Benchmark::Dc] {
+            let spec = kernel_spec(b);
+            assert!(
+                spec.phases
+                    .iter()
+                    .any(|p| p.heavy.map(|h| h.staggered).unwrap_or(false)),
+                "{b} needs rotating imbalance for the local scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_shapes_encoded() {
+        // is: almost everything coverable at depth <= 5 in the rank phase.
+        let is = kernel_spec(Benchmark::Is);
+        let rank = &is.phases[0];
+        let tiny: f64 = rank
+            .classes
+            .iter()
+            .filter(|c| c.kind == ClassKind::Arith && c.depth.1 <= 5)
+            .map(|c| c.weight)
+            .sum();
+        assert!(tiny > 0.9);
+        // cg: almost nothing coverable at threshold 10.
+        let cg = kernel_spec(Benchmark::Cg);
+        let shallow: f64 = cg.phases[0]
+            .classes
+            .iter()
+            .filter(|c| c.kind == ClassKind::Arith && c.depth.1 <= 10)
+            .map(|c| c.weight)
+            .sum();
+        assert!(shallow < 0.15);
+    }
+}

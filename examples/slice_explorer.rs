@@ -1,0 +1,87 @@
+//! Inspect what the ACR compiler pass does to a NAS-like kernel: slice
+//! length histograms, rejection reasons, coverage vs threshold, binary
+//! size overhead, and a disassembled example Slice.
+//!
+//! ```sh
+//! cargo run --release --example slice_explorer [bench]
+//! ```
+
+use acr_slicer::{instrument, SlicerConfig};
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Bt);
+    let program = generate(
+        bench,
+        &WorkloadConfig::default().with_threads(4).with_scale(0.5),
+    );
+    let mix = program.instruction_mix();
+    println!(
+        "benchmark {bench}: {} threads, {} static instructions, {} B data image",
+        program.num_threads(),
+        program.static_len(),
+        program.mem_bytes()
+    );
+    println!(
+        "static mix: {} arith, {} loads, {} stores ({:.1}% stores), {} branches",
+        mix.arith,
+        mix.loads,
+        mix.stores,
+        100.0 * mix.store_fraction(),
+        mix.branches
+    );
+
+    println!("\ncoverage vs Slice-length threshold (static stores):");
+    println!("{:>9} {:>8} {:>10} {:>12}", "threshold", "sliced", "coverage", "binary_ovhd");
+    for threshold in [5usize, 10, 20, 30, 40, 50] {
+        let (ip, stats) = instrument(&program, &SlicerConfig { threshold });
+        println!(
+            "{:>9} {:>8} {:>9.1}% {:>11.2}%",
+            threshold,
+            stats.sliced_stores,
+            100.0 * stats.static_coverage(),
+            100.0 * stats.binary_overhead(ip.static_len()),
+        );
+    }
+
+    let (ip, stats) = instrument(
+        &program,
+        &SlicerConfig {
+            threshold: bench.default_threshold(),
+        },
+    );
+    println!(
+        "\nat the paper's threshold ({}) — {} unique Slices, {} embedded instructions:",
+        bench.default_threshold(),
+        stats.unique_slices,
+        stats.embedded_slice_instrs
+    );
+    println!("  slice length histogram: {:?}", stats.length_histogram);
+    println!(
+        "  rejections: {} too long, {} no arithmetic (pure copies), {} inputs clobbered, {} too many inputs",
+        stats.rejected_too_long,
+        stats.rejected_no_arith,
+        stats.rejected_input_clobbered,
+        stats.rejected_too_many_inputs,
+    );
+
+    if let Some(slice) = ip.slices().iter().max_by_key(|s| s.len()) {
+        println!(
+            "\nlongest embedded Slice ({} instructions, {} operand-buffer inputs):",
+            slice.len(),
+            slice.num_inputs
+        );
+        for (i, instr) in slice.instrs.iter().enumerate() {
+            println!("  t{i:<3} <- {:?} {:?}, {:?}", instr.op, instr.a, instr.b);
+        }
+        let demo_inputs: Vec<u64> = (0..slice.num_inputs).map(|i| 10 + u64::from(i)).collect();
+        println!(
+            "  executing it over inputs {:?} recomputes {:#x}",
+            demo_inputs,
+            slice.execute(&demo_inputs).expect("valid slice"),
+        );
+    }
+}

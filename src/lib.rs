@@ -1,0 +1,16 @@
+//! # acr-repro — workspace facade
+//!
+//! Re-exports every crate of the ACR (Amnesic Checkpointing and Recovery,
+//! HPCA 2020) reproduction so examples and integration tests can use a
+//! single dependency. See the `acr` crate for the main entry points.
+
+#![forbid(unsafe_code)]
+
+pub use acr;
+pub use acr_ckpt;
+pub use acr_energy;
+pub use acr_isa;
+pub use acr_mem;
+pub use acr_sim;
+pub use acr_slicer;
+pub use acr_workloads;

@@ -1,0 +1,60 @@
+//! Bit-for-bit reproducibility: the simulator is deterministic by design
+//! (explicit core interleaving, seeded generators), so identical
+//! configurations must produce identical cycles, energy and reports.
+
+use acr::{Experiment, ExperimentSpec};
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+fn run_pair(bench: Benchmark, errors: u32) -> (u64, f64, u64) {
+    let p = generate(
+        bench,
+        &WorkloadConfig {
+            threads: 4,
+            scale: 0.15,
+            seed: 9,
+        },
+    );
+    let spec = ExperimentSpec::default()
+        .with_cores(4)
+        .with_checkpoints(5)
+        .with_threshold(bench.default_threshold());
+    let mut exp = Experiment::new(p, spec).expect("valid");
+    let r = exp.run_reckpt(errors).expect("run");
+    (
+        r.cycles,
+        r.energy.total_joules(),
+        r.checkpoint_bytes(),
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for errors in [0u32, 2] {
+        let a = run_pair(Benchmark::Sp, errors);
+        let b = run_pair(Benchmark::Sp, errors);
+        assert_eq!(a.0, b.0, "cycles differ");
+        assert!((a.1 - b.1).abs() < 1e-18, "energy differs");
+        assert_eq!(a.2, b.2, "checkpoint bytes differ");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let p1 = generate(
+        Benchmark::Sp,
+        &WorkloadConfig {
+            threads: 2,
+            scale: 0.15,
+            seed: 1,
+        },
+    );
+    let p2 = generate(
+        Benchmark::Sp,
+        &WorkloadConfig {
+            threads: 2,
+            scale: 0.15,
+            seed: 2,
+        },
+    );
+    assert_ne!(p1, p2);
+}

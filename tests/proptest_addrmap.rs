@@ -1,0 +1,229 @@
+//! Model-based property test for ACR's `AddrMap` + policy semantics.
+//!
+//! A naive reference model keeps, per address, the *complete* history of
+//! associations and invalidating stores. Over random operation sequences
+//! (stores, associations, checkpoints, rollbacks), the real
+//! `acr::AcrPolicy` must agree with the model on every omission decision
+//! and recomputed value — within the retention window the paper
+//! guarantees (the two most recent checkpoints).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use acr::{AcrPolicy, AddrMapConfig};
+use acr_ckpt::OmissionPolicy;
+use acr_isa::{AluOp, Slice, SliceId, SliceInstr, SliceOperand};
+use acr_mem::{CoreId, WordAddr};
+use acr_sim::AssocEvent;
+
+/// Identity-plus-constant slices: slice `k` computes `input0 + k`.
+fn slice_table(n: u32) -> Vec<Slice> {
+    (0..n)
+        .map(|k| {
+            Slice::new(
+                vec![SliceInstr {
+                    op: AluOp::Add,
+                    a: SliceOperand::Input(0),
+                    b: SliceOperand::Imm(u64::from(k)),
+                }],
+                1,
+            )
+            .expect("valid slice")
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Covered store: `store + assoc` pair on `core` at `addr` with slice
+    /// `slice` and input `input`.
+    Assoc {
+        core: u32,
+        addr: u8,
+        slice: u32,
+        input: u64,
+    },
+    /// Uncovered store on `core` at `addr`.
+    Store { core: u32, addr: u8 },
+    /// Establish a checkpoint (advance the epoch).
+    Checkpoint,
+}
+
+fn op_strategy(cores: u32, slices: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..cores, any::<u8>(), 0..slices, any::<u64>()).prop_map(
+            |(core, addr, slice, input)| Op::Assoc { core, addr: addr % 24, slice, input }
+        ),
+        2 => (0..cores, any::<u8>()).prop_map(|(core, addr)| Op::Store { core, addr: addr % 24 }),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+/// One reference-model history entry: epoch plus the live association
+/// (owner core, slice id, captured input), or `None` for a tombstone.
+type ModelEntry = (u64, Option<(u32, u32, u64)>);
+
+/// Reference model: full association history per address.
+#[derive(Default)]
+struct Model {
+    history: HashMap<u64, Vec<ModelEntry>>,
+}
+
+impl Model {
+    fn lookup(&self, addr: u64, epoch: u64) -> Option<(u32, u32, u64)> {
+        self.history
+            .get(&addr)?
+            .iter()
+            .rev()
+            .find(|(e, _)| *e < epoch)
+            .and_then(|(_, a)| *a)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policy_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(3, 8), 1..120),
+    ) {
+        let slices = slice_table(8);
+        let mut policy = AcrPolicy::new(slices.clone(), AddrMapConfig::default(), 3);
+        let mut model = Model::default();
+        let mut epoch = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Assoc { core, addr, slice, input } => {
+                    let a = u64::from(addr) * 8;
+                    policy.on_store(core, WordAddr::new(a), epoch);
+                    policy.on_assoc(
+                        &AssocEvent {
+                            core: CoreId(core),
+                            addr: WordAddr::new(a),
+                            value: input.wrapping_add(u64::from(slice)),
+                            slice: SliceId(slice),
+                            inputs: vec![input],
+                        },
+                        epoch,
+                    );
+                    let h = model.history.entry(a).or_default();
+                    // Same-epoch entries supersede (last store wins).
+                    if h.last().map(|(e, _)| *e == epoch).unwrap_or(false) {
+                        h.pop();
+                    }
+                    h.push((epoch, Some((core, slice, input))));
+                }
+                Op::Store { core, addr } => {
+                    let a = u64::from(addr) * 8;
+                    policy.on_store(core, WordAddr::new(a), epoch);
+                    let h = model.history.entry(a).or_default();
+                    if h.last().map(|(e, _)| *e == epoch).unwrap_or(false) {
+                        h.pop();
+                    }
+                    // Only meaningful if it kills a live association (a
+                    // tombstone after nothing is still nothing).
+                    h.push((epoch, None));
+                }
+                Op::Checkpoint => {
+                    policy.on_checkpoint(epoch);
+                    epoch += 1;
+                }
+            }
+
+            // After every step, the policy must agree with the model for
+            // every address at the current epoch (the only epoch the
+            // engine queries omission decisions for).
+            for addr in 0..24u64 {
+                let a = addr * 8;
+                let want = model.lookup(a, epoch);
+                let got_owner = policy.clone().try_omit(0, WordAddr::new(a), epoch);
+                prop_assert_eq!(
+                    got_owner,
+                    want.map(|(owner, _, _)| owner),
+                    "owner mismatch at addr {} epoch {}",
+                    a,
+                    epoch
+                );
+                if let Some((_, slice, input)) = want {
+                    let rc = policy
+                        .clone()
+                        .recompute(WordAddr::new(a), epoch)
+                        .expect("model says recomputable");
+                    prop_assert_eq!(rc.value, input.wrapping_add(u64::from(slice)));
+                }
+            }
+        }
+    }
+
+    /// Rollback forgets exactly the victim's associations from the undone
+    /// epochs.
+    #[test]
+    fn rollback_selectively_forgets(
+        pre in prop::collection::vec(op_strategy(2, 4), 1..40),
+        post in prop::collection::vec(op_strategy(2, 4), 1..40),
+    ) {
+        let slices = slice_table(4);
+        let mut policy = AcrPolicy::new(slices, AddrMapConfig::default(), 2);
+        let mut model = Model::default();
+        let mut epoch = 0u64;
+
+        let apply = |policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op]| {
+            for op in ops {
+                match *op {
+                    Op::Assoc { core, addr, slice, input } => {
+                        let a = u64::from(addr) * 8;
+                        policy.on_store(core, WordAddr::new(a), *epoch);
+                        policy.on_assoc(
+                            &AssocEvent {
+                                core: CoreId(core),
+                                addr: WordAddr::new(a),
+                                value: 0,
+                                slice: SliceId(slice),
+                                inputs: vec![input],
+                            },
+                            *epoch,
+                        );
+                        let h = model.history.entry(a).or_default();
+                        if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
+                            h.pop();
+                        }
+                        h.push((*epoch, Some((core, slice, input))));
+                    }
+                    Op::Store { core, addr } => {
+                        let a = u64::from(addr) * 8;
+                        policy.on_store(core, WordAddr::new(a), *epoch);
+                        let h = model.history.entry(a).or_default();
+                        if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
+                            h.pop();
+                        }
+                        h.push((*epoch, None));
+                    }
+                    Op::Checkpoint => {
+                        // No pruning here: this test isolates rollback.
+                        *epoch += 1;
+                    }
+                }
+            }
+        };
+
+        apply(&mut policy, &mut model, &mut epoch, &pre);
+        let safe = epoch; // roll anything after this point back
+        epoch += 1;
+        apply(&mut policy, &mut model, &mut epoch, &post);
+
+        // Roll both cores back to `safe`.
+        policy.on_rollback(safe, 0b11);
+        for h in model.history.values_mut() {
+            h.retain(|(e, _)| *e < safe);
+        }
+
+        for addr in 0..24u64 {
+            let a = addr * 8;
+            let want = model.lookup(a, safe);
+            let got = policy.clone().try_omit(0, WordAddr::new(a), safe);
+            prop_assert_eq!(got, want.map(|(owner, _, _)| owner));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property test: the assembler and disassembler are inverses over
+//! arbitrary (structured) programs — `assemble(disassemble(p))` must
+//! reproduce `p`'s instruction streams exactly, and the reassembled
+//! program must execute identically.
+
+use proptest::prelude::*;
+
+use acr_isa::asm::{assemble, disassemble};
+use acr_isa::interp::Interp;
+use acr_isa::{AluOp, BranchCond, Instr, Program, ProgramBuilder, Reg};
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Imm(u8, u64),
+    Alu(AluOp, u8, u8, u8),
+    AluI(AluOp, u8, u8, u64),
+    Load(u8, u8),
+    Store(u8, u8),
+    /// A short forward branch over one instruction.
+    SkipIfEq(u8, u8),
+    /// A small counted loop with a body of simple adds.
+    Loop(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Min,
+        AluOp::Max,
+    ])
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (0..8u8, any::<u64>()).prop_map(|(d, i)| Piece::Imm(d, i)),
+        (op_strategy(), 0..8u8, 0..8u8, 0..8u8).prop_map(|(o, d, a, b)| Piece::Alu(o, d, a, b)),
+        (op_strategy(), 0..8u8, 0..8u8, 0..1_000_000u64)
+            .prop_map(|(o, d, a, i)| Piece::AluI(o, d, a, i)),
+        (0..8u8, 0..32u8).prop_map(|(d, o)| Piece::Load(d, o)),
+        (0..8u8, 0..32u8).prop_map(|(s, o)| Piece::Store(s, o)),
+        (0..8u8, 0..8u8).prop_map(|(a, b)| Piece::SkipIfEq(a, b)),
+        (1..5u8).prop_map(Piece::Loop),
+    ]
+}
+
+/// Scratch registers r20..r27 hold values; r10 is the data base.
+fn build(pieces_per_thread: &[Vec<Piece>]) -> Program {
+    let mut b = ProgramBuilder::new(pieces_per_thread.len());
+    b.set_mem_bytes(4096);
+    for (t, pieces) in pieces_per_thread.iter().enumerate() {
+        let tb = b.thread(t as u32);
+        let r = |k: u8| Reg(20 + k % 8);
+        for p in pieces {
+            match *p {
+                Piece::Imm(d, i) => {
+                    tb.imm(r(d), i);
+                }
+                Piece::Alu(op, d, a, b2) => {
+                    tb.alu(op, r(d), r(a), r(b2));
+                }
+                Piece::AluI(op, d, a, i) => {
+                    tb.alui(op, r(d), r(a), i);
+                }
+                Piece::Load(d, o) => {
+                    tb.load(r(d), Reg(0), u64::from(o) * 8);
+                }
+                Piece::Store(s, o) => {
+                    tb.store(r(s), Reg(0), u64::from(o) * 8);
+                }
+                Piece::SkipIfEq(a, b2) => {
+                    let target = tb.here() + 2;
+                    tb.raw(Instr::Branch {
+                        cond: BranchCond::Eq,
+                        ra: r(a),
+                        rb: r(b2),
+                        target,
+                    });
+                    tb.alui(AluOp::Add, Reg(27), Reg(27), 1);
+                }
+                Piece::Loop(n) => {
+                    let l = tb.begin_loop(Reg(28), Reg(29), u64::from(n));
+                    tb.alui(AluOp::Add, Reg(26), Reg(26), 3);
+                    tb.end_loop(l);
+                }
+            }
+        }
+        tb.halt();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn disassemble_assemble_roundtrip(
+        threads in prop::collection::vec(
+            prop::collection::vec(piece_strategy(), 0..25),
+            1..3,
+        ),
+    ) {
+        let original = build(&threads);
+        prop_assert!(original.validate().is_ok());
+
+        let text = disassemble(&original);
+        let rebuilt = assemble(&text).expect("reassembles");
+        prop_assert_eq!(original.threads(), rebuilt.threads());
+        prop_assert_eq!(original.mem_bytes(), rebuilt.mem_bytes());
+
+        // And it runs to the same memory image.
+        let mut a = Interp::new(&original);
+        a.run_to_completion(1_000_000).expect("original runs");
+        let mut b = Interp::new(&rebuilt);
+        b.run_to_completion(1_000_000).expect("rebuilt runs");
+        prop_assert_eq!(a.mem(), b.mem());
+    }
+}

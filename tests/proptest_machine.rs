@@ -1,0 +1,124 @@
+//! Property test: the timing simulator (`acr-sim`) and the reference
+//! interpreter (`acr-isa`) must compute identical final memory images for
+//! arbitrary (structured) multithreaded programs — timing modelling must
+//! never change semantics.
+
+use proptest::prelude::*;
+
+use acr_isa::interp::Interp;
+use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_sim::{Machine, MachineConfig, NoHooks};
+
+#[derive(Debug, Clone)]
+struct ThreadPlan {
+    sweeps: u64,
+    words: u64,
+    ops: Vec<(AluOp, u64)>,
+    read_peer: bool,
+}
+
+fn plan_strategy() -> impl Strategy<Value = ThreadPlan> {
+    (
+        1..4u64,
+        prop::sample::select(vec![8u64, 24, 40]),
+        prop::collection::vec(
+            (
+                prop::sample::select(vec![
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Xor,
+                    AluOp::Or,
+                    AluOp::Shl,
+                    AluOp::Shr,
+                    AluOp::Min,
+                    AluOp::Max,
+                    AluOp::Div,
+                ]),
+                1..1000u64,
+            ),
+            1..8,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(sweeps, words, ops, read_peer)| ThreadPlan {
+            sweeps,
+            words,
+            ops,
+            read_peer,
+        })
+}
+
+fn build(plans: &[ThreadPlan]) -> Program {
+    let threads = plans.len();
+    let mut b = ProgramBuilder::new(threads);
+    b.set_mem_bytes(1 << 16);
+    for (t, plan) in plans.iter().enumerate() {
+        let base = 4096 + t as u64 * 4096;
+        let tb = b.thread(t as u32);
+        tb.imm(Reg(10), base);
+        let sweeps = tb.begin_loop(Reg(1), Reg(2), plan.sweeps);
+        let inner = tb.begin_loop(Reg(3), Reg(4), plan.words);
+        tb.alu(AluOp::Add, Reg(22), Reg(3), Reg(1));
+        for (op, c) in &plan.ops {
+            tb.alui(*op, Reg(22), Reg(22), *c);
+        }
+        tb.alui(AluOp::Mul, Reg(6), Reg(3), 8);
+        tb.alu(AluOp::Add, Reg(7), Reg(10), Reg(6));
+        tb.store(Reg(22), Reg(7), 0);
+        tb.end_loop(inner);
+        if plan.read_peer && threads > 1 {
+            let peer = 4096 + ((t + 1) % threads) as u64 * 4096;
+            tb.imm(Reg(11), peer);
+            tb.load(Reg(25), Reg(11), 0); // value intentionally unused
+        }
+        tb.end_loop(sweeps);
+        tb.barrier();
+        tb.halt();
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machine_matches_interpreter(
+        plans in prop::collection::vec(plan_strategy(), 1..4),
+    ) {
+        let p = build(&plans);
+        prop_assert!(p.validate().is_ok());
+
+        let mut interp = Interp::new(&p);
+        interp.run_to_completion(50_000_000).expect("interp");
+
+        let cfg = MachineConfig::with_cores(plans.len() as u32);
+        let mut machine = Machine::new(cfg, &p);
+        machine.run(&mut NoHooks, u64::MAX).expect("machine");
+
+        prop_assert_eq!(machine.mem().image().words(), interp.mem());
+        prop_assert_eq!(
+            machine.total_retired(),
+            interp.retired().iter().sum::<u64>()
+        );
+        prop_assert!(machine.cycles() > 0);
+    }
+
+    /// Timing sanity: adding dependent work never reduces cycles.
+    #[test]
+    fn longer_chains_cost_more(
+        mut plan in plan_strategy(),
+    ) {
+        plan.read_peer = false;
+        let short = build(std::slice::from_ref(&plan));
+        let mut longer_plan = plan.clone();
+        longer_plan.ops.extend_from_slice(&[(AluOp::Add, 1); 8]);
+        let long = build(std::slice::from_ref(&longer_plan));
+
+        let mut m1 = Machine::new(MachineConfig::with_cores(1), &short);
+        m1.run(&mut NoHooks, u64::MAX).expect("short");
+        let mut m2 = Machine::new(MachineConfig::with_cores(1), &long);
+        m2.run(&mut NoHooks, u64::MAX).expect("long");
+        prop_assert!(m2.cycles() >= m1.cycles());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the compiler pass: over randomly generated
+//! expression kernels, every embedded Slice must reproduce the stored
+//! value at every dynamic execution (checked by the reference
+//! interpreter's `verify_slices` oracle), and instrumentation must never
+//! change program semantics.
+
+use proptest::prelude::*;
+
+use acr_isa::interp::Interp;
+use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_slicer::{instrument, SlicerConfig};
+
+/// One random arithmetic statement in a generated kernel body.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `rd <- op(ra, rb)` over the scratch registers.
+    Alu(u8, AluOp, u8, u8),
+    /// `rd <- op(ra, imm)`.
+    AluI(u8, AluOp, u8, u64),
+    /// `rd <- imm`.
+    Imm(u8, u64),
+    /// `rd <- mem[input + off]`.
+    Load(u8, u8),
+    /// `mem[out + off] <- rs`.
+    Store(u8, u8),
+}
+
+const SCRATCH: [Reg; 6] = [Reg(20), Reg(21), Reg(22), Reg(23), Reg(24), Reg(25)];
+
+fn op_strategy() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::Div,
+        AluOp::Rem,
+    ])
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..6u8, op_strategy(), 0..6u8, 0..6u8).prop_map(|(d, op, a, b)| Stmt::Alu(d, op, a, b)),
+        (0..6u8, op_strategy(), 0..6u8, 0..1000u64)
+            .prop_map(|(d, op, a, i)| Stmt::AluI(d, op, a, i)),
+        (0..6u8, any::<u64>()).prop_map(|(d, i)| Stmt::Imm(d, i)),
+        (0..6u8, 0..32u8).prop_map(|(d, o)| Stmt::Load(d, o)),
+        (0..6u8, 0..64u8).prop_map(|(s, o)| Stmt::Store(s, o)),
+    ]
+}
+
+/// Builds a 1-thread program: an input-seeding prologue, then `sweeps`
+/// iterations of the random body.
+fn build(stmts: &[Stmt], sweeps: u64) -> Program {
+    let mut b = ProgramBuilder::new(1);
+    b.set_mem_bytes(8192);
+    let t = b.thread(0);
+    t.imm(Reg(10), 1024); // out base
+    t.imm(Reg(12), 0); // input base
+    // Seed the input array deterministically.
+    let init = t.begin_loop(Reg(3), Reg(4), 32);
+    t.alui(AluOp::Mul, Reg(5), Reg(3), 0x9E37);
+    t.alui(AluOp::Xor, Reg(5), Reg(5), 0x5A5A);
+    t.alui(AluOp::Mul, Reg(6), Reg(3), 8);
+    t.alu(AluOp::Add, Reg(7), Reg(12), Reg(6));
+    t.store(Reg(5), Reg(7), 0);
+    t.end_loop(init);
+    let l = t.begin_loop(Reg(1), Reg(2), sweeps);
+    for s in stmts {
+        match *s {
+            Stmt::Alu(d, op, a, b2) => {
+                t.alu(op, SCRATCH[d as usize], SCRATCH[a as usize], SCRATCH[b2 as usize]);
+            }
+            Stmt::AluI(d, op, a, i) => {
+                t.alui(op, SCRATCH[d as usize], SCRATCH[a as usize], i);
+            }
+            Stmt::Imm(d, i) => {
+                t.imm(SCRATCH[d as usize], i);
+            }
+            Stmt::Load(d, o) => {
+                t.load(SCRATCH[d as usize], Reg(12), u64::from(o) * 8);
+            }
+            Stmt::Store(s2, o) => {
+                t.store(SCRATCH[s2 as usize], Reg(10), u64::from(o) * 8);
+            }
+        }
+    }
+    t.end_loop(l);
+    t.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every embedded Slice reproduces its store's value dynamically, and
+    /// the instrumented program computes the same final memory.
+    #[test]
+    fn slices_verify_and_semantics_preserved(
+        stmts in prop::collection::vec(stmt_strategy(), 1..40),
+        sweeps in 1u64..5,
+        threshold in prop::sample::select(vec![1usize, 3, 10, 30]),
+    ) {
+        let p = build(&stmts, sweeps);
+        prop_assert!(p.validate().is_ok());
+        let (ip, _stats) = instrument(&p, &SlicerConfig { threshold });
+        prop_assert!(ip.validate().is_ok());
+
+        let mut reference = Interp::new(&p);
+        reference.run_to_completion(10_000_000).expect("reference");
+
+        let mut verified = Interp::new(&ip);
+        verified.verify_slices(true);
+        verified.run_to_completion(10_000_000).expect("instrumented");
+
+        prop_assert_eq!(reference.mem(), verified.mem());
+    }
+
+    /// Instrumentation is idempotent in effect: re-instrumenting the raw
+    /// program at the same threshold produces the identical binary.
+    #[test]
+    fn instrumentation_is_deterministic(
+        stmts in prop::collection::vec(stmt_strategy(), 1..25),
+    ) {
+        let p = build(&stmts, 2);
+        let (a, sa) = instrument(&p, &SlicerConfig { threshold: 10 });
+        let (b, sb) = instrument(&p, &SlicerConfig { threshold: 10 });
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// Coverage is monotone in the threshold.
+    #[test]
+    fn coverage_monotone_in_threshold(
+        stmts in prop::collection::vec(stmt_strategy(), 1..40),
+    ) {
+        let p = build(&stmts, 2);
+        let mut last = 0;
+        for t in [1usize, 2, 5, 10, 20, 50] {
+            let (_, s) = instrument(&p, &SlicerConfig { threshold: t });
+            prop_assert!(s.sliced_stores >= last,
+                "coverage dropped from {last} to {} at threshold {t}", s.sliced_stores);
+            last = s.sliced_stores;
+        }
+    }
+}
