@@ -35,7 +35,12 @@ fn main() {
             let t_red = 100.0 * (c.cycles as f64 - r.cycles as f64) / c.cycles as f64;
             println!(
                 "{:>5} {:>6} {:>12} {:>12} {:>9.2} {:>9.2}",
-                b.name(), every, cb, rb, l2red, t_red
+                b.name(),
+                every,
+                cb,
+                rb,
+                l2red,
+                t_red
             );
         }
     }

@@ -17,9 +17,8 @@ fn main() {
         "bench", "sliced", "no-arith", "avg_len", "recomp/read"
     );
     for b in Benchmark::ALL {
-        let mut exp =
-            experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
-                .expect("workload");
+        let mut exp = experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+            .expect("workload");
         let (_, stats) = exp.instrumented();
         let total_len: u64 = stats
             .length_histogram
@@ -33,8 +32,7 @@ fn main() {
         };
         // Energy of recomputing one value along an average slice (with 2
         // operand-buffer inputs) vs reading one log record from DRAM.
-        let ratio =
-            model.slice_recompute_pj(avg_len.round() as usize, 2) / model.log_read_pj();
+        let ratio = model.slice_recompute_pj(avg_len.round() as usize, 2) / model.log_read_pj();
         println!(
             "{:>5} {:>10} {:>10} {:>12.1} {:>13.2}x",
             b.name(),

@@ -36,8 +36,7 @@ fn main() {
         let ckpt_oh = ckpt.time_overhead_pct(&no);
         let re_oh = re.time_overhead_pct(&no);
         let t_red = 100.0 * (ckpt.cycles as f64 - re.cycles as f64) / ckpt.cycles as f64;
-        let e_red = 100.0
-            * (ckpt.energy.total_joules() - re.energy.total_joules())
+        let e_red = 100.0 * (ckpt.energy.total_joules() - re.energy.total_joules())
             / ckpt.energy.total_joules();
         let rep = re.report.as_ref().expect("report");
         let edp_red = re.edp_reduction_pct(&ckpt);

@@ -12,8 +12,16 @@ fn main() {
     for i in &rep.intervals {
         println!(
             "epoch {:>3} base {:>9} red% {:6.2} recs {:>7} omit {:>7}",
-            i.epoch, i.baseline_bytes, i.reduction_pct(), i.records, i.omitted
+            i.epoch,
+            i.baseline_bytes,
+            i.reduction_pct(),
+            i.records,
+            i.omitted
         );
     }
-    println!("overall {:.2} max {:.2}", rep.overall_reduction_pct(), rep.max_interval_reduction_pct());
+    println!(
+        "overall {:.2} max {:.2}",
+        rep.overall_reduction_pct(),
+        rep.max_interval_reduction_pct()
+    );
 }

@@ -4,7 +4,10 @@ use acr_ckpt::Scheme;
 use acr_workloads::Benchmark;
 
 fn main() {
-    println!("{:>4} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}", "name", "ckptNE_g", "ckptNE_l", "ratio", "reNE_g", "reNE_l", "ratio");
+    println!(
+        "{:>4} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "name", "ckptNE_g", "ckptNE_l", "ratio", "reNE_g", "reNE_l", "ratio"
+    );
     for b in Benchmark::ALL {
         let mut g = experiment_for(b, 8, 1.0, Scheme::GlobalCoordinated).unwrap();
         let mut l = experiment_for(b, 8, 1.0, Scheme::LocalCoordinated).unwrap();
@@ -14,8 +17,13 @@ fn main() {
         let rl = l.run_reckpt(0).unwrap();
         println!(
             "{:>4} {:>9} {:>9} {:7.3} | {:>9} {:>9} {:7.3}",
-            b.name(), cg_.cycles, cl.cycles, cl.cycles as f64 / cg_.cycles as f64,
-            rg.cycles, rl.cycles, rl.cycles as f64 / rg.cycles as f64,
+            b.name(),
+            cg_.cycles,
+            cl.cycles,
+            cl.cycles as f64 / cg_.cycles as f64,
+            rg.cycles,
+            rl.cycles,
+            rl.cycles as f64 / rg.cycles as f64,
         );
     }
 }

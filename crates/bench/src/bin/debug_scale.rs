@@ -20,6 +20,11 @@ fn main() {
                 100.0 * (c.cycles - r.cycles) as f64 / c.cycles as f64
             ));
         }
-        println!("threads {}: {} ({:.1}s)", threads, ohs.join(" | "), t0.elapsed().as_secs_f64());
+        println!(
+            "threads {}: {} ({:.1}s)",
+            threads,
+            ohs.join(" | "),
+            t0.elapsed().as_secs_f64()
+        );
     }
 }

@@ -15,12 +15,20 @@ fn main() {
         let skew = ckpt.cycles as i64 - no.cycles as i64 - stall as i64;
         println!(
             "{}: no={} ckpt={} stall_total={} ({}/ckpt) lines={} recs={} skew_resid={}",
-            b.name(), no.cycles, ckpt.cycles, stall,
+            b.name(),
+            no.cycles,
+            ckpt.cycles,
+            stall,
             stall / rep.checkpoints_taken.max(1),
-            lines, recs, skew
+            lines,
+            recs,
+            skew
         );
         for i in rep.intervals.iter().take(4) {
-            println!("   epoch {} recs {} lines {} stall {}", i.epoch, i.records, i.lines_flushed, i.stall_cycles);
+            println!(
+                "   epoch {} recs {} lines {} stall {}",
+                i.epoch, i.records, i.lines_flushed, i.stall_cycles
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
-//! `acr_cli` — run any ACR experiment from the command line.
+//! `experiment_cli` — run any ACR experiment from the command line.
 //!
 //! ```sh
-//! cargo run --release -p acr-bench --bin acr_cli -- \
+//! cargo run --release -p acr-bench --bin experiment_cli -- \
 //!     --bench is --threads 8 --errors 2 --checkpoints 50 --scheme local
 //! ```
 //!
@@ -73,21 +73,22 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--bench" => {
                 let v = value("--bench")?;
-                args.bench = Benchmark::from_name(&v)
-                    .ok_or_else(|| format!("unknown benchmark `{v}`"))?;
+                args.bench =
+                    Benchmark::from_name(&v).ok_or_else(|| format!("unknown benchmark `{v}`"))?;
             }
-            "--threads" => args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--checkpoints" => {
-                args.checkpoints = value("--checkpoints")?.parse().map_err(|e| format!("{e}"))?;
+                args.checkpoints = value("--checkpoints")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--errors" => args.errors = value("--errors")?.parse().map_err(|e| format!("{e}"))?,
             "--threshold" => {
@@ -100,7 +101,9 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown scheme `{other}`")),
                 };
             }
-            "--latency" => args.latency = value("--latency")?.parse().map_err(|e| format!("{e}"))?,
+            "--latency" => {
+                args.latency = value("--latency")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--addrmap" => {
                 args.addrmap = Some(value("--addrmap")?.parse().map_err(|e| format!("{e}"))?);
             }
@@ -121,10 +124,17 @@ fn print_result(label: &str, r: &RunResult, base: Option<&RunResult>) {
     println!("--- {label} ---");
     println!("  cycles          {:>14}", r.cycles);
     println!("  time            {:>14.6} ms", r.seconds * 1e3);
-    println!("  energy          {:>14.6} mJ", r.energy.total_joules() * 1e3);
+    println!(
+        "  energy          {:>14.6} mJ",
+        r.energy.total_joules() * 1e3
+    );
     println!("  EDP             {:>14.6e} J*s", r.edp);
     if let Some(b) = base {
-        println!("  time overhead   {:>13.2}% vs {}", r.time_overhead_pct(b), b.label);
+        println!(
+            "  time overhead   {:>13.2}% vs {}",
+            r.time_overhead_pct(b),
+            b.label
+        );
         println!(
             "  energy overhead {:>13.2}% vs {}",
             r.energy_overhead_pct(b),
@@ -249,7 +259,9 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: acr_cli [--bench <name>] [--threads n] [--scale f] [--seed n]");
+            eprintln!(
+                "usage: experiment_cli [--bench <name>] [--threads n] [--scale f] [--seed n]"
+            );
             eprintln!("               [--checkpoints n] [--errors n] [--threshold n]");
             eprintln!("               [--scheme global|local] [--latency f] [--addrmap n]");
             eprintln!("               [--secondary k] [--adaptive] [--oracle] [--no-acr]");

@@ -15,9 +15,8 @@ fn main() {
         "bench", "uniform_B", "adaptive_B", "bytesImp%", "timeImp%"
     );
     for b in Benchmark::ALL {
-        let mut exp =
-            experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
-                .expect("workload");
+        let mut exp = experiment_for(b, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
+            .expect("workload");
         let outcome = placement::tune(&mut exp, 4).expect("tuning runs");
         println!(
             "{:>5} {:>12} {:>12} {:>10.2} {:>10.2}",

@@ -8,9 +8,13 @@ use acr_workloads::Benchmark;
 
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("csv") {
-        let mut exp =
-            experiment_for(Benchmark::Bt, DEFAULT_THREADS, DEFAULT_SCALE, Scheme::GlobalCoordinated)
-                .expect("workload");
+        let mut exp = experiment_for(
+            Benchmark::Bt,
+            DEFAULT_THREADS,
+            DEFAULT_SCALE,
+            Scheme::GlobalCoordinated,
+        )
+        .expect("workload");
         let r = exp.run_reckpt(0).expect("reckpt");
         print!("{}", r.report.expect("report").intervals_csv());
         return;

@@ -24,17 +24,35 @@ fn main() {
         print!("{report}");
         println!();
     }
-    print!("{}", figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
     println!();
-    print!("{}", figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
     println!();
-    print!("{}", figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
     println!();
-    print!("{}", figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
     println!();
-    print!("{}", figures::scalability_report(DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::scalability_report(DEFAULT_SCALE).expect("sweep")
+    );
     println!();
-    print!("{}", figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep"));
+    print!(
+        "{}",
+        figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
+    );
     println!();
     println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

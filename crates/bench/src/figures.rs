@@ -15,8 +15,15 @@ use crate::{experiment_for, mean, MainRow};
 /// Fig. 1: relative component error rate, 8 %/bit/generation.
 pub fn fig01_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig 1: relative component error rate (8%/bit/generation) ==");
-    let _ = writeln!(out, "{:>10} {:>12} {:>14}", "generation", "per-bit", "per-component");
+    let _ = writeln!(
+        out,
+        "== Fig 1: relative component error rate (8%/bit/generation) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14}",
+        "generation", "per-bit", "per-component"
+    );
     for g in 0..=8 {
         let _ = writeln!(
             out,
@@ -84,7 +91,10 @@ pub fn fig06_report(rows: &[MainRow]) -> String {
     let _ = writeln!(
         out,
         "{:>5} {:>39} {:>12.2} {:>12.2}",
-        "avg", "", mean(&ne_reds), mean(&e_reds)
+        "avg",
+        "",
+        mean(&ne_reds),
+        mean(&e_reds)
     );
     let _ = writeln!(
         out,
@@ -134,7 +144,10 @@ pub fn fig07_report(rows: &[MainRow]) -> String {
     let _ = writeln!(
         out,
         "{:>5} {:>39} {:>12.2} {:>12.2}",
-        "avg", "", mean(&ne_reds), mean(&e_reds)
+        "avg",
+        "",
+        mean(&ne_reds),
+        mean(&e_reds)
     );
     let _ = writeln!(
         out,
@@ -159,7 +172,13 @@ pub fn fig08_report(rows: &[MainRow]) -> String {
         let e_red = r.reckpt_e.edp_reduction_pct(&r.ckpt_e);
         ne.push(ne_red);
         e.push(e_red);
-        let _ = writeln!(out, "{:>5} {:>12.2} {:>12.2}", r.bench.name(), ne_red, e_red);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12.2} {:>12.2}",
+            r.bench.name(),
+            ne_red,
+            e_red
+        );
     }
     let _ = writeln!(out, "{:>5} {:>12.2} {:>12.2}", "avg", mean(&ne), mean(&e));
     let _ = writeln!(
@@ -173,7 +192,10 @@ pub fn fig08_report(rows: &[MainRow]) -> String {
 /// Max).
 pub fn fig09_report(rows: &[MainRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig 9: checkpoint size reduction under ReCkpt_NE (%) ==");
+    let _ = writeln!(
+        out,
+        "== Fig 9: checkpoint size reduction under ReCkpt_NE (%) =="
+    );
     let _ = writeln!(out, "{:>5} {:>9} {:>9}", "bench", "Overall", "Max");
     let mut overall = Vec::new();
     for r in rows {
@@ -203,7 +225,10 @@ pub fn fig09_report(rows: &[MainRow]) -> String {
 pub fn table2_report(threads: u32, scale: f64) -> Result<String, ExperimentError> {
     let thresholds = [5usize, 10, 20, 30, 40, 50];
     let mut out = String::new();
-    let _ = writeln!(out, "== Table II: checkpoint size reduction (%) vs Slice threshold ==");
+    let _ = writeln!(
+        out,
+        "== Table II: checkpoint size reduction (%) vs Slice threshold =="
+    );
     let _ = write!(out, "{:>5}", "bench");
     for t in thresholds {
         let _ = write!(out, " {t:>7}");
@@ -234,7 +259,10 @@ pub fn table2_report(threads: u32, scale: f64) -> Result<String, ExperimentError
         out,
         "  ft 23.3/70.7/88.5/99.5/99.7  is 97.4@10 (75.7@5)  lu 42.7/46.7/64.4/74.7/81.1"
     );
-    let _ = writeln!(out, "  mg 11.6/19.7/88.0/90.3/90.2  sp 37.4/47.9/71.8/93.8/96.1");
+    let _ = writeln!(
+        out,
+        "  mg 11.6/19.7/88.0/90.3/90.2  sp 37.4/47.9/71.8/93.8/96.1"
+    );
     Ok(out)
 }
 
@@ -319,7 +347,10 @@ pub fn fig11_report(threads: u32, scale: f64) -> Result<String, ExperimentError>
         out,
         "paper: overhead grows with errors; ReCkpt_E cuts time by ~9-12% avg (up to 26.9%),"
     );
-    let _ = writeln!(out, "       EDP by ~18-24% avg (up to 50.04%) across error counts.");
+    let _ = writeln!(
+        out,
+        "       EDP by ~18-24% avg (up to 50.04%) across error counts."
+    );
     Ok(out)
 }
 
@@ -465,6 +496,10 @@ pub fn fig13_report(threads: u32, scale: f64) -> Result<String, ExperimentError>
 }
 
 /// Experiment wrapper reused by ablation binaries.
-pub fn experiment(bench: Benchmark, threads: u32, scale: f64) -> Result<Experiment, ExperimentError> {
+pub fn experiment(
+    bench: Benchmark,
+    threads: u32,
+    scale: f64,
+) -> Result<Experiment, ExperimentError> {
     experiment_for(bench, threads, scale, Scheme::GlobalCoordinated)
 }

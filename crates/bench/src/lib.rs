@@ -119,8 +119,8 @@ mod tests {
 
     #[test]
     fn main_row_runs_one_benchmark_small() {
-        let row = MainRow::run(Benchmark::Cg, 2, 0.1, acr_ckpt::Scheme::GlobalCoordinated)
-            .expect("runs");
+        let row =
+            MainRow::run(Benchmark::Cg, 2, 0.1, acr_ckpt::Scheme::GlobalCoordinated).expect("runs");
         assert!(row.ckpt_ne.cycles >= row.no_ckpt.cycles);
         let f6 = crate::figures::fig06_report(std::slice::from_ref(&row));
         assert!(f6.contains("cg"));

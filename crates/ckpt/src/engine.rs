@@ -2,9 +2,9 @@
 
 use std::collections::VecDeque;
 
-use acr_mem::{LogController, LogEpoch, WordAddr, LOG_RECORD_BYTES};
+use acr_mem::{CoreId, LogController, LogEpoch, WordAddr, LOG_RECORD_BYTES};
 use acr_sim::{
-    AssocEvent, ExecHooks, Machine, RunOutcome, SimError, StoreEvent,
+    AssocEvent, ExecHooks, Fault, FaultKind, Machine, RunOutcome, SimError, StoreEvent,
     TICKS_PER_CYCLE,
 };
 
@@ -68,12 +68,27 @@ pub struct BerConfig {
     pub oracle: bool,
     /// Optional second-level checkpoint destination.
     pub secondary: Option<SecondaryStorage>,
+    /// Real state corruptions to inject. When empty, the error schedule
+    /// is *phantom* (schedule-only, no corruption — the mode every
+    /// overhead experiment uses). When non-empty, the faults **define**
+    /// the error schedule: each fault is one error occurring at its
+    /// `at_progress` on its target core, and
+    /// [`ErrorSchedule::occurrences`] is ignored (only
+    /// `detection_latency` is still read; crashes are detected
+    /// immediately regardless). In fault mode the recovery oracle records
+    /// shadow divergence in the report instead of asserting, because
+    /// memory faults can legitimately defeat the log.
+    pub faults: Vec<Fault>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct ErrState {
     occur: u64,
     core: u32,
+    /// Corruption applied at occurrence (`None` = phantom error).
+    kind: Option<FaultKind>,
+    /// Per-error detection latency (crashes are never silent: 0).
+    latency: u64,
     occurred: bool,
     handled: bool,
 }
@@ -139,6 +154,7 @@ impl<P: OmissionPolicy> ExecHooks for CkptHooks<P> {
 ///     errors: ErrorSchedule::uniform(total, 1, 4, 0.5),
 ///     oracle: true, // verify the recovery against a shadow snapshot
 ///     secondary: None,
+///     faults: Vec::new(), // phantom errors: schedule only, no corruption
 /// };
 /// let machine = Machine::new(MachineConfig::with_cores(1), &program);
 /// let mut engine = BerEngine::new(machine, NoOmission, cfg);
@@ -167,18 +183,36 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         }
         let logctl = LogController::new(machine.mem().image().num_words());
         let num_cores = machine.cores().len() as u32;
-        let errors: Vec<ErrState> = cfg
-            .errors
-            .occurrences
-            .iter()
-            .enumerate()
-            .map(|(i, &occur)| ErrState {
-                occur,
-                core: i as u32 % num_cores,
-                occurred: false,
-                handled: false,
-            })
-            .collect();
+        let errors: Vec<ErrState> = if cfg.faults.is_empty() {
+            cfg.errors
+                .occurrences
+                .iter()
+                .enumerate()
+                .map(|(i, &occur)| ErrState {
+                    occur,
+                    core: i as u32 % num_cores,
+                    kind: None,
+                    latency: cfg.errors.detection_latency,
+                    occurred: false,
+                    handled: false,
+                })
+                .collect()
+        } else {
+            cfg.faults
+                .iter()
+                .map(|f| ErrState {
+                    occur: f.at_progress,
+                    core: f.core.0 % num_cores,
+                    kind: Some(f.kind),
+                    latency: match f.kind {
+                        FaultKind::Crash => 0,
+                        _ => cfg.errors.detection_latency,
+                    },
+                    occurred: false,
+                    handled: false,
+                })
+                .collect()
+        };
         let initial = CheckpointRecord {
             begins_epoch: 0,
             progress: 0,
@@ -219,11 +253,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     }
 
     fn next_stop(&self) -> u64 {
-        let last_ckpt = self
-            .checkpoints
-            .back()
-            .map(|c| c.progress)
-            .unwrap_or(0);
+        let last_ckpt = self.checkpoints.back().map(|c| c.progress).unwrap_or(0);
         let trig = self
             .cfg
             .triggers
@@ -242,7 +272,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             .errors
             .iter()
             .filter(|e| e.occurred && !e.handled)
-            .map(|e| e.occur + self.cfg.errors.detection_latency)
+            .map(|e| e.occur + e.latency)
             .min()
             .unwrap_or(u64::MAX);
         trig.min(occur).min(detect)
@@ -256,7 +286,24 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     pub fn run_to_completion(&mut self) -> Result<BerReport, SimError> {
         loop {
             let stop = self.next_stop();
-            let out = self.machine.run(&mut self.hooks, stop)?;
+            let out = match self.machine.run(&mut self.hooks, stop) {
+                Ok(out) => out,
+                Err(SimError::FuelExhausted) => return Err(SimError::FuelExhausted),
+                Err(trap) => {
+                    // A corrupted register or pc drove a core into an
+                    // illegal access. If an injected error is pending, the
+                    // exception *is* the detection (ahead of its scheduled
+                    // latency); recover and resume. Otherwise it is a
+                    // genuine program bug — propagate.
+                    self.mark_occurrences();
+                    if let Some(ei) = self.errors.iter().position(|e| e.occurred && !e.handled) {
+                        self.report.exception_detections += 1;
+                        self.do_recovery(ei);
+                        continue;
+                    }
+                    return Err(trap);
+                }
+            };
             self.mark_occurrences();
             // Process due events in ascending threshold order; recovery
             // rewinds progress, so re-evaluate after each.
@@ -273,13 +320,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                     .errors
                     .iter()
                     .enumerate()
-                    .filter(|(_, e)| {
-                        e.occurred
-                            && !e.handled
-                            && e.occur + self.cfg.errors.detection_latency <= progress
-                    })
+                    .filter(|(_, e)| e.occurred && !e.handled && e.occur + e.latency <= progress)
                     .min_by_key(|(_, e)| e.occur)
-                    .map(|(i, e)| (i, e.occur + self.cfg.errors.detection_latency));
+                    .map(|(i, e)| (i, e.occur + e.latency));
                 match (trig, detect) {
                     (Some(t), Some((ei, d))) => {
                         if t <= d {
@@ -296,11 +339,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             }
             if out == RunOutcome::AllHalted && self.machine.all_halted() {
                 // Force-detect any straggling errors at end of execution.
-                if let Some(ei) = self
-                    .errors
-                    .iter()
-                    .position(|e| e.occurred && !e.handled)
-                {
+                if let Some(ei) = self.errors.iter().position(|e| e.occurred && !e.handled) {
                     self.do_recovery(ei);
                     continue;
                 }
@@ -316,9 +355,14 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
 
     fn mark_occurrences(&mut self) {
         let progress = self.machine.total_retired();
-        for e in &mut self.errors {
+        for i in 0..self.errors.len() {
+            let e = self.errors[i];
             if !e.occurred && e.occur <= progress {
-                e.occurred = true;
+                self.errors[i].occurred = true;
+                if let Some(kind) = e.kind {
+                    let _ = self.machine.apply_fault(CoreId(e.core), kind);
+                    self.report.faults_injected += 1;
+                }
             }
         }
     }
@@ -362,8 +406,8 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 .sum();
             // Each log record costs an old-value read (8 B) before the
             // flush overwrites it, plus the 16 B record write.
-            let bytes = group_records * (LOG_RECORD_BYTES + 8)
-                + CheckpointRecord::arch_bytes(g, num_cores);
+            let bytes =
+                group_records * (LOG_RECORD_BYTES + 8) + CheckpointRecord::arch_bytes(g, num_cores);
             let log_stall = self.machine.mem().log_write_stall(bytes);
             let coord = self
                 .machine
@@ -386,7 +430,10 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             cycles: self.machine.cycles(),
             arch: self.machine.snapshot_arch(),
             groups: groups.clone(),
-            shadow_mem: self.cfg.oracle.then(|| self.machine.mem().image().snapshot()),
+            shadow_mem: self
+                .cfg
+                .oracle
+                .then(|| self.machine.mem().image().snapshot()),
         };
         self.checkpoints.push_back(record);
         while self.checkpoints.len() > RETAINED_CHECKPOINTS {
@@ -410,12 +457,16 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
 
         // Hierarchical level 2: stream every k-th checkpoint out.
         if let Some(sec) = self.cfg.secondary {
-            if self.report.checkpoints_taken.is_multiple_of(u64::from(sec.every.max(1))) {
+            if self
+                .report
+                .checkpoints_taken
+                .is_multiple_of(u64::from(sec.every.max(1)))
+            {
                 let bytes = records * LOG_RECORD_BYTES + arch_bytes;
-                let stall = sec.latency_cycles
-                    + (bytes as f64 / sec.bytes_per_cycle).ceil() as u64;
+                let stall = sec.latency_cycles + (bytes as f64 / sec.bytes_per_cycle).ceil() as u64;
                 let arrival = self.machine.mask_ticks(all);
-                self.machine.stall_cores(all, arrival + stall * TICKS_PER_CYCLE);
+                self.machine
+                    .stall_cores(all, arrival + stall * TICKS_PER_CYCLE);
                 self.report.secondary_checkpoints += 1;
                 self.report.secondary_bytes += bytes;
                 self.report.secondary_stall_cycles += stall;
@@ -493,7 +544,10 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         let mut restored_words: Vec<WordAddr> = Vec::new();
         for epoch in &undone {
             for rec in &epoch.records {
-                self.machine.mem_mut().image_mut().write(rec.addr, rec.old_value);
+                self.machine
+                    .mem_mut()
+                    .image_mut()
+                    .write(rec.addr, rec.old_value);
                 restored_records += 1;
                 if self.cfg.oracle {
                     restored_words.push(rec.addr);
@@ -517,22 +571,44 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         }
 
         // Oracle: restored state must match the safe checkpoint's shadow.
+        // Phantom errors corrupt nothing, so any mismatch is an engine bug
+        // and panics. Injected faults can legitimately defeat the log (a
+        // memory flip in a word the undone epochs never covered), so in
+        // fault mode divergence is counted and reported instead.
+        let fault_mode = !self.cfg.faults.is_empty();
+        let mut shadow_divergence = 0u64;
         if let Some(shadow) = &safe.shadow_mem {
             match self.cfg.scheme {
                 Scheme::GlobalCoordinated => {
-                    assert_eq!(
-                        self.machine.mem().image().words(),
-                        shadow.as_slice(),
-                        "recovered memory image differs from the safe checkpoint"
-                    );
+                    if fault_mode {
+                        shadow_divergence = self
+                            .machine
+                            .mem()
+                            .image()
+                            .words()
+                            .iter()
+                            .zip(shadow.iter())
+                            .filter(|(got, want)| got != want)
+                            .count() as u64;
+                    } else {
+                        assert_eq!(
+                            self.machine.mem().image().words(),
+                            shadow.as_slice(),
+                            "recovered memory image differs from the safe checkpoint"
+                        );
+                    }
                 }
                 Scheme::LocalCoordinated => {
                     for w in &restored_words {
-                        assert_eq!(
-                            self.machine.mem().image().read(*w),
-                            shadow[w.word_index()],
-                            "restored word {w} differs from the safe checkpoint"
-                        );
+                        let got = self.machine.mem().image().read(*w);
+                        let want = shadow[w.word_index()];
+                        if got != want {
+                            assert!(
+                                fault_mode,
+                                "restored word {w} differs from the safe checkpoint"
+                            );
+                            shadow_divergence += 1;
+                        }
                     }
                 }
             }
@@ -562,8 +638,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         {
             let mem = self.machine.mem_mut().stats_mut();
             mem.log_record_reads += restored_records;
-            mem.recovery_word_writes +=
-                restored_records + recomputed_values + arch_bytes / 8;
+            mem.recovery_word_writes += restored_records + recomputed_values + arch_bytes / 8;
         }
 
         // Restore architectural state and resume the victims.
@@ -574,7 +649,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             Scheme::GlobalCoordinated => self.machine.mem_mut().invalidate_all(),
             Scheme::LocalCoordinated => self.machine.mem_mut().invalidate_cores(victim_mask),
         }
-        self.hooks.policy.on_rollback(safe.begins_epoch, victim_mask);
+        self.hooks
+            .policy
+            .on_rollback(safe.begins_epoch, victim_mask);
 
         // Checkpoints newer than the safe one are gone (global): their
         // epochs were undone and will be re-established.
@@ -610,7 +687,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             stall_cycles: stall,
             waste_cycles: detected_at_cycles.saturating_sub(safe.cycles),
             victim_mask,
+            shadow_divergence,
         });
+        self.report.divergent_words += shadow_divergence;
         self.report.errors_handled += newly_handled;
         self.report.recovery_stall_cycles += stall;
         let _ = opbuf_reads; // charged by the policy's own statistics
@@ -675,6 +754,7 @@ mod tests {
             errors: ErrorSchedule::none(),
             oracle: true,
             secondary: None,
+            faults: Vec::new(),
         };
         let mut engine = BerEngine::new(m, NoOmission, cfg);
         let report = engine.run_to_completion().unwrap();
@@ -708,6 +788,7 @@ mod tests {
             errors: ErrorSchedule::uniform(total, 1, 5, 0.5),
             oracle: true,
             secondary: None,
+            faults: Vec::new(),
         };
         let mut engine = BerEngine::new(m, NoOmission, cfg);
         let report = engine.run_to_completion().unwrap();
@@ -735,6 +816,7 @@ mod tests {
                 errors: ErrorSchedule::uniform(total, n_err, 8, 0.4),
                 oracle: true,
                 secondary: None,
+                faults: Vec::new(),
             };
             let mut engine = BerEngine::new(m, NoOmission, cfg);
             let report = engine.run_to_completion().unwrap();
@@ -755,6 +837,7 @@ mod tests {
                 errors,
                 oracle: false,
                 secondary: None,
+                faults: Vec::new(),
             };
             BerEngine::new(m, NoOmission, cfg)
                 .run_to_completion()
@@ -777,6 +860,7 @@ mod tests {
             errors: ErrorSchedule::none(),
             oracle: true,
             secondary: None,
+            faults: Vec::new(),
         };
         let mut engine = BerEngine::new(m, NoOmission, cfg);
         let report = engine.run_to_completion().unwrap();
@@ -796,6 +880,7 @@ mod tests {
             errors: ErrorSchedule::uniform(total, 1, 5, 0.3),
             oracle: true,
             secondary: None,
+            faults: Vec::new(),
         };
         let mut engine = BerEngine::new(m, NoOmission, cfg);
         let report = engine.run_to_completion().unwrap();
@@ -817,6 +902,7 @@ mod tests {
             errors: ErrorSchedule::none(),
             oracle: false,
             secondary: None,
+            faults: Vec::new(),
         };
         let mut engine = BerEngine::new(m, NoOmission, cfg);
         let report = engine.run_to_completion().unwrap();
@@ -871,6 +957,7 @@ mod secondary_tests {
             errors: ErrorSchedule::none(),
             oracle: false,
             secondary,
+            faults: Vec::new(),
         };
         BerEngine::new(m, NoOmission, cfg)
             .run_to_completion()
@@ -943,6 +1030,7 @@ mod edge_tests {
                 errors,
                 oracle: true,
                 secondary: None,
+                faults: Vec::new(),
             },
         )
     }
@@ -1008,11 +1096,7 @@ mod edge_tests {
             occurrences: vec![trigger - total / 200],
             detection_latency: total / 50,
         };
-        let mut e = engine_with(
-            &p,
-            vec![total / 4, trigger, 3 * total / 4],
-            errors,
-        );
+        let mut e = engine_with(&p, vec![total / 4, trigger, 3 * total / 4], errors);
         let rep = e.run_to_completion().unwrap();
         assert_eq!(rep.errors_handled, 1);
         // Safe epoch is the one opened by the total/4 checkpoint (epoch 1),

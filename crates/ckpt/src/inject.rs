@@ -1,0 +1,620 @@
+//! Deterministic fault-injection campaigns with a differential oracle.
+//!
+//! A campaign turns the BER engine's *phantom* error schedule into real
+//! state corruption and then proves (or disproves) that recovery works:
+//!
+//! 1. a seeded [`FaultPlan`] picks injection points, target cores and
+//!    corruption kinds — no wall clock, no OS randomness, so the same
+//!    seed always produces the same campaign;
+//! 2. every planned fault becomes one *independent* run: a fresh
+//!    [`Machine`] plus a fresh omission policy executes under the
+//!    checkpointing engine, the fault is applied in flight, and the
+//!    engine detects it (by its scheduled latency, or immediately when
+//!    the corruption traps the simulator) and rolls back;
+//! 3. a **differential oracle** compares the recovered execution against
+//!    the `acr-isa` reference interpreter word for word: final memory
+//!    image, total progress, and — for single-threaded programs — the
+//!    architectural register file.
+//!
+//! Register/pc flips and crashes corrupt only state a checkpoint fully
+//! re-creates, so those cases must always converge ([`CaseOutcome::Recovered`]).
+//! Memory flips can land on words the incremental log no longer covers
+//! and are classified [`CaseOutcome::Diverged`] when they defeat the log
+//! — a campaign never reports a silently wrong recovery.
+
+use std::fmt;
+
+use acr_isa::interp::{ExecError, Interp};
+use acr_isa::{Program, Reg, ThreadId, NUM_REGS};
+use acr_sim::{
+    Fault, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, Machine, MachineConfig, SimError,
+    StoreCensus,
+};
+
+use crate::engine::{BerConfig, BerEngine, Scheme};
+use crate::policy::OmissionPolicy;
+use crate::schedule::{uniform_points, ErrorSchedule};
+
+/// Campaign parameters. Everything that affects the outcome is in here —
+/// two campaigns with equal configs over the same program are
+/// byte-identical.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Plan seed.
+    pub seed: u64,
+    /// Number of faults (= independent runs).
+    pub count: u32,
+    /// Corruption kinds to draw from.
+    pub kinds: FaultKindSet,
+    /// Checkpoints per nominal execution.
+    pub num_checkpoints: u32,
+    /// Detection latency as a fraction of the checkpoint period.
+    pub detection_latency_frac: f64,
+    /// Coordination scheme.
+    pub scheme: Scheme,
+    /// Instruction budget for the reference-interpreter run.
+    pub interp_fuel: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            count: 100,
+            kinds: FaultKindSet::default(),
+            num_checkpoints: 12,
+            detection_latency_frac: 0.5,
+            scheme: Scheme::GlobalCoordinated,
+            interp_fuel: 1 << 32,
+        }
+    }
+}
+
+/// Why a campaign could not even start (per-case failures never abort the
+/// campaign — they are recorded as [`CaseOutcome::Aborted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The fault-free timing run failed: the workload itself is broken.
+    Sim(SimError),
+    /// The fault-free reference interpretation failed.
+    Reference(ExecError),
+    /// Timing simulator and reference interpreter disagree on the
+    /// *fault-free* execution — the differential baseline is invalid.
+    ReferenceMismatch {
+        /// Number of differing memory words.
+        words: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Sim(e) => write!(f, "fault-free run failed: {e}"),
+            CampaignError::Reference(e) => write!(f, "reference run failed: {e}"),
+            CampaignError::ReferenceMismatch { words } => write!(
+                f,
+                "fault-free run disagrees with the reference interpreter on {words} words"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// How one injected fault ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Recovery converged: final architectural state is word-for-word
+    /// identical to the fault-free reference.
+    Recovered,
+    /// The run completed but its final state differs from the reference
+    /// (possible only for memory flips, which the log may not cover).
+    Diverged,
+    /// The engine could not finish the run at all.
+    Aborted,
+}
+
+impl CaseOutcome {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CaseOutcome::Recovered => "recovered",
+            CaseOutcome::Diverged => "diverged",
+            CaseOutcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One fault, one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCaseRecord {
+    /// Case index within the campaign.
+    pub case: u32,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Recoveries the engine performed.
+    pub recoveries: u64,
+    /// Recoveries triggered by a simulator trap instead of the scheduled
+    /// detection latency.
+    pub exception_detections: u64,
+    /// Words differing from the safe checkpoint's shadow right after
+    /// rollback (the engine-internal oracle).
+    pub shadow_divergence: u64,
+    /// Final memory words differing from the reference interpreter.
+    pub mem_divergence: u64,
+    /// Final registers differing from the reference interpreter
+    /// (single-threaded programs only; 0 otherwise).
+    pub reg_divergence: u64,
+    /// Total retired instructions of the recovered run (must equal the
+    /// fault-free total when recovery converges).
+    pub final_retired: u64,
+    /// Log records restored across all recoveries.
+    pub restored_records: u64,
+    /// Values regenerated by Slice re-execution across all recoveries.
+    pub recomputed_values: u64,
+    /// Slice instructions executed while recomputing.
+    pub recompute_alu_ops: u64,
+    /// Cycles stalled in recovery.
+    pub recovery_stall_cycles: u64,
+    /// Useful cycles thrown away and re-executed.
+    pub waste_cycles: u64,
+    /// Total execution cycles of the faulted run.
+    pub cycles: u64,
+    /// Verdict.
+    pub outcome: CaseOutcome,
+}
+
+fn fault_detail(kind: FaultKind) -> String {
+    match kind {
+        FaultKind::RegBitFlip { reg, bit } => format!("r{reg}b{bit}"),
+        FaultKind::PcBitFlip { bit } => format!("b{bit}"),
+        FaultKind::MemBitFlip { addr, bit } => {
+            format!("0x{:x}b{bit}", addr.byte())
+        }
+        FaultKind::Crash => "-".to_string(),
+    }
+}
+
+/// Aggregate result of one campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Plan seed.
+    pub seed: u64,
+    /// Total retired instructions of the fault-free run (the progress
+    /// axis faults were drawn from).
+    pub total_progress: u64,
+    /// Cores of the simulated machine.
+    pub num_cores: u32,
+    /// Every case, in plan order.
+    pub cases: Vec<FaultCaseRecord>,
+}
+
+impl CampaignReport {
+    /// Faults injected (every planned case injects exactly one).
+    pub fn injected(&self) -> u64 {
+        self.cases.len() as u64
+    }
+
+    /// Cases in which the engine detected the fault and recovered at
+    /// least once.
+    pub fn detected(&self) -> u64 {
+        self.cases.iter().filter(|c| c.recoveries > 0).count() as u64
+    }
+
+    /// Cases that converged to the reference state.
+    pub fn recovered(&self) -> u64 {
+        self.outcome_count(CaseOutcome::Recovered)
+    }
+
+    /// Cases whose final state diverged from the reference.
+    pub fn diverged(&self) -> u64 {
+        self.outcome_count(CaseOutcome::Diverged)
+    }
+
+    /// Cases the engine could not finish.
+    pub fn aborted(&self) -> u64 {
+        self.outcome_count(CaseOutcome::Aborted)
+    }
+
+    fn outcome_count(&self, o: CaseOutcome) -> u64 {
+        self.cases.iter().filter(|c| c.outcome == o).count() as u64
+    }
+
+    /// Recoveries triggered by simulator traps.
+    pub fn exception_detections(&self) -> u64 {
+        self.cases.iter().map(|c| c.exception_detections).sum()
+    }
+
+    /// Final memory words differing from the reference, summed.
+    pub fn divergent_words(&self) -> u64 {
+        self.cases
+            .iter()
+            .map(|c| c.mem_divergence + c.reg_divergence)
+            .sum()
+    }
+
+    /// Cycles stalled in recovery, summed.
+    pub fn recovery_stall_cycles(&self) -> u64 {
+        self.cases.iter().map(|c| c.recovery_stall_cycles).sum()
+    }
+
+    /// Wasted (re-executed) cycles, summed.
+    pub fn waste_cycles(&self) -> u64 {
+        self.cases.iter().map(|c| c.waste_cycles).sum()
+    }
+
+    /// Log records restored, summed (energy accounting input).
+    pub fn restored_records(&self) -> u64 {
+        self.cases.iter().map(|c| c.restored_records).sum()
+    }
+
+    /// Values recomputed by Slices, summed (energy accounting input).
+    pub fn recomputed_values(&self) -> u64 {
+        self.cases.iter().map(|c| c.recomputed_values).sum()
+    }
+
+    /// Slice instructions executed while recomputing, summed.
+    pub fn recompute_alu_ops(&self) -> u64 {
+        self.cases.iter().map(|c| c.recompute_alu_ops).sum()
+    }
+
+    /// Per-case CSV (header included).
+    pub fn csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "case,at_progress,core,kind,detail,recoveries,exception_detections,\
+             shadow_divergence,mem_divergence,reg_divergence,final_retired,\
+             restored_records,recomputed_values,recompute_alu_ops,\
+             recovery_stall_cycles,waste_cycles,cycles,outcome\n",
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                c.case,
+                c.fault.at_progress,
+                c.fault.core.0,
+                c.fault.kind.label(),
+                fault_detail(c.fault.kind),
+                c.recoveries,
+                c.exception_detections,
+                c.shadow_divergence,
+                c.mem_divergence,
+                c.reg_divergence,
+                c.final_retired,
+                c.restored_records,
+                c.recomputed_values,
+                c.recompute_alu_ops,
+                c.recovery_stall_cycles,
+                c.waste_cycles,
+                c.cycles,
+                c.outcome.label(),
+            );
+        }
+        out
+    }
+
+    /// FNV-1a hash of every campaign datum — two campaigns are equal iff
+    /// their hashes are (the determinism check `tests/determinism.rs`
+    /// pins).
+    pub fn content_hash(&self) -> u64 {
+        let head = format!("{},{},{}\n", self.seed, self.total_progress, self.num_cores);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in head.bytes().chain(self.csv().bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Cases and convergences for one fault-kind label.
+    pub fn kind_counts(&self, label: &str) -> (u64, u64) {
+        let total = self
+            .cases
+            .iter()
+            .filter(|c| c.fault.kind.label() == label)
+            .count() as u64;
+        let ok = self
+            .cases
+            .iter()
+            .filter(|c| c.fault.kind.label() == label && c.outcome == CaseOutcome::Recovered)
+            .count() as u64;
+        (total, ok)
+    }
+
+    /// Human-readable campaign summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fault campaign: seed={} cases={} cores={} total_work={}",
+            self.seed,
+            self.cases.len(),
+            self.num_cores,
+            self.total_progress
+        );
+        let _ = writeln!(
+            out,
+            "  injected {}  detected {}  (via exception: {})",
+            self.injected(),
+            self.detected(),
+            self.exception_detections()
+        );
+        let _ = writeln!(
+            out,
+            "  recovered {}  diverged {}  aborted {}  divergent_words {}",
+            self.recovered(),
+            self.diverged(),
+            self.aborted(),
+            self.divergent_words()
+        );
+        let _ = writeln!(
+            out,
+            "  recovery cost: stall_cycles {}  waste_cycles {}  restored {}  recomputed {}",
+            self.recovery_stall_cycles(),
+            self.waste_cycles(),
+            self.restored_records(),
+            self.recomputed_values()
+        );
+        for label in ["reg", "pc", "mem", "crash"] {
+            let (total, ok) = self.kind_counts(label);
+            if total > 0 {
+                let _ = writeln!(out, "  {label}: {ok}/{total} recovered");
+            }
+        }
+        let _ = writeln!(out, "  content_hash {:#018x}", self.content_hash());
+        out
+    }
+}
+
+/// Runs a fault campaign over `program`: one fresh machine + policy per
+/// planned fault, differentially verified against the reference
+/// interpreter. `policy` is a factory — campaigns over ACR use it to
+/// build a fresh `AcrPolicy` per case.
+///
+/// # Errors
+///
+/// Fails only if the *fault-free* runs fail or disagree with each other
+/// (see [`CampaignError`]); faulted cases that cannot finish are recorded
+/// as [`CaseOutcome::Aborted`], never dropped.
+pub fn run_campaign<P, F>(
+    program: &Program,
+    machine: MachineConfig,
+    cfg: &CampaignConfig,
+    mut policy: F,
+) -> Result<CampaignReport, CampaignError>
+where
+    P: OmissionPolicy,
+    F: FnMut() -> P,
+{
+    // Fault-free reference: the ISA interpreter, an implementation
+    // independent of the timing simulator.
+    let mut interp = Interp::new(program);
+    interp
+        .run_to_completion(cfg.interp_fuel)
+        .map_err(CampaignError::Reference)?;
+
+    // Fault-free timing run: yields the progress axis and the written
+    // working set memory flips target.
+    let mut census = StoreCensus::new();
+    let mut base = Machine::new(machine, program);
+    base.run(&mut census, u64::MAX)
+        .map_err(CampaignError::Sim)?;
+    let baseline_mismatch = base
+        .mem()
+        .image()
+        .words()
+        .iter()
+        .zip(interp.mem())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    if baseline_mismatch > 0 {
+        return Err(CampaignError::ReferenceMismatch {
+            words: baseline_mismatch,
+        });
+    }
+    let total = base.total_retired();
+    let num_cores = machine.num_cores;
+
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        seed: cfg.seed,
+        count: cfg.count,
+        kinds: cfg.kinds,
+        total_progress: total,
+        cores: num_cores,
+        mem_targets: census.into_targets(),
+    });
+
+    let period = total / (u64::from(cfg.num_checkpoints) + 1);
+    let detection_latency = (period as f64 * cfg.detection_latency_frac) as u64;
+    let reference_mem = interp.mem();
+    let single_threaded = program.num_threads() == 1;
+
+    let mut cases = Vec::with_capacity(plan.faults.len());
+    for (i, &fault) in plan.faults.iter().enumerate() {
+        let ber = BerConfig {
+            scheme: cfg.scheme,
+            triggers: uniform_points(total, cfg.num_checkpoints),
+            errors: ErrorSchedule {
+                occurrences: Vec::new(),
+                detection_latency,
+            },
+            oracle: true,
+            secondary: None,
+            faults: vec![fault],
+        };
+        let m = Machine::new(machine, program);
+        let mut engine = BerEngine::new(m, policy(), ber);
+        let case = match engine.run_to_completion() {
+            Ok(report) => {
+                let m = engine.machine();
+                let mem_divergence = m
+                    .mem()
+                    .image()
+                    .words()
+                    .iter()
+                    .zip(reference_mem)
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
+                let reg_divergence = if single_threaded {
+                    (0..NUM_REGS)
+                        .filter(|&r| {
+                            m.cores()[0].reg(Reg(r as u8)) != interp.reg(ThreadId(0), Reg(r as u8))
+                        })
+                        .count() as u64
+                } else {
+                    0
+                };
+                let final_retired = m.total_retired();
+                let converged = mem_divergence == 0
+                    && reg_divergence == 0
+                    && final_retired == total
+                    && m.all_halted();
+                FaultCaseRecord {
+                    case: i as u32,
+                    fault,
+                    recoveries: report.recoveries.len() as u64,
+                    exception_detections: report.exception_detections,
+                    shadow_divergence: report.divergent_words,
+                    mem_divergence,
+                    reg_divergence,
+                    final_retired,
+                    restored_records: report.recoveries.iter().map(|r| r.restored_records).sum(),
+                    recomputed_values: report.recoveries.iter().map(|r| r.recomputed_values).sum(),
+                    recompute_alu_ops: report.recoveries.iter().map(|r| r.recompute_alu_ops).sum(),
+                    recovery_stall_cycles: report.recovery_stall_cycles,
+                    waste_cycles: report.recoveries.iter().map(|r| r.waste_cycles).sum(),
+                    cycles: report.cycles,
+                    outcome: if converged {
+                        CaseOutcome::Recovered
+                    } else {
+                        CaseOutcome::Diverged
+                    },
+                }
+            }
+            Err(_) => FaultCaseRecord {
+                case: i as u32,
+                fault,
+                recoveries: 0,
+                exception_detections: 0,
+                shadow_divergence: 0,
+                mem_divergence: 0,
+                reg_divergence: 0,
+                final_retired: 0,
+                restored_records: 0,
+                recomputed_values: 0,
+                recompute_alu_ops: 0,
+                recovery_stall_cycles: 0,
+                waste_cycles: 0,
+                cycles: 0,
+                outcome: CaseOutcome::Aborted,
+            },
+        };
+        cases.push(case);
+    }
+
+    Ok(CampaignReport {
+        seed: cfg.seed,
+        total_progress: total,
+        num_cores,
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NoOmission;
+    use acr_isa::{AluOp, ProgramBuilder, Reg};
+
+    fn kernel(threads: usize, iters: u64) -> Program {
+        let mut b = ProgramBuilder::new(threads);
+        b.set_mem_bytes(1 << 18);
+        for t in 0..threads as u32 {
+            let base = u64::from(t) * 32768;
+            let tb = b.thread(t);
+            tb.imm(Reg(10), base);
+            let outer = tb.begin_loop(Reg(8), Reg(9), 4);
+            let l = tb.begin_loop(Reg(1), Reg(2), iters);
+            tb.alui(AluOp::Mul, Reg(3), Reg(1), 13);
+            tb.alu(AluOp::Xor, Reg(3), Reg(3), Reg(8));
+            tb.alui(AluOp::Mul, Reg(4), Reg(1), 8);
+            tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+            tb.store(Reg(3), Reg(5), 0);
+            tb.end_loop(l);
+            tb.end_loop(outer);
+            tb.halt();
+        }
+        b.build()
+    }
+
+    fn campaign(count: u32, kinds: FaultKindSet, seed: u64) -> CampaignReport {
+        let p = kernel(2, 60);
+        let cfg = CampaignConfig {
+            seed,
+            count,
+            kinds,
+            num_checkpoints: 5,
+            ..CampaignConfig::default()
+        };
+        run_campaign(&p, MachineConfig::with_cores(2), &cfg, || NoOmission).expect("campaign runs")
+    }
+
+    #[test]
+    fn recoverable_kinds_always_converge() {
+        let r = campaign(25, FaultKindSet::recoverable(), 7);
+        assert_eq!(r.injected(), 25);
+        assert_eq!(r.detected(), 25, "{}", r.summary());
+        assert_eq!(r.recovered(), 25, "{}", r.summary());
+        assert_eq!(r.divergent_words(), 0);
+        assert_eq!(r.aborted(), 0);
+    }
+
+    #[test]
+    fn mem_faults_are_classified_never_silent() {
+        let r = campaign(25, FaultKindSet::all(), 11);
+        assert_eq!(r.injected(), 25);
+        assert_eq!(r.aborted(), 0, "{}", r.summary());
+        // Every diverged case must carry visible evidence.
+        for c in &r.cases {
+            if c.outcome == CaseOutcome::Diverged {
+                assert_eq!(c.fault.kind.label(), "mem", "{c:?}");
+                assert!(
+                    c.mem_divergence + c.shadow_divergence > 0
+                        || c.final_retired != r.total_progress,
+                    "diverged without evidence: {c:?}"
+                );
+            }
+            if c.fault.kind.guaranteed_recoverable() {
+                assert_eq!(c.outcome, CaseOutcome::Recovered, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_campaign() {
+        let a = campaign(15, FaultKindSet::all(), 42);
+        let b = campaign(15, FaultKindSet::all(), 42);
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.csv(), b.csv());
+        let c = campaign(15, FaultKindSet::all(), 43);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn single_thread_campaign_checks_registers() {
+        let p = kernel(1, 60);
+        let cfg = CampaignConfig {
+            seed: 3,
+            count: 10,
+            kinds: FaultKindSet::recoverable(),
+            num_checkpoints: 5,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, MachineConfig::with_cores(1), &cfg, || NoOmission)
+            .expect("campaign runs");
+        assert_eq!(r.recovered(), 10, "{}", r.summary());
+    }
+}

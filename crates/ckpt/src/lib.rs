@@ -32,12 +32,16 @@ mod checkpoint;
 mod engine;
 pub mod errors;
 pub mod frequency;
+mod inject;
 mod policy;
 mod report;
 mod schedule;
 
 pub use checkpoint::CheckpointRecord;
 pub use engine::{BerConfig, BerEngine, Scheme, SecondaryStorage};
+pub use inject::{
+    run_campaign, CampaignConfig, CampaignError, CampaignReport, CaseOutcome, FaultCaseRecord,
+};
 pub use policy::{NoOmission, OmissionPolicy, Recomputed};
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};

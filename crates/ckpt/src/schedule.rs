@@ -8,7 +8,9 @@
 /// Returns `n` points uniformly distributed over `(0, total)`:
 /// `i * total / (n + 1)` for `i = 1..=n`.
 pub fn uniform_points(total: u64, n: u32) -> Vec<u64> {
-    (1..=u64::from(n)).map(|i| i * total / (u64::from(n) + 1)).collect()
+    (1..=u64::from(n))
+        .map(|i| i * total / (u64::from(n) + 1))
+        .collect()
 }
 
 /// An error schedule: occurrence points plus a detection latency, both in

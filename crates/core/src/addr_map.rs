@@ -214,10 +214,7 @@ impl AddrMap {
         let live = &mut self.live_per_core;
         let usage_peak = self.usage.peak_live;
         self.map.retain(|_, versions| {
-            let keep_from = versions
-                .iter()
-                .rposition(|v| v.epoch < sealed)
-                .unwrap_or(0);
+            let keep_from = versions.iter().rposition(|v| v.epoch < sealed).unwrap_or(0);
             for v in versions.drain(..keep_from) {
                 if v.assoc.is_some() {
                     live[v.core as usize] -= 1;
@@ -336,7 +333,7 @@ mod tests {
         m.record_assoc(0, wa(1), 2, SliceId(2), vec![]);
         m.record_assoc(0, wa(2), 0, SliceId(3), vec![]);
         m.prune(2); // checkpoints 2 and 3 remain restorable
-        // wa(1)@epoch0 is the latest version below 2 → kept.
+                    // wa(1)@epoch0 is the latest version below 2 → kept.
         assert_eq!(m.lookup_for_epoch(wa(1), 2).unwrap().slice, SliceId(1));
         assert_eq!(m.lookup_for_epoch(wa(1), 3).unwrap().slice, SliceId(2));
         assert_eq!(m.lookup_for_epoch(wa(2), 2).unwrap().slice, SliceId(3));

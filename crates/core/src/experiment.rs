@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use acr_ckpt::{BerConfig, BerEngine, BerReport, ErrorSchedule, NoOmission, Scheme, SecondaryStorage};
+use acr_ckpt::{
+    run_campaign, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError, CampaignReport,
+    ErrorSchedule, NoOmission, Scheme, SecondaryStorage,
+};
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
 use acr_mem::MemStats;
@@ -20,6 +23,9 @@ pub enum ExperimentError {
     Program(ProgramError),
     /// The simulator faulted (generator/pass bug).
     Sim(SimError),
+    /// A fault-injection campaign could not establish its fault-free
+    /// baseline.
+    Campaign(CampaignError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -27,6 +33,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Program(e) => write!(f, "invalid program: {e}"),
             ExperimentError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExperimentError::Campaign(e) => write!(f, "fault campaign error: {e}"),
         }
     }
 }
@@ -42,6 +49,12 @@ impl From<ProgramError> for ExperimentError {
 impl From<SimError> for ExperimentError {
     fn from(e: SimError) -> Self {
         ExperimentError::Sim(e)
+    }
+}
+
+impl From<CampaignError> for ExperimentError {
+    fn from(e: CampaignError) -> Self {
+        ExperimentError::Campaign(e)
     }
 }
 
@@ -185,6 +198,20 @@ impl RunResult {
     }
 }
 
+/// Outcome of one fault-injection campaign (see
+/// [`Experiment::run_fault_campaign`]).
+#[derive(Debug, Clone)]
+pub struct CampaignRunResult {
+    /// Configuration label (`Inject_Ckpt` / `Inject_ReCkpt`).
+    pub label: String,
+    /// Per-case records and aggregate counts.
+    pub report: CampaignReport,
+    /// Energy attributable to recovery across all cases (J).
+    pub recovery_energy_joules: f64,
+    /// Wall time of the recovery stalls at the configured frequency (s).
+    pub recovery_seconds: f64,
+}
+
 /// Runs the paper's configurations over one workload program, caching the
 /// `No_Ckpt` baseline and the instrumented binary.
 pub struct Experiment {
@@ -283,15 +310,7 @@ impl Experiment {
         let cycles = machine.cycles();
         let sim = *machine.stats();
         let mem = *machine.mem().stats();
-        let result = self.finish(
-            "No_Ckpt".to_owned(),
-            cycles,
-            sim,
-            mem,
-            None,
-            None,
-            None,
-        );
+        let result = self.finish("No_Ckpt".to_owned(), cycles, sim, mem, None, None, None);
         self.no_ckpt = Some(result.clone());
         Ok(result)
     }
@@ -318,6 +337,7 @@ impl Experiment {
             errors: schedule,
             oracle: self.spec.oracle,
             secondary: self.spec.secondary,
+            faults: Vec::new(),
         })
     }
 
@@ -374,6 +394,60 @@ impl Experiment {
             Some(acr),
             Some(slice_stats),
         ))
+    }
+
+    /// Runs a deterministic fault-injection campaign over this workload:
+    /// one fresh machine (and, when `amnesic`, a fresh [`AcrPolicy`]) per
+    /// planned fault, each recovery differentially verified against the
+    /// reference interpreter. The campaign's coordination scheme follows
+    /// `cfg.scheme`, not the experiment spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the fault-free baseline runs fail or disagree;
+    /// per-fault failures are recorded in the report, never dropped.
+    pub fn run_fault_campaign(
+        &mut self,
+        cfg: &CampaignConfig,
+        amnesic: bool,
+    ) -> Result<CampaignRunResult, ExperimentError> {
+        let machine = self.spec.machine;
+        let (label, report) = if amnesic {
+            let addrmap = self.spec.addrmap;
+            let scratchpad = self.spec.scratchpad;
+            let (program, _) = {
+                let (p, s) = self.instrumented();
+                (p.clone(), s.clone())
+            };
+            let report = run_campaign(&program, machine, cfg, || {
+                AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                    .with_scratchpad(scratchpad)
+            })?;
+            ("Inject_ReCkpt", report)
+        } else {
+            (
+                "Inject_Ckpt",
+                run_campaign(&self.raw, machine, cfg, || NoOmission)?,
+            )
+        };
+        // Energy attributable to recovery alone: log reads, restore
+        // writes, Slice recomputation, plus static energy over the stall
+        // cycles.
+        let inputs = EnergyInputs {
+            log_record_reads: report.restored_records(),
+            recovery_word_writes: report.restored_records() + report.recomputed_values(),
+            slice_alu_ops: report.recompute_alu_ops(),
+            cycles: report.recovery_stall_cycles(),
+            cores: machine.num_cores,
+            ..EnergyInputs::default()
+        };
+        let recovery_energy_joules = self.spec.energy.energy(&inputs).total_joules();
+        Ok(CampaignRunResult {
+            label: label.to_owned(),
+            recovery_energy_joules,
+            recovery_seconds: machine.cycles_to_seconds(report.recovery_stall_cycles()),
+            report,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -511,6 +585,31 @@ mod tests {
         let acr = reckpt_e.acr.as_ref().unwrap();
         assert!(acr.slice_alu_ops > 0);
         assert_eq!(acr.recomputed_values, rec.recomputed_values);
+    }
+
+    #[test]
+    fn fault_campaign_recovers_and_recomputes() {
+        let p = recomputable_kernel(2, 200);
+        let mut exp = Experiment::new(p, spec()).unwrap();
+        let cfg = CampaignConfig {
+            seed: 5,
+            count: 12,
+            num_checkpoints: 5,
+            ..CampaignConfig::default()
+        };
+        let acr = exp.run_fault_campaign(&cfg, true).unwrap();
+        assert_eq!(acr.label, "Inject_ReCkpt");
+        assert_eq!(acr.report.recovered(), 12, "{}", acr.report.summary());
+        assert!(
+            acr.report.recomputed_values() > 0,
+            "amnesic recovery must exercise Slice re-execution"
+        );
+        assert!(acr.recovery_energy_joules > 0.0);
+        // The non-amnesic baseline converges on the same plan.
+        let base = exp.run_fault_campaign(&cfg, false).unwrap();
+        assert_eq!(base.label, "Inject_Ckpt");
+        assert_eq!(base.report.recovered(), 12, "{}", base.report.summary());
+        assert_eq!(base.report.recomputed_values(), 0);
     }
 
     #[test]

@@ -62,6 +62,6 @@ mod policy;
 mod stats;
 
 pub use addr_map::{AddrMap, AddrMapConfig};
-pub use experiment::{Experiment, ExperimentError, ExperimentSpec, RunResult};
+pub use experiment::{CampaignRunResult, Experiment, ExperimentError, ExperimentSpec, RunResult};
 pub use policy::AcrPolicy;
 pub use stats::AcrStats;

@@ -194,10 +194,8 @@ pub fn tune(exp: &mut Experiment, micro_factor: u32) -> Result<TuningOutcome, Ex
     spec.num_checkpoints = n * micro_factor.max(2);
     exp.set_spec(spec);
     let fine = exp.run_reckpt(0)?;
-    let profile = PlacementProfile::from_report(
-        fine.report.as_ref().expect("reckpt reports"),
-        total,
-    );
+    let profile =
+        PlacementProfile::from_report(fine.report.as_ref().expect("reckpt reports"), total);
 
     // Adaptive schedule.
     let triggers = adaptive_triggers(&profile, n, 0.4, 2.0);

@@ -182,7 +182,10 @@ impl ProgramBuilder {
     /// in its tests.
     pub fn build(self) -> Program {
         Program::new(
-            self.threads.into_iter().map(ThreadBuilder::finish).collect(),
+            self.threads
+                .into_iter()
+                .map(ThreadBuilder::finish)
+                .collect(),
             self.slices,
             self.mem_bytes,
         )

@@ -352,7 +352,12 @@ impl fmt::Display for Instr {
             Instr::Load { rd, base, disp } => write!(f, "ld    {rd}, [{base}+{disp:#x}]"),
             Instr::Store { rs, base, disp } => write!(f, "st    {rs}, [{base}+{disp:#x}]"),
             Instr::AssocAddr { slice, inputs } => {
-                write!(f, "assoc-addr slice#{} inputs={:?}", slice.0, inputs.as_slice())
+                write!(
+                    f,
+                    "assoc-addr slice#{} inputs={:?}",
+                    slice.0,
+                    inputs.as_slice()
+                )
             }
             Instr::Branch {
                 cond,

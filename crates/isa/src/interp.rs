@@ -204,10 +204,7 @@ impl<'p> Interp<'p> {
     }
 
     fn release_barrier_if_ready(&mut self) {
-        let all_arrived = self
-            .threads
-            .iter()
-            .all(|t| t.halted || t.at_barrier);
+        let all_arrived = self.threads.iter().all(|t| t.halted || t.at_barrier);
         if all_arrived {
             for t in &mut self.threads {
                 if t.at_barrier {
@@ -238,8 +235,7 @@ impl<'p> Interp<'p> {
                 state.pc += 1;
             }
             Instr::Alu { op, rd, ra, rb } => {
-                state.regs[rd.index()] =
-                    op.apply(state.regs[ra.index()], state.regs[rb.index()]);
+                state.regs[rd.index()] = op.apply(state.regs[ra.index()], state.regs[rb.index()]);
                 state.pc += 1;
             }
             Instr::AluI { op, rd, ra, imm } => {

@@ -104,7 +104,12 @@ pub struct InstructionMix {
 impl InstructionMix {
     /// Total static instructions.
     pub fn total(&self) -> u64 {
-        self.arith + self.loads + self.stores + self.branches + self.assocs + self.barriers
+        self.arith
+            + self.loads
+            + self.stores
+            + self.branches
+            + self.assocs
+            + self.barriers
             + self.halts
     }
 
@@ -314,14 +319,13 @@ impl Program {
             for (pc, instr) in code.instrs().iter().enumerate() {
                 let pc = pc as u32;
                 match instr {
-                    Instr::Branch { target, .. } | Instr::Jump { target }
-                        if *target >= n => {
-                            return Err(ProgramError::BadTarget {
-                                thread,
-                                pc,
-                                target: *target,
-                            });
-                        }
+                    Instr::Branch { target, .. } | Instr::Jump { target } if *target >= n => {
+                        return Err(ProgramError::BadTarget {
+                            thread,
+                            pc,
+                            target: *target,
+                        });
+                    }
                     Instr::AssocAddr { slice, inputs } => {
                         let Some(s) = self.slice(*slice) else {
                             return Err(ProgramError::UnknownSlice {
@@ -460,7 +464,10 @@ mod tests {
     #[test]
     fn validate_rejects_bad_target_and_missing_halt() {
         let p = Program::new(
-            vec![ThreadCode::new(vec![Instr::Jump { target: 5 }, Instr::Halt])],
+            vec![ThreadCode::new(vec![
+                Instr::Jump { target: 5 },
+                Instr::Halt,
+            ])],
             vec![],
             0,
         );

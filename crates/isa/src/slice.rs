@@ -296,7 +296,10 @@ mod tests {
         let s = chain(1);
         assert!(matches!(
             s.execute(&[]),
-            Err(SliceError::InputArity { expected: 1, got: 0 })
+            Err(SliceError::InputArity {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 

@@ -164,16 +164,15 @@ impl Directory {
                 *st = DirState::Uncached;
                 self.messages += 1;
             }
-            DirState::Shared(mask)
-                if !keep_shared => {
-                    let m = mask & !(1 << core);
-                    *st = if m == 0 {
-                        DirState::Uncached
-                    } else {
-                        DirState::Shared(m)
-                    };
-                    self.messages += 1;
-                }
+            DirState::Shared(mask) if !keep_shared => {
+                let m = mask & !(1 << core);
+                *st = if m == 0 {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(m)
+                };
+                self.messages += 1;
+            }
             _ => {}
         }
     }

@@ -166,10 +166,7 @@ impl MemSystem {
 
     /// Enables word-granularity sharing tracking (local checkpointing).
     pub fn enable_sharing(&mut self) {
-        self.sharing = Some(SharingTracker::new(
-            self.image.num_words(),
-            self.num_cores,
-        ));
+        self.sharing = Some(SharingTracker::new(self.image.num_words(), self.num_cores));
     }
 
     /// The sharing tracker, if enabled.
@@ -606,8 +603,10 @@ mod prefetch_tests {
 
     #[test]
     fn prefetcher_cuts_streaming_misses() {
-        let mut on_cfg = MemConfig::default();
-        on_cfg.prefetch_next_line = true;
+        let on_cfg = MemConfig {
+            prefetch_next_line: true,
+            ..MemConfig::default()
+        };
         let mut on = MemSystem::new(on_cfg, 1, 1 << 22);
         let mut off = MemSystem::new(MemConfig::default(), 1, 1 << 22);
         let mut lat_on = 0u64;
@@ -628,8 +627,10 @@ mod prefetch_tests {
 
     #[test]
     fn prefetcher_respects_coherence() {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch_next_line = true;
+        let cfg = MemConfig {
+            prefetch_next_line: true,
+            ..MemConfig::default()
+        };
         let mut m = MemSystem::new(cfg, 2, 1 << 20);
         // Core 1 owns line 1 dirty.
         m.store(CoreId(1), WordAddr::new(64), 5);

@@ -1,0 +1,82 @@
+//! Miniature deterministic property-test harness.
+//!
+//! Replaces `proptest` for this repo's offline builds: every property runs
+//! a fixed number of seeded cases, each with an independent [`SmallRng`]
+//! derived from the base seed. There is no shrinking, but failures print
+//! the case index and the exact case seed, so a failing case replays with
+//! [`replay`] (or by temporarily pinning `forall`'s seed) — the generator
+//! code path is identical.
+
+use crate::SmallRng;
+
+/// Golden-ratio multiplier used to spread case indices across seeds.
+const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Derives the per-case seed for `forall(name, _, seed, ..)` at `case`.
+#[must_use]
+pub fn case_seed(seed: u64, case: u32) -> u64 {
+    seed ^ u64::from(case + 1).wrapping_mul(PHI)
+}
+
+/// Runs `prop` for `cases` independent seeded cases. On panic, the failing
+/// case index and seed are reported on stderr before the panic propagates,
+/// so the case can be replayed exactly.
+pub fn forall(name: &str, cases: u32, seed: u64, mut prop: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let cs = case_seed(seed, case);
+        let guard = FailureReport { name, case, cs };
+        let mut rng = SmallRng::seed_from_u64(cs);
+        prop(&mut rng);
+        // Reached only on success; the Drop impl only reports during an
+        // unwind, so dropping the guard here is silent.
+        drop(guard);
+    }
+}
+
+/// Re-runs a single failing case by its reported seed.
+pub fn replay(cs: u64, mut prop: impl FnMut(&mut SmallRng)) {
+    let mut rng = SmallRng::seed_from_u64(cs);
+    prop(&mut rng);
+}
+
+struct FailureReport<'a> {
+    name: &'a str,
+    case: u32,
+    cs: u64,
+}
+
+impl Drop for FailureReport<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "property `{}` failed at case {} — replay with acr_rng::check::replay({:#018x}, ..)",
+                self.name, self.case, self.cs
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_runs_all_cases_with_distinct_streams() {
+        let mut seen = Vec::new();
+        forall("distinct", 16, 99, |rng| seen.push(rng.next_u64()));
+        assert_eq!(seen.len(), 16);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "case streams must be independent");
+    }
+
+    #[test]
+    fn replay_reproduces_case() {
+        let mut from_forall = Vec::new();
+        forall("replay", 4, 5, |rng| from_forall.push(rng.next_u64()));
+        let mut replayed = 0;
+        replay(case_seed(5, 2), |rng| replayed = rng.next_u64());
+        assert_eq!(replayed, from_forall[2]);
+    }
+}

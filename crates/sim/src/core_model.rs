@@ -177,6 +177,36 @@ impl CoreModel {
         self.last_store = None;
     }
 
+    /// Fault injection: flips one bit of an architectural register and
+    /// returns the corrupted value.
+    pub fn flip_reg_bit(&mut self, reg: Reg, bit: u32) -> u64 {
+        self.regs[reg.index()] ^= 1u64 << bit;
+        self.regs[reg.index()]
+    }
+
+    /// Fault injection: flips one bit of the program counter and returns
+    /// `(old_pc, new_pc)`. An out-of-range pc fetches `Halt`, so the worst
+    /// case is an early (detectable) halt, never a simulator panic.
+    pub fn flip_pc_bit(&mut self, bit: u32) -> (u32, u32) {
+        let from = self.pc;
+        self.pc ^= 1u32 << bit;
+        (from, self.pc)
+    }
+
+    /// Fault injection: power loss. All volatile architectural state —
+    /// registers, pc, pipeline bookkeeping, control bits — is lost; the
+    /// core restarts cold from pc 0. Local time and the retired counter
+    /// survive (they are simulator bookkeeping, not machine state).
+    pub fn crash(&mut self) {
+        self.regs = [0; NUM_REGS];
+        self.pc = 0;
+        self.halted = false;
+        self.at_barrier = false;
+        self.reg_ready = [self.ticks; NUM_REGS];
+        self.lsq.clear();
+        self.last_store = None;
+    }
+
     #[inline]
     fn ready(&self, issue: u64, srcs: &[Reg]) -> u64 {
         let mut t = issue;
@@ -265,8 +295,7 @@ impl CoreModel {
                 }
                 let issue = self.ready(issue0, &[ra, rb]);
                 self.regs[rd.index()] = op.apply(self.regs[ra.index()], self.regs[rb.index()]);
-                self.reg_ready[rd.index()] =
-                    issue + Self::alu_latency(cfg, op) * TICKS_PER_CYCLE;
+                self.reg_ready[rd.index()] = issue + Self::alu_latency(cfg, op) * TICKS_PER_CYCLE;
                 self.ticks = issue;
                 self.pc += 1;
                 Ok(StepKind::Normal)
@@ -279,8 +308,7 @@ impl CoreModel {
                 }
                 let issue = self.ready(issue0, &[ra]);
                 self.regs[rd.index()] = op.apply(self.regs[ra.index()], imm);
-                self.reg_ready[rd.index()] =
-                    issue + Self::alu_latency(cfg, op) * TICKS_PER_CYCLE;
+                self.reg_ready[rd.index()] = issue + Self::alu_latency(cfg, op) * TICKS_PER_CYCLE;
                 self.ticks = issue;
                 self.pc += 1;
                 Ok(StepKind::Normal)
@@ -339,8 +367,7 @@ impl CoreModel {
                 // insertion completes in the background.
                 let issue = self.ready(issue0, inputs.as_slice());
                 let issue = self.lsq_admit(issue, cfg.lsq_entries);
-                let captured: Vec<u64> =
-                    inputs.iter().map(|r| self.regs[r.index()]).collect();
+                let captured: Vec<u64> = inputs.iter().map(|r| self.regs[r.index()]).collect();
                 self.lsq
                     .push_back(issue + cfg.assoc_latency * TICKS_PER_CYCLE);
                 self.ticks = issue;

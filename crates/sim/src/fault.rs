@@ -1,0 +1,361 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, fully deterministic campaign of state
+//! corruptions expressed in the *progress* metric (total retired
+//! instructions) — the same clock checkpoint triggers and error schedules
+//! use, so an injection point means the same thing in a raw and an
+//! instrumented binary. No wall-clock time or OS randomness is involved:
+//! the same seed always produces the same plan, and applying the same plan
+//! to the same machine always produces the same execution.
+//!
+//! The kinds model the classic soft-error surface:
+//!
+//! * [`FaultKind::RegBitFlip`] — a single-event upset in a register file
+//!   cell,
+//! * [`FaultKind::PcBitFlip`] — a control-flow upset (the core continues
+//!   from the wrong instruction),
+//! * [`FaultKind::MemBitFlip`] — a flipped DRAM/cache word, made globally
+//!   visible by invalidating cached copies,
+//! * [`FaultKind::Crash`] — a power-loss event: every core's volatile
+//!   architectural state is lost at once.
+//!
+//! Register, pc, and crash faults corrupt only state that a checkpoint
+//! fully re-creates, so a correct recovery always repairs them. Memory
+//! faults can corrupt words the incremental log no longer covers (or
+//! poison old-value records captured *after* the flip), so they are
+//! *potentially unrecoverable* — the verification harness must classify
+//! them, never silently diverge.
+
+use acr_isa::NUM_REGS;
+use acr_mem::{CoreId, WordAddr};
+use acr_rng::SmallRng;
+
+/// The kind of state corruption to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip bit `bit` of architectural register `reg` on the target core.
+    RegBitFlip {
+        /// Register index (`0..NUM_REGS`).
+        reg: u8,
+        /// Bit position (`0..64`).
+        bit: u8,
+    },
+    /// Flip a low bit of the target core's program counter.
+    PcBitFlip {
+        /// Bit position (`0..PC_FAULT_BITS`), keeping the bad jump within
+        /// a small window so the run keeps retiring instructions (which is
+        /// what lets progress-based detection fire).
+        bit: u8,
+    },
+    /// Flip bit `bit` of the memory word at `addr`; all cached copies are
+    /// invalidated so the corruption is globally visible.
+    MemBitFlip {
+        /// Target word.
+        addr: WordAddr,
+        /// Bit position (`0..64`).
+        bit: u8,
+    },
+    /// Power-loss crash: every core loses registers and pc simultaneously.
+    /// Detection is immediate (a crash is not silent).
+    Crash,
+}
+
+/// Highest pc bit a [`FaultKind::PcBitFlip`] may flip.
+pub const PC_FAULT_BITS: u8 = 4;
+
+impl FaultKind {
+    /// Short stable label for reports ("reg" / "pc" / "mem" / "crash").
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::RegBitFlip { .. } => "reg",
+            FaultKind::PcBitFlip { .. } => "pc",
+            FaultKind::MemBitFlip { .. } => "mem",
+            FaultKind::Crash => "crash",
+        }
+    }
+
+    /// Whether a correct checkpoint recovery is guaranteed to repair this
+    /// fault (see the module docs for why memory flips are not).
+    pub fn guaranteed_recoverable(&self) -> bool {
+        !matches!(self, FaultKind::MemBitFlip { .. })
+    }
+}
+
+/// One planned fault: corrupt `core` with `kind` once total retired
+/// instructions reach `at_progress`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Injection point in retired instructions.
+    pub at_progress: u64,
+    /// Target core (ignored by [`FaultKind::MemBitFlip`] and
+    /// [`FaultKind::Crash`], which are not core-local).
+    pub core: CoreId,
+    /// What to corrupt.
+    pub kind: FaultKind,
+}
+
+/// Which fault kinds a campaign draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultKindSet {
+    /// Register-file bit flips.
+    pub reg: bool,
+    /// Program-counter bit flips.
+    pub pc: bool,
+    /// Memory-word bit flips (potentially unrecoverable).
+    pub mem: bool,
+    /// Whole-machine power-loss crashes.
+    pub crash: bool,
+}
+
+impl FaultKindSet {
+    /// Every kind, including potentially unrecoverable memory flips.
+    pub fn all() -> Self {
+        FaultKindSet {
+            reg: true,
+            pc: true,
+            mem: true,
+            crash: true,
+        }
+    }
+
+    /// Only kinds a correct recovery is guaranteed to repair.
+    pub fn recoverable() -> Self {
+        FaultKindSet {
+            reg: true,
+            pc: true,
+            mem: false,
+            crash: true,
+        }
+    }
+
+    /// Parses a comma-separated list of kind labels (e.g. `"reg,mem"`),
+    /// or the shorthands `"all"` / `"recoverable"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "all" => return Ok(Self::all()),
+            "recoverable" => return Ok(Self::recoverable()),
+            _ => {}
+        }
+        let mut set = FaultKindSet {
+            reg: false,
+            pc: false,
+            mem: false,
+            crash: false,
+        };
+        for part in s.split(',') {
+            match part.trim() {
+                "reg" => set.reg = true,
+                "pc" => set.pc = true,
+                "mem" => set.mem = true,
+                "crash" => set.crash = true,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        if set
+            == (FaultKindSet {
+                reg: false,
+                pc: false,
+                mem: false,
+                crash: false,
+            })
+        {
+            return Err("empty fault-kind set".to_string());
+        }
+        Ok(set)
+    }
+}
+
+impl Default for FaultKindSet {
+    /// Defaults to the guaranteed-recoverable kinds.
+    fn default() -> Self {
+        Self::recoverable()
+    }
+}
+
+/// Inputs the deterministic plan generator needs about the target machine
+/// and program.
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Number of faults to plan (one per campaign case).
+    pub count: u32,
+    /// Kinds to draw from.
+    pub kinds: FaultKindSet,
+    /// Total retired instructions of the fault-free run; injection points
+    /// are drawn from `[1, total_progress)`.
+    pub total_progress: u64,
+    /// Number of cores faults may target.
+    pub cores: u32,
+    /// Candidate words for memory flips — normally the program's written
+    /// working set from a [`crate::StoreCensus`] pre-run, so flips land on
+    /// state the program actually uses.
+    pub mem_targets: Vec<WordAddr>,
+}
+
+/// A seeded, deterministic fault campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Planned faults, in generation order (one per campaign case; they
+    /// are independent experiments, not a sequence within one run).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Generates a plan from `cfg`. Deterministic: same config, same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_progress < 2`, no kind is enabled, or `mem` is the
+    /// only enabled kind while `mem_targets` is empty.
+    pub fn generate(cfg: &FaultPlanConfig) -> FaultPlan {
+        assert!(cfg.total_progress >= 2, "program too short to inject into");
+        assert!(cfg.cores >= 1, "need at least one core");
+        let mut kinds: Vec<&str> = Vec::new();
+        if cfg.kinds.reg {
+            kinds.push("reg");
+        }
+        if cfg.kinds.pc {
+            kinds.push("pc");
+        }
+        if cfg.kinds.mem && !cfg.mem_targets.is_empty() {
+            kinds.push("mem");
+        }
+        if cfg.kinds.crash {
+            kinds.push("crash");
+        }
+        assert!(!kinds.is_empty(), "no injectable fault kind enabled");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let faults = (0..cfg.count)
+            .map(|_| {
+                let at_progress = rng.gen_range(1..cfg.total_progress);
+                let core = CoreId(rng.gen_range(0..cfg.cores));
+                let kind = match *rng.choose(&kinds) {
+                    "reg" => FaultKind::RegBitFlip {
+                        reg: rng.gen_range(0..NUM_REGS as u8),
+                        bit: rng.gen_range(0..64u8),
+                    },
+                    "pc" => FaultKind::PcBitFlip {
+                        bit: rng.gen_range(0..PC_FAULT_BITS),
+                    },
+                    "mem" => FaultKind::MemBitFlip {
+                        addr: *rng.choose(&cfg.mem_targets),
+                        bit: rng.gen_range(0..64u8),
+                    },
+                    _ => FaultKind::Crash,
+                };
+                Fault {
+                    at_progress,
+                    core,
+                    kind,
+                }
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+}
+
+/// What applying a fault actually changed — recorded so campaign reports
+/// can describe each case precisely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// A register bit was flipped.
+    Reg {
+        /// Target core.
+        core: CoreId,
+        /// Register index.
+        reg: u8,
+        /// Value after the flip.
+        after: u64,
+    },
+    /// The pc was redirected.
+    Pc {
+        /// Target core.
+        core: CoreId,
+        /// pc before the flip.
+        from: u32,
+        /// pc after the flip.
+        to: u32,
+    },
+    /// A memory word was flipped in the backing image.
+    Mem {
+        /// Target word.
+        addr: WordAddr,
+        /// Word value before the flip.
+        before: u64,
+        /// Word value after the flip.
+        after: u64,
+    },
+    /// All cores lost volatile state.
+    Crash,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed: 7,
+            count: 64,
+            kinds: FaultKindSet::all(),
+            total_progress: 10_000,
+            cores: 4,
+            mem_targets: vec![WordAddr::new(0), WordAddr::new(64), WordAddr::new(128)],
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        assert_eq!(FaultPlan::generate(&cfg()), FaultPlan::generate(&cfg()));
+        let mut other = cfg();
+        other.seed = 8;
+        assert_ne!(FaultPlan::generate(&cfg()), FaultPlan::generate(&other));
+    }
+
+    #[test]
+    fn plans_respect_bounds_and_kinds() {
+        let plan = FaultPlan::generate(&cfg());
+        assert_eq!(plan.faults.len(), 64);
+        let mut labels = std::collections::BTreeSet::new();
+        for f in &plan.faults {
+            assert!((1..10_000).contains(&f.at_progress));
+            assert!(f.core.0 < 4);
+            labels.insert(f.kind.label());
+            match f.kind {
+                FaultKind::RegBitFlip { reg, bit } => {
+                    assert!((reg as usize) < NUM_REGS && bit < 64);
+                }
+                FaultKind::PcBitFlip { bit } => assert!(bit < PC_FAULT_BITS),
+                FaultKind::MemBitFlip { addr, bit } => {
+                    assert!(addr.byte() <= 128 && bit < 64);
+                }
+                FaultKind::Crash => {}
+            }
+        }
+        // With 64 draws over 4 kinds, every kind appears.
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn recoverable_set_excludes_mem() {
+        let mut c = cfg();
+        c.kinds = FaultKindSet::recoverable();
+        for f in &FaultPlan::generate(&c).faults {
+            assert!(f.kind.guaranteed_recoverable());
+        }
+    }
+
+    #[test]
+    fn kind_set_parses() {
+        assert_eq!(FaultKindSet::parse("all").unwrap(), FaultKindSet::all());
+        assert_eq!(
+            FaultKindSet::parse("recoverable").unwrap(),
+            FaultKindSet::recoverable()
+        );
+        let set = FaultKindSet::parse("reg,mem").unwrap();
+        assert!(set.reg && set.mem && !set.pc && !set.crash);
+        assert!(FaultKindSet::parse("bogus").is_err());
+        assert!(FaultKindSet::parse("").is_err());
+    }
+}

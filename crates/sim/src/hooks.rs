@@ -58,3 +58,46 @@ impl ExecHooks for NoHooks {
         0
     }
 }
+
+/// Records the distinct words a program stores to (its written working
+/// set), in address order. A fault campaign pre-runs a program under this
+/// hook so memory bit-flips target state the program actually uses —
+/// flipping never-touched words would only measure the oracle, not
+/// recovery. Costs nothing in simulated time.
+#[derive(Debug, Clone, Default)]
+pub struct StoreCensus {
+    words: std::collections::BTreeSet<WordAddr>,
+}
+
+impl StoreCensus {
+    /// An empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded store targets in ascending address order.
+    pub fn into_targets(self) -> Vec<WordAddr> {
+        self.words.into_iter().collect()
+    }
+
+    /// Number of distinct words recorded.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when nothing stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl ExecHooks for StoreCensus {
+    fn on_store(&mut self, ev: StoreEvent) -> u64 {
+        self.words.insert(ev.addr);
+        0
+    }
+
+    fn on_assoc(&mut self, _ev: AssocEvent) -> u64 {
+        0
+    }
+}

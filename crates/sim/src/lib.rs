@@ -25,13 +25,17 @@
 
 mod config;
 mod core_model;
+mod fault;
 mod hooks;
 mod machine;
 mod stats;
 
 pub use config::MachineConfig;
 pub use core_model::{CoreModel, CoreSnapshot};
-pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreEvent};
+pub use fault::{
+    Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, PC_FAULT_BITS,
+};
+pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent};
 pub use machine::{Machine, RunOutcome, SimError};
 pub use stats::SimStats;
 

@@ -60,7 +60,11 @@ impl fmt::Display for SimError {
                 write!(f, "core {}: misaligned access at {addr:#x}", core.0)
             }
             SimError::AssocWithoutStore { core, pc } => {
-                write!(f, "core {}@{pc}: assoc-addr without preceding store", core.0)
+                write!(
+                    f,
+                    "core {}@{pc}: assoc-addr without preceding store",
+                    core.0
+                )
             }
             SimError::FuelExhausted => write!(f, "instruction budget exhausted"),
         }
@@ -252,6 +256,52 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Applies one fault to the current machine state and reports what
+    /// changed. The functional memory image is updated eagerly by stores
+    /// (caches model timing only), so flipping the image word *is* the
+    /// globally visible corruption.
+    pub fn apply_fault(&mut self, target: CoreId, kind: crate::FaultKind) -> crate::FaultEffect {
+        use crate::{FaultEffect, FaultKind};
+        match kind {
+            FaultKind::RegBitFlip { reg, bit } => {
+                let core = &mut self.cores[target.0 as usize];
+                let after = core.flip_reg_bit(acr_isa::Reg(reg), u32::from(bit));
+                FaultEffect::Reg {
+                    core: target,
+                    reg,
+                    after,
+                }
+            }
+            FaultKind::PcBitFlip { bit } => {
+                let core = &mut self.cores[target.0 as usize];
+                let (from, to) = core.flip_pc_bit(u32::from(bit));
+                FaultEffect::Pc {
+                    core: target,
+                    from,
+                    to,
+                }
+            }
+            FaultKind::MemBitFlip { addr, bit } => {
+                let before = self.mem.image().read(addr);
+                let after = before ^ (1u64 << bit);
+                self.mem.image_mut().write(addr, after);
+                FaultEffect::Mem {
+                    addr,
+                    before,
+                    after,
+                }
+            }
+            FaultKind::Crash => {
+                for core in &mut self.cores {
+                    core.crash();
+                }
+                // Caches don't survive a power cycle either.
+                self.mem.invalidate_all();
+                FaultEffect::Crash
+            }
+        }
+    }
+
     fn release_barrier_if_ready(&mut self) -> bool {
         let participants: Vec<usize> = self
             .cores
@@ -389,9 +439,9 @@ impl<'p> Machine<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hooks::NoHooks;
     use acr_isa::interp::Interp;
     use acr_isa::{AluOp, ProgramBuilder, Reg};
-    use crate::hooks::NoHooks;
 
     fn demo_program(threads: usize) -> acr_isa::Program {
         let mut b = ProgramBuilder::new(threads);
@@ -510,9 +560,6 @@ mod tests {
         let p = b.build();
         let mut m = Machine::new(MachineConfig::with_cores(1), &p);
         m.set_fuel(1000);
-        assert_eq!(
-            m.run(&mut NoHooks, u64::MAX),
-            Err(SimError::FuelExhausted)
-        );
+        assert_eq!(m.run(&mut NoHooks, u64::MAX), Err(SimError::FuelExhausted));
     }
 }

@@ -1,7 +1,6 @@
 //! Program emission from a [`KernelSpec`].
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use acr_rng::SmallRng;
 
 use acr_isa::{AluOp, BranchCond, Program, ProgramBuilder, Reg, ThreadBuilder};
 
@@ -71,12 +70,7 @@ pub fn generate(bench: Benchmark, cfg: &WorkloadConfig) -> Program {
 
     // Memory layout.
     let shared_bytes = round_up(u64::from(threads) * 64, 4096);
-    let max_addrs = spec
-        .phases
-        .iter()
-        .map(|p| p.addrs)
-        .max()
-        .unwrap_or(0);
+    let max_addrs = spec.phases.iter().map(|p| p.addrs).max().unwrap_or(0);
     let max_extra = spec
         .phases
         .iter()
@@ -230,7 +224,12 @@ fn emit_phase(
         // first-touch interval does not swallow the burst volume.
         let stagger = if h.staggered { u64::from(t) + 1 } else { 1 };
         tb.alui(AluOp::Add, regs::GUARD, regs::SWEEP, stagger);
-        tb.alui(AluOp::And, regs::GUARD, regs::GUARD, u64::from(h.period - 1));
+        tb.alui(
+            AluOp::And,
+            regs::GUARD,
+            regs::GUARD,
+            u64::from(h.period - 1),
+        );
         let bp = tb.branch_placeholder(BranchCond::Ne, regs::GUARD, regs::ZERO);
         emit_store_block(
             tb,
@@ -351,12 +350,7 @@ fn random_op(rng: &mut SmallRng) -> (AluOp, u64) {
 fn emit_comm(tb: &mut ThreadBuilder, period: u32, partners: &[(u32, u32)]) {
     let guarded = period > 1;
     let bp = if guarded {
-        tb.alui(
-            AluOp::And,
-            regs::GUARD,
-            regs::SWEEP,
-            u64::from(period - 1),
-        );
+        tb.alui(AluOp::And, regs::GUARD, regs::SWEEP, u64::from(period - 1));
         Some(tb.branch_placeholder(BranchCond::Ne, regs::GUARD, regs::ZERO))
     } else {
         None
@@ -575,10 +569,7 @@ mod tests {
     #[test]
     fn thread_count_scales_memory() {
         let p8 = generate(Benchmark::Mg, &WorkloadConfig::default());
-        let p32 = generate(
-            Benchmark::Mg,
-            &WorkloadConfig::default().with_threads(32),
-        );
+        let p32 = generate(Benchmark::Mg, &WorkloadConfig::default().with_threads(32));
         assert!(p32.mem_bytes() > p8.mem_bytes() * 3);
         assert_eq!(p32.num_threads(), 32);
     }

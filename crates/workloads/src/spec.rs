@@ -516,7 +516,12 @@ mod tests {
                     "{b} phase {} weights sum to {sum}",
                     p.name
                 );
-                assert_eq!(p.addrs % 64, 0, "{b}/{}: addrs must be site-aligned", p.name);
+                assert_eq!(
+                    p.addrs % 64,
+                    0,
+                    "{b}/{}: addrs must be site-aligned",
+                    p.name
+                );
             }
         }
     }

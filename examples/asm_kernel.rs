@@ -76,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ReCkpt_E: {:>8} cycles, {:>7} B checkpointed ({:.1}% smaller)",
         reckpt.cycles,
         reckpt.checkpoint_bytes(),
-        reckpt.report.as_ref().expect("report").overall_reduction_pct()
+        reckpt
+            .report
+            .as_ref()
+            .expect("report")
+            .overall_reduction_pct()
     );
     let rec = &reckpt.report.as_ref().expect("report").recoveries[0];
     println!(

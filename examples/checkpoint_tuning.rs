@@ -74,11 +74,8 @@ fn main() -> Result<(), ExperimentError> {
     for (label, run) in [("plain", exp.run_ckpt(0)?), ("ACR", exp.run_reckpt(0)?)] {
         let rep = run.report.as_ref().expect("report");
         let per_ckpt = rep.checkpoint_stall_cycles / rep.checkpoints_taken.max(1);
-        let n = acr_ckpt::frequency::recommended_checkpoints(
-            no.cycles,
-            per_ckpt,
-            f64::from(errors),
-        );
+        let n =
+            acr_ckpt::frequency::recommended_checkpoints(no.cycles, per_ckpt, f64::from(errors));
         println!(
             "Young/Daly for {label}: per-checkpoint cost {per_ckpt} cycles -> {n} checkpoints"
         );

@@ -49,9 +49,9 @@ fn main() -> Result<(), ExperimentError> {
         tb.load(Reg(20), Reg(7), 0); // src[i-1]
         tb.load(Reg(21), Reg(7), 8); // src[i]
         tb.load(Reg(23), Reg(7), 16); // src[i+1]
-        // value = (a + 2b + c) / 4 — a pure arithmetic producer chain, so
-        // the slicer gives this store a Slice with the three loads as
-        // operand-buffer inputs (Fig. 3(d) of the paper).
+                                      // value = (a + 2b + c) / 4 — a pure arithmetic producer chain, so
+                                      // the slicer gives this store a Slice with the three loads as
+                                      // operand-buffer inputs (Fig. 3(d) of the paper).
         tb.alui(AluOp::Mul, Reg(22), Reg(21), 2);
         tb.alu(AluOp::Add, Reg(22), Reg(22), Reg(20));
         tb.alu(AluOp::Add, Reg(22), Reg(22), Reg(23));

@@ -35,7 +35,10 @@ fn main() {
     );
 
     println!("\ncoverage vs Slice-length threshold (static stores):");
-    println!("{:>9} {:>8} {:>10} {:>12}", "threshold", "sliced", "coverage", "binary_ovhd");
+    println!(
+        "{:>9} {:>8} {:>10} {:>12}",
+        "threshold", "sliced", "coverage", "binary_ovhd"
+    );
     for threshold in [5usize, 10, 20, 30, 40, 50] {
         let (ip, stats) = instrument(&program, &SlicerConfig { threshold });
         println!(

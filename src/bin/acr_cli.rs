@@ -1,0 +1,259 @@
+//! `acr_cli` — command-line front end for the ACR reproduction.
+//!
+//! The `inject` subcommand runs a deterministic fault-injection and
+//! recovery-verification campaign over the bundled workloads: same seed,
+//! byte-identical output.
+
+use std::process::ExitCode;
+
+use acr::{Experiment, ExperimentSpec};
+use acr_ckpt::{CampaignConfig, Scheme};
+use acr_sim::FaultKindSet;
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+const USAGE: &str = "\
+acr_cli — ACR (Amnesic Checkpointing and Recovery) reproduction driver
+
+USAGE:
+    acr_cli inject [OPTIONS]     run a deterministic fault-injection campaign
+    acr_cli workloads            list the bundled workloads
+    acr_cli help                 show this message
+
+INJECT OPTIONS:
+    --seed N          campaign seed (default 42)
+    --faults N        total faults, split across the workloads (default 1000)
+    --workloads LIST  comma-separated workload names (default is,cg,mg)
+    --threads N       cores == threads (default 4)
+    --scale F         workload scale factor (default 0.05)
+    --checkpoints N   checkpoints per nominal run (default 12)
+    --latency F       detection latency / checkpoint period (default 0.5)
+    --kinds SET       all | recoverable | comma list of reg,pc,mem,crash
+                      (default recoverable)
+    --policy P        acr | baseline (default acr)
+    --scheme S        global | local (default global)
+    --csv DIR         also write per-case CSVs into DIR
+
+Every quantity the campaign reports is derived from the seeded plan and
+the deterministic simulator — two invocations with the same options
+produce byte-identical output (the content hash makes that checkable).
+";
+
+struct InjectArgs {
+    seed: u64,
+    faults: u32,
+    workloads: Vec<Benchmark>,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    latency: f64,
+    kinds: FaultKindSet,
+    amnesic: bool,
+    scheme: Scheme,
+    csv_dir: Option<String>,
+}
+
+impl Default for InjectArgs {
+    fn default() -> Self {
+        InjectArgs {
+            seed: 42,
+            faults: 1000,
+            workloads: vec![Benchmark::Is, Benchmark::Cg, Benchmark::Mg],
+            threads: 4,
+            scale: 0.05,
+            checkpoints: 12,
+            latency: 0.5,
+            kinds: FaultKindSet::recoverable(),
+            amnesic: true,
+            scheme: Scheme::GlobalCoordinated,
+            csv_dir: None,
+        }
+    }
+}
+
+fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
+    let mut out = InjectArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => {
+                out.faults = value.parse().map_err(|e| format!("--faults: {e}"))?;
+                if out.faults == 0 {
+                    return Err("--faults must be positive".into());
+                }
+            }
+            "--workloads" => {
+                out.workloads = value
+                    .split(',')
+                    .map(|n| {
+                        Benchmark::from_name(n.trim())
+                            .ok_or_else(|| format!("unknown workload `{n}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if out.workloads.is_empty() {
+                    return Err("--workloads must name at least one workload".into());
+                }
+            }
+            "--threads" => {
+                out.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--scale" => out.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--checkpoints" => {
+                out.checkpoints = value.parse().map_err(|e| format!("--checkpoints: {e}"))?;
+            }
+            "--latency" => {
+                out.latency = value.parse().map_err(|e| format!("--latency: {e}"))?;
+                if !(0.0..=1.0).contains(&out.latency) {
+                    return Err("--latency must be within [0, 1]".into());
+                }
+            }
+            "--kinds" => out.kinds = FaultKindSet::parse(value)?,
+            "--policy" => {
+                out.amnesic = match value.as_str() {
+                    "acr" => true,
+                    "baseline" => false,
+                    other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--scheme" => {
+                out.scheme = match value.as_str() {
+                    "global" => Scheme::GlobalCoordinated,
+                    "local" => Scheme::LocalCoordinated,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                };
+            }
+            "--csv" => out.csv_dir = Some(value.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn inject(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_inject(args)?;
+    if let Some(dir) = &a.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--csv {dir}: {e}"))?;
+    }
+
+    let n = a.workloads.len() as u32;
+    let base_count = a.faults / n;
+    let remainder = a.faults % n;
+
+    let mut injected = 0u64;
+    let mut detected = 0u64;
+    let mut recovered = 0u64;
+    let mut diverged = 0u64;
+    let mut aborted = 0u64;
+    let mut divergent_words = 0u64;
+    let mut recovery_cycles = 0u64;
+    let mut recovery_energy = 0.0f64;
+    let mut combined_hash = 0xcbf2_9ce4_8422_2325u64;
+
+    for (i, &bench) in a.workloads.iter().enumerate() {
+        let count = base_count + u32::from((i as u32) < remainder);
+        if count == 0 {
+            continue;
+        }
+        let program = generate(
+            bench,
+            &WorkloadConfig::default()
+                .with_threads(a.threads)
+                .with_scale(a.scale),
+        );
+        let spec = ExperimentSpec::default()
+            .with_cores(a.threads)
+            .with_threshold(bench.default_threshold());
+        let mut exp =
+            Experiment::new(program, spec).map_err(|e| format!("{}: {e}", bench.name()))?;
+        let cfg = CampaignConfig {
+            seed: a.seed.wrapping_add(i as u64),
+            count,
+            kinds: a.kinds,
+            num_checkpoints: a.checkpoints,
+            detection_latency_frac: a.latency,
+            scheme: a.scheme,
+            ..CampaignConfig::default()
+        };
+        let run = exp
+            .run_fault_campaign(&cfg, a.amnesic)
+            .map_err(|e| format!("{}: {e}", bench.name()))?;
+        let r = &run.report;
+
+        println!("== {} ({}) ==", bench.name(), run.label);
+        print!("{}", r.summary());
+        println!(
+            "  recovery energy {:.6e} J over {:.6e} s",
+            run.recovery_energy_joules, run.recovery_seconds
+        );
+        injected += r.injected();
+        detected += r.detected();
+        recovered += r.recovered();
+        diverged += r.diverged();
+        aborted += r.aborted();
+        divergent_words += r.divergent_words();
+        recovery_cycles += r.recovery_stall_cycles();
+        recovery_energy += run.recovery_energy_joules;
+        for b in r.content_hash().to_le_bytes() {
+            combined_hash ^= u64::from(b);
+            combined_hash = combined_hash.wrapping_mul(0x0100_0000_01b3);
+        }
+
+        if let Some(dir) = &a.csv_dir {
+            let path = format!("{dir}/{}.csv", bench.name());
+            std::fs::write(&path, r.csv()).map_err(|e| format!("{path}: {e}"))?;
+            println!("  cases written to {path}");
+        }
+    }
+
+    println!("== campaign total ==");
+    println!(
+        "  injected {injected}  detected {detected}  recovered {recovered}  \
+         diverged {diverged}  aborted {aborted}"
+    );
+    println!(
+        "  state-divergence count {divergent_words}  recovery cycles {recovery_cycles}  \
+         recovery energy {recovery_energy:.6e} J"
+    );
+    println!("  combined hash {combined_hash:#018x}");
+    Ok(if aborted == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("inject") => match inject(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("workloads") => {
+            for b in Benchmark::ALL {
+                println!("{}", b.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help" | "-h" | "--help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n");
+            print!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -52,9 +52,15 @@ fn fig9_shape_is_near_top_cg_smallest() {
     let is = reds.iter().find(|(b, _)| *b == Benchmark::Is).unwrap().1;
     let cg = reds.iter().find(|(b, _)| *b == Benchmark::Cg).unwrap().1;
     let above_is = reds.iter().filter(|(_, r)| *r > is).count();
-    assert!(above_is <= 1, "is ({is:.1}) must be in the top two: {reds:?}");
+    assert!(
+        above_is <= 1,
+        "is ({is:.1}) must be in the top two: {reds:?}"
+    );
     for (b, r) in &reds {
-        assert!(cg <= *r, "cg ({cg:.1}) must be the smallest, {b} has {r:.1}");
+        assert!(
+            cg <= *r,
+            "cg ({cg:.1}) must be the smallest, {b} has {r:.1}"
+        );
     }
     assert!(is > 45.0, "is reduction {is:.1} too low");
     assert!(cg < 15.0, "cg reduction {cg:.1} too high");
@@ -65,11 +71,17 @@ fn table2_bands_hold() {
     // cg: low at 10, jumps by 20-30 (the paper's most distinctive band).
     let cg10 = size_reduction(Benchmark::Cg, 10);
     let cg30 = size_reduction(Benchmark::Cg, 30);
-    assert!(cg30 > cg10 + 30.0, "cg band jump missing: {cg10:.1}→{cg30:.1}");
+    assert!(
+        cg30 > cg10 + 30.0,
+        "cg band jump missing: {cg10:.1}→{cg30:.1}"
+    );
     // mg: the step is between 20 and 30.
     let mg20 = size_reduction(Benchmark::Mg, 20);
     let mg30 = size_reduction(Benchmark::Mg, 30);
-    assert!(mg30 > mg20 + 30.0, "mg band jump missing: {mg20:.1}→{mg30:.1}");
+    assert!(
+        mg30 > mg20 + 30.0,
+        "mg band jump missing: {mg20:.1}→{mg30:.1}"
+    );
     // Monotone in threshold for every benchmark.
     for b in [Benchmark::Bt, Benchmark::Lu, Benchmark::Sp, Benchmark::Ft] {
         let lo = size_reduction(b, 10);
@@ -100,7 +112,10 @@ fn fig6_orderings_hold() {
         } else {
             min_other_oh = min_other_oh.min(oh);
         }
-        assert!(oh > 5.0, "{b}: checkpointing must cost something ({oh:.1}%)");
+        assert!(
+            oh > 5.0,
+            "{b}: checkpointing must cost something ({oh:.1}%)"
+        );
     }
     assert!(
         matches!(best.0, Benchmark::Is | Benchmark::Dc),
@@ -132,7 +147,8 @@ fn fig13_roles_hold() {
         let mut glob = Experiment::new(program.clone(), spec.clone()).expect("valid");
         let mut loc =
             Experiment::new(program, spec.with_scheme(Scheme::LocalCoordinated)).expect("valid");
-        loc.run_ckpt(0).expect("local").cycles as f64 / glob.run_ckpt(0).expect("global").cycles as f64
+        loc.run_ckpt(0).expect("local").cycles as f64
+            / glob.run_ckpt(0).expect("global").cycles as f64
     };
     for b in [Benchmark::Bt, Benchmark::Cg] {
         let r = ratio(b);

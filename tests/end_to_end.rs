@@ -40,7 +40,10 @@ fn ckpt_and_reckpt_preserve_semantics_error_free() {
         let p = tiny(bench, threads);
         let reference = reference_mem(&p, threads);
         let mut exp = Experiment::new(p.clone(), spec(threads, bench)).expect("valid");
-        for r in [exp.run_ckpt(0).expect("ckpt"), exp.run_reckpt(0).expect("reckpt")] {
+        for r in [
+            exp.run_ckpt(0).expect("ckpt"),
+            exp.run_reckpt(0).expect("reckpt"),
+        ] {
             assert_eq!(
                 r.report.as_ref().expect("report").checkpoints_taken,
                 6,

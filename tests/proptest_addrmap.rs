@@ -9,12 +9,12 @@
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use acr::{AcrPolicy, AddrMapConfig};
 use acr_ckpt::OmissionPolicy;
 use acr_isa::{AluOp, Slice, SliceId, SliceInstr, SliceOperand};
 use acr_mem::{CoreId, WordAddr};
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
 use acr_sim::AssocEvent;
 
 /// Identity-plus-constant slices: slice `k` computes `input0 + k`.
@@ -50,14 +50,26 @@ enum Op {
     Checkpoint,
 }
 
-fn op_strategy(cores: u32, slices: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..cores, any::<u8>(), 0..slices, any::<u64>()).prop_map(
-            |(core, addr, slice, input)| Op::Assoc { core, addr: addr % 24, slice, input }
-        ),
-        2 => (0..cores, any::<u8>()).prop_map(|(core, addr)| Op::Store { core, addr: addr % 24 }),
-        1 => Just(Op::Checkpoint),
-    ]
+/// Weighted 4/2/1 mix of Assoc/Store/Checkpoint.
+fn gen_op(rng: &mut SmallRng, cores: u32, slices: u32) -> Op {
+    match rng.gen_range(0..7u32) {
+        0..=3 => Op::Assoc {
+            core: rng.gen_range(0..cores),
+            addr: rng.gen_range(0..24u8),
+            slice: rng.gen_range(0..slices),
+            input: rng.next_u64(),
+        },
+        4 | 5 => Op::Store {
+            core: rng.gen_range(0..cores),
+            addr: rng.gen_range(0..24u8),
+        },
+        _ => Op::Checkpoint,
+    }
+}
+
+fn gen_ops(rng: &mut SmallRng, cores: u32, slices: u32, max: usize) -> Vec<Op> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| gen_op(rng, cores, slices)).collect()
 }
 
 /// One reference-model history entry: epoch plus the live association
@@ -81,56 +93,72 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn apply(policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op], prune: bool) {
+    for op in ops {
+        match *op {
+            Op::Assoc {
+                core,
+                addr,
+                slice,
+                input,
+            } => {
+                let a = u64::from(addr) * 8;
+                policy.on_store(core, WordAddr::new(a), *epoch);
+                policy.on_assoc(
+                    &AssocEvent {
+                        core: CoreId(core),
+                        addr: WordAddr::new(a),
+                        value: input.wrapping_add(u64::from(slice)),
+                        slice: SliceId(slice),
+                        inputs: vec![input],
+                    },
+                    *epoch,
+                );
+                let h = model.history.entry(a).or_default();
+                // Same-epoch entries supersede (last store wins).
+                if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
+                    h.pop();
+                }
+                h.push((*epoch, Some((core, slice, input))));
+            }
+            Op::Store { core, addr } => {
+                let a = u64::from(addr) * 8;
+                policy.on_store(core, WordAddr::new(a), *epoch);
+                let h = model.history.entry(a).or_default();
+                if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
+                    h.pop();
+                }
+                // Only meaningful if it kills a live association (a
+                // tombstone after nothing is still nothing).
+                h.push((*epoch, None));
+            }
+            Op::Checkpoint => {
+                if prune {
+                    policy.on_checkpoint(*epoch);
+                }
+                *epoch += 1;
+            }
+        }
+    }
+}
 
-    #[test]
-    fn policy_matches_reference_model(
-        ops in prop::collection::vec(op_strategy(3, 8), 1..120),
-    ) {
+#[test]
+fn policy_matches_reference_model() {
+    forall("policy_matches_reference_model", 64, 0xADD2_0001, |rng| {
+        let ops = gen_ops(rng, 3, 8, 120);
         let slices = slice_table(8);
         let mut policy = AcrPolicy::new(slices.clone(), AddrMapConfig::default(), 3);
         let mut model = Model::default();
         let mut epoch = 0u64;
 
         for op in &ops {
-            match *op {
-                Op::Assoc { core, addr, slice, input } => {
-                    let a = u64::from(addr) * 8;
-                    policy.on_store(core, WordAddr::new(a), epoch);
-                    policy.on_assoc(
-                        &AssocEvent {
-                            core: CoreId(core),
-                            addr: WordAddr::new(a),
-                            value: input.wrapping_add(u64::from(slice)),
-                            slice: SliceId(slice),
-                            inputs: vec![input],
-                        },
-                        epoch,
-                    );
-                    let h = model.history.entry(a).or_default();
-                    // Same-epoch entries supersede (last store wins).
-                    if h.last().map(|(e, _)| *e == epoch).unwrap_or(false) {
-                        h.pop();
-                    }
-                    h.push((epoch, Some((core, slice, input))));
-                }
-                Op::Store { core, addr } => {
-                    let a = u64::from(addr) * 8;
-                    policy.on_store(core, WordAddr::new(a), epoch);
-                    let h = model.history.entry(a).or_default();
-                    if h.last().map(|(e, _)| *e == epoch).unwrap_or(false) {
-                        h.pop();
-                    }
-                    // Only meaningful if it kills a live association (a
-                    // tombstone after nothing is still nothing).
-                    h.push((epoch, None));
-                }
-                Op::Checkpoint => {
-                    policy.on_checkpoint(epoch);
-                    epoch += 1;
-                }
-            }
+            apply(
+                &mut policy,
+                &mut model,
+                &mut epoch,
+                std::slice::from_ref(op),
+                true,
+            );
 
             // After every step, the policy must agree with the model for
             // every address at the current epoch (the only epoch the
@@ -139,79 +167,40 @@ proptest! {
                 let a = addr * 8;
                 let want = model.lookup(a, epoch);
                 let got_owner = policy.clone().try_omit(0, WordAddr::new(a), epoch);
-                prop_assert_eq!(
+                assert_eq!(
                     got_owner,
                     want.map(|(owner, _, _)| owner),
-                    "owner mismatch at addr {} epoch {}",
-                    a,
-                    epoch
+                    "owner mismatch at addr {a} epoch {epoch}"
                 );
                 if let Some((_, slice, input)) = want {
                     let rc = policy
                         .clone()
                         .recompute(WordAddr::new(a), epoch)
                         .expect("model says recomputable");
-                    prop_assert_eq!(rc.value, input.wrapping_add(u64::from(slice)));
+                    assert_eq!(rc.value, input.wrapping_add(u64::from(slice)));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Rollback forgets exactly the victim's associations from the undone
-    /// epochs.
-    #[test]
-    fn rollback_selectively_forgets(
-        pre in prop::collection::vec(op_strategy(2, 4), 1..40),
-        post in prop::collection::vec(op_strategy(2, 4), 1..40),
-    ) {
+/// Rollback forgets exactly the victim's associations from the undone
+/// epochs.
+#[test]
+fn rollback_selectively_forgets() {
+    forall("rollback_selectively_forgets", 64, 0xADD2_0002, |rng| {
+        let pre = gen_ops(rng, 2, 4, 40);
+        let post = gen_ops(rng, 2, 4, 40);
         let slices = slice_table(4);
         let mut policy = AcrPolicy::new(slices, AddrMapConfig::default(), 2);
         let mut model = Model::default();
         let mut epoch = 0u64;
 
-        let apply = |policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op]| {
-            for op in ops {
-                match *op {
-                    Op::Assoc { core, addr, slice, input } => {
-                        let a = u64::from(addr) * 8;
-                        policy.on_store(core, WordAddr::new(a), *epoch);
-                        policy.on_assoc(
-                            &AssocEvent {
-                                core: CoreId(core),
-                                addr: WordAddr::new(a),
-                                value: 0,
-                                slice: SliceId(slice),
-                                inputs: vec![input],
-                            },
-                            *epoch,
-                        );
-                        let h = model.history.entry(a).or_default();
-                        if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
-                            h.pop();
-                        }
-                        h.push((*epoch, Some((core, slice, input))));
-                    }
-                    Op::Store { core, addr } => {
-                        let a = u64::from(addr) * 8;
-                        policy.on_store(core, WordAddr::new(a), *epoch);
-                        let h = model.history.entry(a).or_default();
-                        if h.last().map(|(e, _)| *e == *epoch).unwrap_or(false) {
-                            h.pop();
-                        }
-                        h.push((*epoch, None));
-                    }
-                    Op::Checkpoint => {
-                        // No pruning here: this test isolates rollback.
-                        *epoch += 1;
-                    }
-                }
-            }
-        };
-
-        apply(&mut policy, &mut model, &mut epoch, &pre);
+        // No pruning here: this test isolates rollback.
+        apply(&mut policy, &mut model, &mut epoch, &pre, false);
         let safe = epoch; // roll anything after this point back
         epoch += 1;
-        apply(&mut policy, &mut model, &mut epoch, &post);
+        apply(&mut policy, &mut model, &mut epoch, &post, false);
 
         // Roll both cores back to `safe`.
         policy.on_rollback(safe, 0b11);
@@ -223,7 +212,7 @@ proptest! {
             let a = addr * 8;
             let want = model.lookup(a, safe);
             let got = policy.clone().try_omit(0, WordAddr::new(a), safe);
-            prop_assert_eq!(got, want.map(|(owner, _, _)| owner));
+            assert_eq!(got, want.map(|(owner, _, _)| owner));
         }
-    }
+    });
 }

@@ -3,11 +3,11 @@
 //! reproduce `p`'s instruction streams exactly, and the reassembled
 //! program must execute identically.
 
-use proptest::prelude::*;
-
 use acr_isa::asm::{assemble, disassemble};
 use acr_isa::interp::Interp;
 use acr_isa::{AluOp, BranchCond, Instr, Program, ProgramBuilder, Reg};
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
 
 #[derive(Debug, Clone)]
 enum Piece {
@@ -22,34 +22,41 @@ enum Piece {
     Loop(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::Mul,
-        AluOp::Div,
-        AluOp::Rem,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Shl,
-        AluOp::Shr,
-        AluOp::Min,
-        AluOp::Max,
-    ])
-}
+const OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Min,
+    AluOp::Max,
+];
 
-fn piece_strategy() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        (0..8u8, any::<u64>()).prop_map(|(d, i)| Piece::Imm(d, i)),
-        (op_strategy(), 0..8u8, 0..8u8, 0..8u8).prop_map(|(o, d, a, b)| Piece::Alu(o, d, a, b)),
-        (op_strategy(), 0..8u8, 0..8u8, 0..1_000_000u64)
-            .prop_map(|(o, d, a, i)| Piece::AluI(o, d, a, i)),
-        (0..8u8, 0..32u8).prop_map(|(d, o)| Piece::Load(d, o)),
-        (0..8u8, 0..32u8).prop_map(|(s, o)| Piece::Store(s, o)),
-        (0..8u8, 0..8u8).prop_map(|(a, b)| Piece::SkipIfEq(a, b)),
-        (1..5u8).prop_map(Piece::Loop),
-    ]
+fn gen_piece(rng: &mut SmallRng) -> Piece {
+    match rng.gen_range(0..7u32) {
+        0 => Piece::Imm(rng.gen_range(0..8u8), rng.next_u64()),
+        1 => Piece::Alu(
+            *rng.choose(&OPS),
+            rng.gen_range(0..8u8),
+            rng.gen_range(0..8u8),
+            rng.gen_range(0..8u8),
+        ),
+        2 => Piece::AluI(
+            *rng.choose(&OPS),
+            rng.gen_range(0..8u8),
+            rng.gen_range(0..8u8),
+            rng.gen_range(0..1_000_000u64),
+        ),
+        3 => Piece::Load(rng.gen_range(0..8u8), rng.gen_range(0..32u8)),
+        4 => Piece::Store(rng.gen_range(0..8u8), rng.gen_range(0..32u8)),
+        5 => Piece::SkipIfEq(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+        _ => Piece::Loop(rng.gen_range(1..5u8)),
+    }
 }
 
 /// Scratch registers r20..r27 hold values; r10 is the data base.
@@ -98,29 +105,30 @@ fn build(pieces_per_thread: &[Vec<Piece>]) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn disassemble_assemble_roundtrip() {
+    forall("disassemble_assemble_roundtrip", 64, 0xA5E1_0001, |rng| {
+        let nthreads = rng.gen_range(1..3usize);
+        let threads: Vec<Vec<Piece>> = (0..nthreads)
+            .map(|_| {
+                let n = rng.gen_range(0..25usize);
+                (0..n).map(|_| gen_piece(rng)).collect()
+            })
+            .collect();
 
-    #[test]
-    fn disassemble_assemble_roundtrip(
-        threads in prop::collection::vec(
-            prop::collection::vec(piece_strategy(), 0..25),
-            1..3,
-        ),
-    ) {
         let original = build(&threads);
-        prop_assert!(original.validate().is_ok());
+        assert!(original.validate().is_ok());
 
         let text = disassemble(&original);
         let rebuilt = assemble(&text).expect("reassembles");
-        prop_assert_eq!(original.threads(), rebuilt.threads());
-        prop_assert_eq!(original.mem_bytes(), rebuilt.mem_bytes());
+        assert_eq!(original.threads(), rebuilt.threads());
+        assert_eq!(original.mem_bytes(), rebuilt.mem_bytes());
 
         // And it runs to the same memory image.
         let mut a = Interp::new(&original);
         a.run_to_completion(1_000_000).expect("original runs");
         let mut b = Interp::new(&rebuilt);
         b.run_to_completion(1_000_000).expect("rebuilt runs");
-        prop_assert_eq!(a.mem(), b.mem());
-    }
+        assert_eq!(a.mem(), b.mem());
+    });
 }

@@ -3,10 +3,10 @@
 //! arbitrary (structured) multithreaded programs — timing modelling must
 //! never change semantics.
 
-use proptest::prelude::*;
-
 use acr_isa::interp::Interp;
 use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
 use acr_sim::{Machine, MachineConfig, NoHooks};
 
 #[derive(Debug, Clone)]
@@ -17,36 +17,32 @@ struct ThreadPlan {
     read_peer: bool,
 }
 
-fn plan_strategy() -> impl Strategy<Value = ThreadPlan> {
-    (
-        1..4u64,
-        prop::sample::select(vec![8u64, 24, 40]),
-        prop::collection::vec(
-            (
-                prop::sample::select(vec![
-                    AluOp::Add,
-                    AluOp::Sub,
-                    AluOp::Mul,
-                    AluOp::Xor,
-                    AluOp::Or,
-                    AluOp::Shl,
-                    AluOp::Shr,
-                    AluOp::Min,
-                    AluOp::Max,
-                    AluOp::Div,
-                ]),
-                1..1000u64,
-            ),
-            1..8,
-        ),
-        any::<bool>(),
-    )
-        .prop_map(|(sweeps, words, ops, read_peer)| ThreadPlan {
-            sweeps,
-            words,
-            ops,
-            read_peer,
-        })
+const OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::Div,
+];
+
+fn gen_plan(rng: &mut SmallRng) -> ThreadPlan {
+    let sweeps = rng.gen_range(1..4u64);
+    let words = *rng.choose(&[8u64, 24, 40]);
+    let nops = rng.gen_range(1..8usize);
+    let ops = (0..nops)
+        .map(|_| (*rng.choose(&OPS), rng.gen_range(1..1000u64)))
+        .collect();
+    ThreadPlan {
+        sweeps,
+        words,
+        ops,
+        read_peer: rng.gen_bool(),
+    }
 }
 
 fn build(plans: &[ThreadPlan]) -> Program {
@@ -79,15 +75,13 @@ fn build(plans: &[ThreadPlan]) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn machine_matches_interpreter(
-        plans in prop::collection::vec(plan_strategy(), 1..4),
-    ) {
+#[test]
+fn machine_matches_interpreter() {
+    forall("machine_matches_interpreter", 48, 0x3A9C_0001, |rng| {
+        let nthreads = rng.gen_range(1..4usize);
+        let plans: Vec<ThreadPlan> = (0..nthreads).map(|_| gen_plan(rng)).collect();
         let p = build(&plans);
-        prop_assert!(p.validate().is_ok());
+        assert!(p.validate().is_ok());
 
         let mut interp = Interp::new(&p);
         interp.run_to_completion(50_000_000).expect("interp");
@@ -96,19 +90,20 @@ proptest! {
         let mut machine = Machine::new(cfg, &p);
         machine.run(&mut NoHooks, u64::MAX).expect("machine");
 
-        prop_assert_eq!(machine.mem().image().words(), interp.mem());
-        prop_assert_eq!(
+        assert_eq!(machine.mem().image().words(), interp.mem());
+        assert_eq!(
             machine.total_retired(),
             interp.retired().iter().sum::<u64>()
         );
-        prop_assert!(machine.cycles() > 0);
-    }
+        assert!(machine.cycles() > 0);
+    });
+}
 
-    /// Timing sanity: adding dependent work never reduces cycles.
-    #[test]
-    fn longer_chains_cost_more(
-        mut plan in plan_strategy(),
-    ) {
+/// Timing sanity: adding dependent work never reduces cycles.
+#[test]
+fn longer_chains_cost_more() {
+    forall("longer_chains_cost_more", 32, 0x3A9C_0002, |rng| {
+        let mut plan = gen_plan(rng);
         plan.read_peer = false;
         let short = build(std::slice::from_ref(&plan));
         let mut longer_plan = plan.clone();
@@ -119,6 +114,6 @@ proptest! {
         m1.run(&mut NoHooks, u64::MAX).expect("short");
         let mut m2 = Machine::new(MachineConfig::with_cores(1), &long);
         m2.run(&mut NoHooks, u64::MAX).expect("long");
-        prop_assert!(m2.cycles() >= m1.cycles());
-    }
+        assert!(m2.cycles() >= m1.cycles());
+    });
 }

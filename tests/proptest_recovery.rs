@@ -3,10 +3,10 @@
 //! recovered execution must (a) pass the engine's shadow-memory oracle at
 //! every recovery and (b) finish with exactly the reference memory image.
 
-use proptest::prelude::*;
-
 use acr::{Experiment, ExperimentSpec};
 use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
 use acr_sim::{Machine, MachineConfig, NoHooks};
 
 /// A small parametric kernel family: each thread runs `sweeps` passes
@@ -25,27 +25,16 @@ struct KernelParams {
     probe_peers: bool,
 }
 
-fn params_strategy() -> impl Strategy<Value = KernelParams> {
-    (
-        1..4u32,
-        prop::sample::select(vec![16u64, 48, 96]),
-        1..6u64,
-        1..12u8,
-        prop::sample::select(vec![AluOp::Add, AluOp::Mul, AluOp::Xor, AluOp::Sub]),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(threads, words, sweeps, depth, op, with_barrier, probe_peers)| KernelParams {
-                threads,
-                words,
-                sweeps,
-                depth,
-                op,
-                with_barrier,
-                probe_peers,
-            },
-        )
+fn gen_params(rng: &mut SmallRng) -> KernelParams {
+    KernelParams {
+        threads: rng.gen_range(1..4u32),
+        words: *rng.choose(&[16u64, 48, 96]),
+        sweeps: rng.gen_range(1..6u64),
+        depth: rng.gen_range(1..12u8),
+        op: *rng.choose(&[AluOp::Add, AluOp::Mul, AluOp::Xor, AluOp::Sub]),
+        with_barrier: rng.gen_bool(),
+        probe_peers: rng.gen_bool(),
+    }
 }
 
 fn build(p: &KernelParams) -> Program {
@@ -88,60 +77,64 @@ fn reference(pr: &Program, threads: u32) -> Vec<u64> {
     m.mem().image().words().to_vec()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Recovery (plain and amnesic, with the shadow oracle enabled)
+/// always reproduces the reference final memory.
+#[test]
+fn recovered_execution_matches_reference() {
+    forall(
+        "recovered_execution_matches_reference",
+        40,
+        0x2EC0_0001,
+        |rng| {
+            let params = gen_params(rng);
+            let checkpoints = rng.gen_range(2..8u32);
+            let errors = rng.gen_range(0..4u32);
+            let latency = *rng.choose(&[0.1f64, 0.5, 0.9]);
 
-    /// Recovery (plain and amnesic, with the shadow oracle enabled)
-    /// always reproduces the reference final memory.
-    #[test]
-    fn recovered_execution_matches_reference(
-        params in params_strategy(),
-        checkpoints in 2u32..8,
-        errors in 0u32..4,
-        latency in prop::sample::select(vec![0.1f64, 0.5, 0.9]),
-    ) {
-        let program = build(&params);
-        prop_assert!(program.validate().is_ok());
-        let want = reference(&program, params.threads);
+            let program = build(&params);
+            assert!(program.validate().is_ok());
+            let want = reference(&program, params.threads);
 
-        let spec = ExperimentSpec {
-            detection_latency_frac: latency,
-            ..ExperimentSpec::default()
-        }
-        .with_cores(params.threads)
-        .with_checkpoints(checkpoints)
-        .with_oracle(true);
-
-        let mut exp = Experiment::new(program, spec).expect("valid program");
-        for amnesic in [false, true] {
-            let r = if amnesic {
-                exp.run_reckpt(errors).expect("reckpt run")
-            } else {
-                exp.run_ckpt(errors).expect("ckpt run")
-            };
-            let rep = r.report.as_ref().expect("report");
-            if errors > 0 {
-                prop_assert!(rep.errors_handled >= 1);
+            let spec = ExperimentSpec {
+                detection_latency_frac: latency,
+                ..ExperimentSpec::default()
             }
-            prop_assert!(rep.checkpoints_taken >= u64::from(checkpoints));
-            // o_waste is only incurred when recovering.
-            let waste: u64 = rep.recoveries.iter().map(|x| x.waste_cycles).sum();
-            if errors == 0 {
-                prop_assert_eq!(waste, 0);
-            }
-        }
-        // Final image equality, via a fresh plain run of the cached
-        // experiment's machine is not exposed; rebuild and compare.
-        let again = build(&params);
-        prop_assert_eq!(reference(&again, params.threads), want);
-    }
+            .with_cores(params.threads)
+            .with_checkpoints(checkpoints)
+            .with_oracle(true);
 
-    /// The recovery ordering invariant: with more errors, execution never
-    /// gets cheaper.
-    #[test]
-    fn more_errors_never_cheaper(
-        params in params_strategy(),
-    ) {
+            let mut exp = Experiment::new(program, spec).expect("valid program");
+            for amnesic in [false, true] {
+                let r = if amnesic {
+                    exp.run_reckpt(errors).expect("reckpt run")
+                } else {
+                    exp.run_ckpt(errors).expect("ckpt run")
+                };
+                let rep = r.report.as_ref().expect("report");
+                if errors > 0 {
+                    assert!(rep.errors_handled >= 1);
+                }
+                assert!(rep.checkpoints_taken >= u64::from(checkpoints));
+                // o_waste is only incurred when recovering.
+                let waste: u64 = rep.recoveries.iter().map(|x| x.waste_cycles).sum();
+                if errors == 0 {
+                    assert_eq!(waste, 0);
+                }
+            }
+            // Final image equality, via a fresh plain run of the cached
+            // experiment's machine is not exposed; rebuild and compare.
+            let again = build(&params);
+            assert_eq!(reference(&again, params.threads), want);
+        },
+    );
+}
+
+/// The recovery ordering invariant: with more errors, execution never
+/// gets cheaper.
+#[test]
+fn more_errors_never_cheaper() {
+    forall("more_errors_never_cheaper", 16, 0x2EC0_0002, |rng| {
+        let params = gen_params(rng);
         let program = build(&params);
         let spec = ExperimentSpec::default()
             .with_cores(params.threads)
@@ -150,6 +143,6 @@ proptest! {
         let mut exp = Experiment::new(program, spec).expect("valid");
         let none = exp.run_ckpt(0).expect("0 errors");
         let some = exp.run_ckpt(2).expect("2 errors");
-        prop_assert!(some.cycles >= none.cycles);
-    }
+        assert!(some.cycles >= none.cycles);
+    });
 }

@@ -4,10 +4,10 @@
 //! interpreter's `verify_slices` oracle), and instrumentation must never
 //! change program semantics.
 
-use proptest::prelude::*;
-
 use acr_isa::interp::Interp;
 use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
 use acr_slicer::{instrument, SlicerConfig};
 
 /// One random arithmetic statement in a generated kernel body.
@@ -27,32 +27,44 @@ enum Stmt {
 
 const SCRATCH: [Reg; 6] = [Reg(20), Reg(21), Reg(22), Reg(23), Reg(24), Reg(25)];
 
-fn op_strategy() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::Mul,
-        AluOp::Xor,
-        AluOp::Or,
-        AluOp::And,
-        AluOp::Shl,
-        AluOp::Shr,
-        AluOp::Min,
-        AluOp::Max,
-        AluOp::Div,
-        AluOp::Rem,
-    ])
+const OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Xor,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::Div,
+    AluOp::Rem,
+];
+
+fn gen_stmt(rng: &mut SmallRng) -> Stmt {
+    match rng.gen_range(0..5u32) {
+        0 => Stmt::Alu(
+            rng.gen_range(0..6u8),
+            *rng.choose(&OPS),
+            rng.gen_range(0..6u8),
+            rng.gen_range(0..6u8),
+        ),
+        1 => Stmt::AluI(
+            rng.gen_range(0..6u8),
+            *rng.choose(&OPS),
+            rng.gen_range(0..6u8),
+            rng.gen_range(0..1000u64),
+        ),
+        2 => Stmt::Imm(rng.gen_range(0..6u8), rng.next_u64()),
+        3 => Stmt::Load(rng.gen_range(0..6u8), rng.gen_range(0..32u8)),
+        _ => Stmt::Store(rng.gen_range(0..6u8), rng.gen_range(0..64u8)),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (0..6u8, op_strategy(), 0..6u8, 0..6u8).prop_map(|(d, op, a, b)| Stmt::Alu(d, op, a, b)),
-        (0..6u8, op_strategy(), 0..6u8, 0..1000u64)
-            .prop_map(|(d, op, a, i)| Stmt::AluI(d, op, a, i)),
-        (0..6u8, any::<u64>()).prop_map(|(d, i)| Stmt::Imm(d, i)),
-        (0..6u8, 0..32u8).prop_map(|(d, o)| Stmt::Load(d, o)),
-        (0..6u8, 0..64u8).prop_map(|(s, o)| Stmt::Store(s, o)),
-    ]
+fn gen_stmts(rng: &mut SmallRng, max: usize) -> Vec<Stmt> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| gen_stmt(rng)).collect()
 }
 
 /// Builds a 1-thread program: an input-seeding prologue, then `sweeps`
@@ -63,7 +75,7 @@ fn build(stmts: &[Stmt], sweeps: u64) -> Program {
     let t = b.thread(0);
     t.imm(Reg(10), 1024); // out base
     t.imm(Reg(12), 0); // input base
-    // Seed the input array deterministically.
+                       // Seed the input array deterministically.
     let init = t.begin_loop(Reg(3), Reg(4), 32);
     t.alui(AluOp::Mul, Reg(5), Reg(3), 0x9E37);
     t.alui(AluOp::Xor, Reg(5), Reg(5), 0x5A5A);
@@ -75,7 +87,12 @@ fn build(stmts: &[Stmt], sweeps: u64) -> Program {
     for s in stmts {
         match *s {
             Stmt::Alu(d, op, a, b2) => {
-                t.alu(op, SCRATCH[d as usize], SCRATCH[a as usize], SCRATCH[b2 as usize]);
+                t.alu(
+                    op,
+                    SCRATCH[d as usize],
+                    SCRATCH[a as usize],
+                    SCRATCH[b2 as usize],
+                );
             }
             Stmt::AluI(d, op, a, i) => {
                 t.alui(op, SCRATCH[d as usize], SCRATCH[a as usize], i);
@@ -96,57 +113,67 @@ fn build(stmts: &[Stmt], sweeps: u64) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Every embedded Slice reproduces its store's value dynamically, and
+/// the instrumented program computes the same final memory.
+#[test]
+fn slices_verify_and_semantics_preserved() {
+    forall(
+        "slices_verify_and_semantics_preserved",
+        48,
+        0x51C3_0001,
+        |rng| {
+            let stmts = gen_stmts(rng, 40);
+            let sweeps = rng.gen_range(1..5u64);
+            let threshold = *rng.choose(&[1usize, 3, 10, 30]);
 
-    /// Every embedded Slice reproduces its store's value dynamically, and
-    /// the instrumented program computes the same final memory.
-    #[test]
-    fn slices_verify_and_semantics_preserved(
-        stmts in prop::collection::vec(stmt_strategy(), 1..40),
-        sweeps in 1u64..5,
-        threshold in prop::sample::select(vec![1usize, 3, 10, 30]),
-    ) {
-        let p = build(&stmts, sweeps);
-        prop_assert!(p.validate().is_ok());
-        let (ip, _stats) = instrument(&p, &SlicerConfig { threshold });
-        prop_assert!(ip.validate().is_ok());
+            let p = build(&stmts, sweeps);
+            assert!(p.validate().is_ok());
+            let (ip, _stats) = instrument(&p, &SlicerConfig { threshold });
+            assert!(ip.validate().is_ok());
 
-        let mut reference = Interp::new(&p);
-        reference.run_to_completion(10_000_000).expect("reference");
+            let mut reference = Interp::new(&p);
+            reference.run_to_completion(10_000_000).expect("reference");
 
-        let mut verified = Interp::new(&ip);
-        verified.verify_slices(true);
-        verified.run_to_completion(10_000_000).expect("instrumented");
+            let mut verified = Interp::new(&ip);
+            verified.verify_slices(true);
+            verified
+                .run_to_completion(10_000_000)
+                .expect("instrumented");
 
-        prop_assert_eq!(reference.mem(), verified.mem());
-    }
+            assert_eq!(reference.mem(), verified.mem());
+        },
+    );
+}
 
-    /// Instrumentation is idempotent in effect: re-instrumenting the raw
-    /// program at the same threshold produces the identical binary.
-    #[test]
-    fn instrumentation_is_deterministic(
-        stmts in prop::collection::vec(stmt_strategy(), 1..25),
-    ) {
+/// Instrumentation is idempotent in effect: re-instrumenting the raw
+/// program at the same threshold produces the identical binary.
+#[test]
+fn instrumentation_is_deterministic() {
+    forall("instrumentation_is_deterministic", 48, 0x51C3_0002, |rng| {
+        let stmts = gen_stmts(rng, 25);
         let p = build(&stmts, 2);
         let (a, sa) = instrument(&p, &SlicerConfig { threshold: 10 });
         let (b, sb) = instrument(&p, &SlicerConfig { threshold: 10 });
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(sa, sb);
-    }
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    });
+}
 
-    /// Coverage is monotone in the threshold.
-    #[test]
-    fn coverage_monotone_in_threshold(
-        stmts in prop::collection::vec(stmt_strategy(), 1..40),
-    ) {
+/// Coverage is monotone in the threshold.
+#[test]
+fn coverage_monotone_in_threshold() {
+    forall("coverage_monotone_in_threshold", 48, 0x51C3_0003, |rng| {
+        let stmts = gen_stmts(rng, 40);
         let p = build(&stmts, 2);
         let mut last = 0;
         for t in [1usize, 2, 5, 10, 20, 50] {
             let (_, s) = instrument(&p, &SlicerConfig { threshold: t });
-            prop_assert!(s.sliced_stores >= last,
-                "coverage dropped from {last} to {} at threshold {t}", s.sliced_stores);
+            assert!(
+                s.sliced_stores >= last,
+                "coverage dropped from {last} to {} at threshold {t}",
+                s.sliced_stores
+            );
             last = s.sliced_stores;
         }
-    }
+    });
 }
