@@ -3,12 +3,81 @@
 //! `cargo run -p acr-bench --release --bin repro_all` — expect a few
 //! minutes; pipe to a file to archive the results (EXPERIMENTS.md records
 //! a reference run).
+//!
+//! `--metrics-out FILE` additionally runs one sampled `ReCkpt_NE`
+//! execution per benchmark and writes the interval metrics samples to
+//! FILE as JSONL (tagged per workload); `--sample-interval N` sets the
+//! sampling period in cycles (default 5000).
+use std::process::ExitCode;
 use std::time::Instant;
 
 use acr_bench::figures;
-use acr_bench::{DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
+use acr_ckpt::Scheme;
+use acr_workloads::Benchmark;
 
-fn main() {
+fn parse_args() -> Result<(Option<String>, u64), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out = None;
+    let mut sample_interval = 5000u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--metrics-out" => metrics_out = Some(value.clone()),
+            "--sample-interval" => {
+                sample_interval = value
+                    .parse()
+                    .map_err(|e| format!("--sample-interval: {e}"))?;
+                if sample_interval == 0 {
+                    return Err("--sample-interval must be positive".into());
+                }
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok((metrics_out, sample_interval))
+}
+
+/// One sampled ACR run per benchmark, serialised as JSONL metric samples.
+fn sampled_metrics(sample_interval: u64) -> Result<String, String> {
+    let mut out = String::new();
+    for bench in [Benchmark::Is, Benchmark::Cg, Benchmark::Mg] {
+        let mut exp = experiment_for(
+            bench,
+            DEFAULT_THREADS,
+            DEFAULT_SCALE,
+            Scheme::GlobalCoordinated,
+        )
+        .map_err(|e| format!("{}: {e}", bench.name()))?;
+        let mut spec = exp.spec().clone();
+        spec.sample_interval = sample_interval;
+        exp.set_spec(spec);
+        let run = exp
+            .run_reckpt(0)
+            .map_err(|e| format!("{}: {e}", bench.name()))?;
+        let report = run.report.as_ref().expect("engine runs carry a report");
+        out.push_str(
+            &report
+                .series
+                .to_jsonl(&[("workload", bench.name()), ("run", "reckpt_ne")]),
+        );
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let (metrics_out, sample_interval) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let t0 = Instant::now();
     print!("{}", figures::fig01_report());
     println!();
@@ -54,5 +123,22 @@ fn main() {
         figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
     );
     println!();
+    if let Some(path) = metrics_out {
+        match sampled_metrics(sample_interval) {
+            Ok(jsonl) => {
+                if let Err(e) = std::fs::write(&path, jsonl) {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("metrics samples (every {sample_interval} cycles) -> {path}");
+                println!();
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }

@@ -7,6 +7,7 @@ use acr_sim::{
     AssocEvent, ExecHooks, Fault, FaultKind, Machine, RunOutcome, SimError, StoreEvent,
     TICKS_PER_CYCLE,
 };
+use acr_trace::{TraceEvent, TRACK_ENGINE};
 
 use crate::checkpoint::CheckpointRecord;
 use crate::policy::OmissionPolicy;
@@ -346,11 +347,48 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 break;
             }
         }
+        // Final sample so short runs with a coarse interval still carry at
+        // least one counter snapshot.
+        self.publish_ckpt_metrics();
+        self.machine.force_sample();
         let mut report = std::mem::take(&mut self.report);
         report.cycles = self.machine.cycles();
         report.sim = *self.machine.stats();
         report.mem = *self.machine.mem().stats();
+        report.series = self.machine.take_series();
         Ok(report)
+    }
+
+    /// Refreshes the engine-owned `ckpt.*` keys in the machine's unified
+    /// metrics registry (all values cumulative over the run):
+    ///
+    /// * `ckpt.taken` — checkpoints established (count);
+    /// * `ckpt.records` — old-value log records written (records);
+    /// * `ckpt.omitted` — first updates omitted by the policy (records);
+    /// * `ckpt.bytes` — checkpoint bytes written (bytes);
+    /// * `ckpt.stall_cycles` — checkpoint stalls (cycles);
+    /// * `ckpt.recoveries` — recoveries performed (count);
+    /// * `ckpt.recovery_stall_cycles` — recovery stalls (cycles);
+    /// * `ckpt.faults_injected` — state corruptions applied (count).
+    fn publish_ckpt_metrics(&mut self) {
+        let r = &self.report;
+        let taken = r.checkpoints_taken;
+        let records: u64 = r.intervals.iter().map(|i| i.records).sum();
+        let omitted: u64 = r.intervals.iter().map(|i| i.omitted).sum();
+        let bytes = r.total_checkpoint_bytes();
+        let stall = r.checkpoint_stall_cycles;
+        let recoveries = r.recoveries.len() as u64;
+        let rec_stall = r.recovery_stall_cycles;
+        let faults = r.faults_injected;
+        let reg = self.machine.metrics_mut();
+        reg.set("ckpt.taken", taken);
+        reg.set("ckpt.records", records);
+        reg.set("ckpt.omitted", omitted);
+        reg.set("ckpt.bytes", bytes);
+        reg.set("ckpt.stall_cycles", stall);
+        reg.set("ckpt.recoveries", recoveries);
+        reg.set("ckpt.recovery_stall_cycles", rec_stall);
+        reg.set("ckpt.faults_injected", faults);
     }
 
     fn mark_occurrences(&mut self) {
@@ -362,6 +400,15 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 if let Some(kind) = e.kind {
                     let _ = self.machine.apply_fault(CoreId(e.core), kind);
                     self.report.faults_injected += 1;
+                    let landing = self.machine.cycles();
+                    self.report.fault_landing_cycles.push(landing);
+                    if self.machine.trace().enabled() {
+                        self.machine.trace().emit(
+                            TraceEvent::instant("fault.inject", "fault", TRACK_ENGINE, landing)
+                                .with_arg("core", u64::from(e.core))
+                                .with_arg("at_progress", e.occur),
+                        );
+                    }
                 }
             }
         }
@@ -394,6 +441,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             )
         };
         let num_cores = self.machine.cores().len();
+        let prev_ckpt_cycles = self.checkpoints.back().map(|c| c.cycles).unwrap_or(0);
         let mut max_stall = 0u64;
         let mut lines_total = 0u64;
         for &g in &groups {
@@ -418,6 +466,40 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 .stall_cores(g, arrival + stall * TICKS_PER_CYCLE);
             max_stall = max_stall.max(stall);
             lines_total += flush.lines_flushed;
+            if self.machine.trace().enabled() {
+                // A lone (global) group renders on the engine track; local
+                // groups land on their lowest core's track so concurrent
+                // group checkpoints never partially overlap one track.
+                let track = if groups.len() == 1 {
+                    TRACK_ENGINE
+                } else {
+                    g.trailing_zeros()
+                };
+                self.machine.trace().emit(
+                    TraceEvent::span("ckpt", "ckpt", track, arrival / TICKS_PER_CYCLE, stall)
+                        .with_arg("epoch", sealed_index + 1)
+                        .with_arg("records", group_records)
+                        .with_arg("lines_flushed", flush.lines_flushed)
+                        .with_arg("group", g),
+                );
+            }
+        }
+        if self.machine.trace().enabled() {
+            // The interval this checkpoint seals, as a span from the
+            // previous checkpoint's commit point to this one's arrival.
+            let now = self.machine.cycles();
+            self.machine.trace().emit(
+                TraceEvent::span(
+                    "ckpt.interval",
+                    "ckpt",
+                    TRACK_ENGINE,
+                    prev_ckpt_cycles,
+                    now.saturating_sub(prev_ckpt_cycles),
+                )
+                .with_arg("epoch", sealed_index)
+                .with_arg("records", records)
+                .with_arg("omitted", omitted),
+            );
         }
         let arch_bytes = CheckpointRecord::arch_bytes(all, num_cores);
         let mem = self.machine.mem_mut().stats_mut();
@@ -472,6 +554,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 self.report.secondary_stall_cycles += stall;
             }
         }
+        self.publish_ckpt_metrics();
     }
 
     /// Handles the detection of error `ei`: roll back to the most recent
@@ -640,6 +723,53 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             mem.log_record_reads += restored_records;
             mem.recovery_word_writes += restored_records + recomputed_values + arch_bytes / 8;
         }
+        if self.machine.trace().enabled() {
+            let trace = self.machine.trace();
+            trace.emit(
+                TraceEvent::span(
+                    "recovery",
+                    "recovery",
+                    TRACK_ENGINE,
+                    detected_at_cycles,
+                    stall,
+                )
+                .with_arg("safe_epoch", safe.begins_epoch)
+                .with_arg("restored", restored_records)
+                .with_arg("recomputed", recomputed_values)
+                .with_arg("victims", victim_mask),
+            );
+            // Sub-spans: log restore traffic, then Slice re-execution —
+            // concurrent with the restore under a scratchpad policy,
+            // serialized after it otherwise. Both nest inside "recovery".
+            let restore_start = detected_at_cycles + dram;
+            trace.emit(
+                TraceEvent::span(
+                    "recovery.restore",
+                    "recovery",
+                    TRACK_ENGINE,
+                    restore_start,
+                    transfer,
+                )
+                .with_arg("records", restored_records)
+                .with_arg("bytes", bytes_moved),
+            );
+            let replay_start = if self.hooks.policy.overlaps_restore() {
+                restore_start
+            } else {
+                restore_start + transfer
+            };
+            trace.emit(
+                TraceEvent::span(
+                    "recovery.replay",
+                    "recovery",
+                    TRACK_ENGINE,
+                    replay_start,
+                    rc_stall,
+                )
+                .with_arg("slices", recomputed_values)
+                .with_arg("alu_ops", recompute_alu),
+            );
+        }
 
         // Restore architectural state and resume the victims.
         let t_d = self.machine.mask_ticks(victim_mask);
@@ -692,6 +822,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         self.report.divergent_words += shadow_divergence;
         self.report.errors_handled += newly_handled;
         self.report.recovery_stall_cycles += stall;
+        self.publish_ckpt_metrics();
         let _ = opbuf_reads; // charged by the policy's own statistics
     }
 }

@@ -31,6 +31,8 @@ use acr_sim::{
     StoreCensus,
 };
 
+use acr_trace::TimeSeries;
+
 use crate::engine::{BerConfig, BerEngine, Scheme};
 use crate::policy::OmissionPolicy;
 use crate::schedule::{uniform_points, ErrorSchedule};
@@ -54,6 +56,10 @@ pub struct CampaignConfig {
     pub scheme: Scheme,
     /// Instruction budget for the reference-interpreter run.
     pub interp_fuel: u64,
+    /// Metrics sampling interval in cycles for the fault-free baseline
+    /// run (0 = sampling off). The sampled series is purely observational:
+    /// it never changes case outcomes or the campaign content hash.
+    pub sample_interval: u64,
 }
 
 impl Default for CampaignConfig {
@@ -66,6 +72,7 @@ impl Default for CampaignConfig {
             detection_latency_frac: 0.5,
             scheme: Scheme::GlobalCoordinated,
             interp_fuel: 1 << 32,
+            sample_interval: 0,
         }
     }
 }
@@ -160,6 +167,11 @@ pub struct FaultCaseRecord {
     pub waste_cycles: u64,
     /// Total execution cycles of the faulted run.
     pub cycles: u64,
+    /// Machine cycle at which the fault landed on the machine state (0 if
+    /// the case aborted before injection). Deliberately excluded from
+    /// [`CampaignReport::csv`] so the pinned campaign content hash stays
+    /// stable across releases; the CLI prints it per diverged case.
+    pub landing_cycle: u64,
     /// Verdict.
     pub outcome: CaseOutcome,
 }
@@ -187,6 +199,10 @@ pub struct CampaignReport {
     pub num_cores: u32,
     /// Every case, in plan order.
     pub cases: Vec<FaultCaseRecord>,
+    /// Interval-sampled metrics of the fault-free baseline run (empty
+    /// unless [`CampaignConfig::sample_interval`] > 0). Observational
+    /// only: excluded from [`CampaignReport::content_hash`].
+    pub baseline_series: TimeSeries,
 }
 
 impl CampaignReport {
@@ -399,8 +415,17 @@ where
     // working set memory flips target.
     let mut census = StoreCensus::new();
     let mut base = Machine::new(machine, program);
+    if cfg.sample_interval > 0 {
+        base.enable_sampling(cfg.sample_interval);
+    }
     base.run(&mut census, u64::MAX)
         .map_err(CampaignError::Sim)?;
+    let baseline_series = if cfg.sample_interval > 0 {
+        base.force_sample();
+        base.take_series()
+    } else {
+        TimeSeries::default()
+    };
     let baseline_mismatch = base
         .mem()
         .image()
@@ -486,6 +511,7 @@ where
                     recovery_stall_cycles: report.recovery_stall_cycles,
                     waste_cycles: report.recoveries.iter().map(|r| r.waste_cycles).sum(),
                     cycles: report.cycles,
+                    landing_cycle: report.fault_landing_cycles.first().copied().unwrap_or(0),
                     outcome: if converged {
                         CaseOutcome::Recovered
                     } else {
@@ -508,6 +534,7 @@ where
                 recovery_stall_cycles: 0,
                 waste_cycles: 0,
                 cycles: 0,
+                landing_cycle: 0,
                 outcome: CaseOutcome::Aborted,
             },
         };
@@ -519,6 +546,7 @@ where
         total_progress: total,
         num_cores,
         cases,
+        baseline_series,
     })
 }
 

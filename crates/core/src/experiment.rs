@@ -9,8 +9,9 @@ use acr_ckpt::{
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
 use acr_mem::MemStats;
-use acr_sim::{Machine, MachineConfig, NoHooks, SimError, SimStats};
+use acr_sim::{Fault, Machine, MachineConfig, NoHooks, SimError, SimStats};
 use acr_slicer::{instrument, SliceStats, SlicerConfig};
+use acr_trace::SharedSink;
 
 use crate::addr_map::AddrMapConfig;
 use crate::policy::AcrPolicy;
@@ -93,6 +94,12 @@ pub struct ExperimentSpec {
     /// Scratchpad-based recomputation (Section II-B): overlap recovery
     /// recomputation with restore traffic instead of serializing it.
     pub scratchpad: bool,
+    /// Trace sink attached to checkpointed runs (the disabled default
+    /// keeps the hot path identical to an untraced build).
+    pub trace: SharedSink,
+    /// Metrics sampling interval in cycles for checkpointed runs
+    /// (0 = off). Samples land in the run's [`BerReport::series`].
+    pub sample_interval: u64,
 }
 
 impl Default for ExperimentSpec {
@@ -109,6 +116,8 @@ impl Default for ExperimentSpec {
             custom_triggers: None,
             secondary: None,
             scratchpad: false,
+            trace: SharedSink::disabled(),
+            sample_interval: 0,
         }
     }
 }
@@ -141,6 +150,19 @@ impl ExperimentSpec {
     /// Enables the recovery correctness oracle (chainable).
     pub fn with_oracle(mut self, on: bool) -> Self {
         self.oracle = on;
+        self
+    }
+
+    /// Attaches a trace sink to checkpointed runs (chainable).
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Enables interval metrics sampling on checkpointed runs
+    /// (chainable).
+    pub fn with_sample_interval(mut self, cycles: u64) -> Self {
+        self.sample_interval = cycles;
         self
     }
 }
@@ -349,7 +371,8 @@ impl Experiment {
     /// Propagates simulator errors.
     pub fn run_ckpt(&mut self, errors: u32) -> Result<RunResult, ExperimentError> {
         let cfg = self.ber_config(errors)?;
-        let machine = Machine::new(self.spec.machine, &self.raw);
+        let mut machine = Machine::new(self.spec.machine, &self.raw);
+        self.attach_observability(&mut machine);
         let mut engine = BerEngine::new(machine, NoOmission, cfg);
         let report = engine.run_to_completion()?;
         let label = label_for("Ckpt", errors, self.spec.scheme);
@@ -371,20 +394,50 @@ impl Experiment {
     /// Propagates simulator errors.
     pub fn run_reckpt(&mut self, errors: u32) -> Result<RunResult, ExperimentError> {
         let cfg = self.ber_config(errors)?;
+        let label = label_for("ReCkpt", errors, self.spec.scheme);
+        self.run_acr_engine(cfg, label)
+    }
+
+    /// ACR under *real* injected faults (state corruption, not phantom
+    /// errors): the trace/metrics runner behind `acr_cli trace`. Detection
+    /// follows the spec's latency fraction, the shadow-memory oracle is
+    /// forced on, and every fault becomes a recovery with Slice-replay
+    /// sub-spans in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_reckpt_faulted(&mut self, faults: Vec<Fault>) -> Result<RunResult, ExperimentError> {
+        let total = self.total_work()?;
+        let period = total / (u64::from(self.spec.num_checkpoints) + 1);
+        let mut cfg = self.ber_config(0)?;
+        cfg.errors = ErrorSchedule {
+            occurrences: Vec::new(),
+            detection_latency: (period as f64 * self.spec.detection_latency_frac) as u64,
+        };
+        cfg.oracle = true;
+        cfg.faults = faults;
+        self.run_acr_engine(cfg, "ReCkpt_F".to_owned())
+    }
+
+    fn run_acr_engine(
+        &mut self,
+        cfg: BerConfig,
+        label: String,
+    ) -> Result<RunResult, ExperimentError> {
         let spec_machine = self.spec.machine;
         let addrmap = self.spec.addrmap;
-        let scheme = self.spec.scheme;
         let (program, slice_stats) = {
             let (p, s) = self.instrumented();
             (p.clone(), s.clone())
         };
-        let machine = Machine::new(spec_machine, &program);
+        let mut machine = Machine::new(spec_machine, &program);
+        self.attach_observability(&mut machine);
         let policy = AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
             .with_scratchpad(self.spec.scratchpad);
         let mut engine = BerEngine::new(machine, policy, cfg);
         let report = engine.run_to_completion()?;
         let acr = engine.policy().stats();
-        let label = label_for("ReCkpt", errors, scheme);
         Ok(self.finish(
             label,
             report.cycles,
@@ -394,6 +447,17 @@ impl Experiment {
             Some(acr),
             Some(slice_stats),
         ))
+    }
+
+    /// Attaches the spec's trace sink and sampling interval to a machine
+    /// about to run under the BER engine. No-ops on the default spec.
+    fn attach_observability(&self, machine: &mut Machine) {
+        if self.spec.trace.enabled() {
+            machine.set_trace_sink(self.spec.trace.clone());
+        }
+        if self.spec.sample_interval > 0 {
+            machine.enable_sampling(self.spec.sample_interval);
+        }
     }
 
     /// Runs a deterministic fault-injection campaign over this workload:

@@ -152,6 +152,7 @@ mod tests {
             value: inputs.iter().sum(),
             slice: SliceId(0),
             inputs,
+            cycle: 0,
         }
     }
 

@@ -150,6 +150,28 @@ impl EnergyBreakdown {
     pub fn total_joules(&self) -> f64 {
         self.core_j + self.cache_j + self.dram_j + self.network_j + self.acr_j + self.static_j
     }
+
+    /// Publishes the breakdown into `reg` under `energy.*` keys. Values
+    /// are **picojoules**, rounded to the nearest integer, so the unified
+    /// registry stays pure-`u64` and exports stay byte-deterministic:
+    ///
+    /// * `energy.core.pj` — core dynamic energy (pJ);
+    /// * `energy.cache.pj` — L1-D + L2 dynamic energy (pJ);
+    /// * `energy.dram.pj` — DRAM dynamic energy incl. log traffic (pJ);
+    /// * `energy.network.pj` — coherence/interconnect energy (pJ);
+    /// * `energy.acr.pj` — ACR hardware energy (pJ);
+    /// * `energy.static.pj` — leakage over the run (pJ);
+    /// * `energy.total.pj` — sum of the above (pJ).
+    pub fn metrics(&self, reg: &mut acr_trace::MetricsRegistry) {
+        let pj = |j: f64| (j * 1e12).round().max(0.0) as u64;
+        reg.set("energy.core.pj", pj(self.core_j));
+        reg.set("energy.cache.pj", pj(self.cache_j));
+        reg.set("energy.dram.pj", pj(self.dram_j));
+        reg.set("energy.network.pj", pj(self.network_j));
+        reg.set("energy.acr.pj", pj(self.acr_j));
+        reg.set("energy.static.pj", pj(self.static_j));
+        reg.set("energy.total.pj", pj(self.total_joules()));
+    }
 }
 
 /// Energy-delay product in joule-seconds.

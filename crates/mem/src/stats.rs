@@ -55,6 +55,35 @@ impl MemStats {
     pub fn l1d_accesses(&self) -> u64 {
         self.l1d_hits + self.l1d_misses
     }
+
+    /// Publishes every counter into `reg` under `mem.*` keys (all values
+    /// are event counts):
+    ///
+    /// * `mem.l1d.hits` / `mem.l1d.misses` — L1-D lookups (accesses);
+    /// * `mem.l2.hits` / `mem.l2.misses` — L2 lookups (accesses);
+    /// * `mem.dram.line_reads` / `mem.dram.line_writes` — DRAM traffic
+    ///   (64-byte lines);
+    /// * `mem.coh.c2c` / `mem.coh.invalidations` / `mem.coh.messages` —
+    ///   coherence events (messages);
+    /// * `mem.log.record_writes` / `mem.log.record_reads` — checkpoint log
+    ///   records (16-byte records);
+    /// * `mem.recovery.word_writes` — words rewritten during recovery;
+    /// * `mem.prefetches` — next-line prefetches issued.
+    pub fn metrics(&self, reg: &mut acr_trace::MetricsRegistry) {
+        reg.set("mem.l1d.hits", self.l1d_hits);
+        reg.set("mem.l1d.misses", self.l1d_misses);
+        reg.set("mem.l2.hits", self.l2_hits);
+        reg.set("mem.l2.misses", self.l2_misses);
+        reg.set("mem.dram.line_reads", self.dram_line_reads);
+        reg.set("mem.dram.line_writes", self.dram_line_writes);
+        reg.set("mem.coh.c2c", self.c2c_transfers);
+        reg.set("mem.coh.invalidations", self.invalidations);
+        reg.set("mem.coh.messages", self.coherence_messages);
+        reg.set("mem.log.record_writes", self.log_record_writes);
+        reg.set("mem.log.record_reads", self.log_record_reads);
+        reg.set("mem.recovery.word_writes", self.recovery_word_writes);
+        reg.set("mem.prefetches", self.prefetches);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::dir::{DirState, Directory};
 use crate::dram::{DramConfig, MemImage};
 use crate::sharing::SharingTracker;
 use crate::stats::MemStats;
+use acr_trace::{SharedSink, TraceEvent, TRACK_MEM};
 
 /// Identifier of a core (== thread in this study).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -114,6 +115,11 @@ pub struct MemSystem {
     dir: Directory,
     stats: MemStats,
     sharing: Option<SharingTracker>,
+    trace: SharedSink,
+    /// Current simulated cycle, stamped by the core model before each
+    /// access so coherence events carry a meaningful timestamp. Purely
+    /// observational — never feeds back into latency.
+    now: u64,
 }
 
 impl MemSystem {
@@ -131,7 +137,21 @@ impl MemSystem {
             dir: Directory::new(lines),
             stats: MemStats::default(),
             sharing: None,
+            trace: SharedSink::disabled(),
+            now: 0,
         }
+    }
+
+    /// Installs the trace sink events are emitted into (the simulator
+    /// propagates its own sink here so all layers share one stream).
+    pub fn set_trace(&mut self, trace: SharedSink) {
+        self.trace = trace;
+    }
+
+    /// Stamps the current simulated cycle for subsequent event emission.
+    #[inline]
+    pub fn set_now(&mut self, cycle: u64) {
+        self.now = cycle;
     }
 
     /// The configuration.
@@ -260,6 +280,18 @@ impl MemSystem {
         let out = self.dir.write(core.0, line);
         self.stats.coherence_messages = self.dir.messages();
         debug_assert!(out.invalidations as u64 <= 64);
+        if self.trace.detail() && lat > 0 {
+            self.trace.emit(
+                TraceEvent::instant(
+                    if c2c { "mem.c2c" } else { "mem.inv" },
+                    "mem",
+                    TRACK_MEM,
+                    self.now,
+                )
+                .with_arg("line", line.0)
+                .with_arg("core", u64::from(core.0)),
+            );
+        }
         (lat, c2c)
     }
 
@@ -291,6 +323,13 @@ impl MemSystem {
         }
         self.dir.read(core.0, line);
         self.stats.coherence_messages = self.dir.messages();
+        if self.trace.detail() && c2c {
+            self.trace.emit(
+                TraceEvent::instant("mem.c2c", "mem", TRACK_MEM, self.now)
+                    .with_arg("line", line.0)
+                    .with_arg("core", u64::from(core.0)),
+            );
+        }
         (lat, c2c)
     }
 
@@ -333,6 +372,13 @@ impl MemSystem {
         if !served_c2c {
             lat += self.cfg.dram.latency_cycles;
             self.stats.dram_line_reads += 1;
+            if self.trace.detail() {
+                self.trace.emit(
+                    TraceEvent::instant("mem.dram.fill", "mem", TRACK_MEM, self.now)
+                        .with_arg("line", line.0)
+                        .with_arg("core", u64::from(core.0)),
+                );
+            }
         }
         self.fill_l2(c, line);
         self.fill_l1(c, line, write);
@@ -419,6 +465,13 @@ impl MemSystem {
         } else {
             0
         };
+        if self.trace.enabled() {
+            self.trace.emit(
+                TraceEvent::span("mem.flush", "mem", TRACK_MEM, self.now, stall)
+                    .with_arg("lines", lines)
+                    .with_arg("mask", cores_mask),
+            );
+        }
         FlushStats {
             lines_flushed: lines,
             stall_cycles: stall,

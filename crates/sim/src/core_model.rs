@@ -276,6 +276,9 @@ impl CoreModel {
         let issue0 = self.ticks + 1;
         self.retired += 1;
         stats.retired += 1;
+        // Stamp the memory system's observational clock so trace events it
+        // emits carry this core's current cycle. Never affects latency.
+        mem.set_now(issue0 / TICKS_PER_CYCLE);
         let last_store = self.last_store.take();
         match *instr {
             Instr::Imm { rd, imm } => {
@@ -345,6 +348,7 @@ impl CoreModel {
                     addr: w,
                     old,
                     new: val,
+                    cycle: issue / TICKS_PER_CYCLE,
                 });
                 self.ticks += extra * TICKS_PER_CYCLE;
                 Ok(StepKind::Store)
@@ -378,6 +382,7 @@ impl CoreModel {
                     value,
                     slice,
                     inputs: captured,
+                    cycle: issue / TICKS_PER_CYCLE,
                 });
                 self.ticks += extra * TICKS_PER_CYCLE;
                 Ok(StepKind::Normal)

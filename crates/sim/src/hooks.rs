@@ -2,6 +2,7 @@
 
 use acr_isa::SliceId;
 use acr_mem::{CoreId, WordAddr};
+use acr_trace::{SharedSink, TraceEvent};
 
 /// A store retired by a core: the event the incremental checkpoint log
 /// observes (first-update detection happens in the hook's implementation).
@@ -15,6 +16,8 @@ pub struct StoreEvent {
     pub old: u64,
     /// Value stored.
     pub new: u64,
+    /// Core-local issue cycle of the store (simulated time; for tracing).
+    pub cycle: u64,
 }
 
 /// An `ASSOC-ADDR` retired by a core: associates the preceding store's
@@ -31,6 +34,8 @@ pub struct AssocEvent {
     pub slice: SliceId,
     /// Captured input operand values, in Slice input order.
     pub inputs: Vec<u64>,
+    /// Core-local issue cycle of the association (simulated time).
+    pub cycle: u64,
 }
 
 /// Execution hooks. Implementations return extra cycles to charge to the
@@ -99,5 +104,46 @@ impl ExecHooks for StoreCensus {
 
     fn on_assoc(&mut self, _ev: AssocEvent) -> u64 {
         0
+    }
+}
+
+/// Wraps any [`ExecHooks`] and mirrors store/assoc events into a trace
+/// sink as detail-gated instants, charging exactly the cycles the inner
+/// hooks charge — tracing never perturbs simulated time. Events land on
+/// the issuing core's track.
+pub struct TracingHooks<'h> {
+    inner: &'h mut dyn ExecHooks,
+    trace: SharedSink,
+}
+
+impl<'h> TracingHooks<'h> {
+    /// Wraps `inner`, emitting into `trace`. With a disabled or
+    /// non-detail sink the wrapper is pass-through.
+    pub fn new(inner: &'h mut dyn ExecHooks, trace: SharedSink) -> Self {
+        TracingHooks { inner, trace }
+    }
+}
+
+impl ExecHooks for TracingHooks<'_> {
+    fn on_store(&mut self, ev: StoreEvent) -> u64 {
+        if self.trace.detail() {
+            self.trace.emit(
+                TraceEvent::instant("core.store", "core", ev.core.0, ev.cycle)
+                    .with_arg("addr", ev.addr.byte())
+                    .with_arg("new", ev.new),
+            );
+        }
+        self.inner.on_store(ev)
+    }
+
+    fn on_assoc(&mut self, ev: AssocEvent) -> u64 {
+        if self.trace.detail() {
+            self.trace.emit(
+                TraceEvent::instant("core.assoc", "core", ev.core.0, ev.cycle)
+                    .with_arg("addr", ev.addr.byte())
+                    .with_arg("slice", u64::from(ev.slice.0)),
+            );
+        }
+        self.inner.on_assoc(ev)
     }
 }

@@ -35,7 +35,7 @@ pub use core_model::{CoreModel, CoreSnapshot};
 pub use fault::{
     Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, PC_FAULT_BITS,
 };
-pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent};
+pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent, TracingHooks};
 pub use machine::{Machine, RunOutcome, SimError};
 pub use stats::SimStats;
 

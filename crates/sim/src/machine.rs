@@ -5,6 +5,7 @@ use std::fmt;
 
 use acr_isa::{Instr, Program};
 use acr_mem::{CoreId, MemSystem};
+use acr_trace::{MetricsRegistry, Sampler, SharedSink, TimeSeries, TraceEvent, TRACK_ENGINE};
 
 use crate::config::MachineConfig;
 use crate::core_model::{CoreModel, CoreSnapshot, StepKind};
@@ -110,6 +111,9 @@ pub struct Machine<'p> {
     mem: MemSystem,
     stats: SimStats,
     fuel: u64,
+    trace: SharedSink,
+    registry: MetricsRegistry,
+    sampler: Option<Sampler>,
 }
 
 impl fmt::Debug for Machine<'_> {
@@ -151,6 +155,85 @@ impl<'p> Machine<'p> {
             mem,
             stats: SimStats::default(),
             fuel: u64::MAX,
+            trace: SharedSink::disabled(),
+            registry: MetricsRegistry::new(),
+            sampler: None,
+        }
+    }
+
+    /// Installs a trace sink; events from the machine, its memory system
+    /// and any attached engine flow into one shared stream. The default
+    /// (disabled) sink keeps the hot path to a single cached-bool branch.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.mem.set_trace(sink.clone());
+        self.trace = sink;
+    }
+
+    /// The installed trace sink handle (cheap to clone; engines attach
+    /// through this so all layers share the stream).
+    pub fn trace(&self) -> &SharedSink {
+        &self.trace
+    }
+
+    /// Enables interval sampling: the unified metrics registry is
+    /// snapshotted into a time series at the first observation point
+    /// at-or-after every `every_cycles` boundary.
+    pub fn enable_sampling(&mut self, every_cycles: u64) {
+        self.sampler = Some(Sampler::new(every_cycles));
+    }
+
+    /// The unified metrics registry. Engine layers publish their own
+    /// gauges here (`ckpt.*`, …) so interval samples carry them alongside
+    /// the `sim.*`/`mem.*`/`core.*` keys the machine refreshes itself.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Refreshes the machine-owned registry keys and snapshots a sample
+    /// at the current cycle, regardless of the sampling interval (end of
+    /// run, checkpoint boundaries). No-op without [`Self::enable_sampling`].
+    pub fn force_sample(&mut self) {
+        if self.sampler.is_some() {
+            self.refresh_metrics();
+            let cycle = self.cycles();
+            let reg = &self.registry;
+            if let Some(s) = &mut self.sampler {
+                s.record(cycle, reg);
+            }
+        }
+    }
+
+    /// Takes the sampled time series accumulated so far (empty if sampling
+    /// was never enabled).
+    pub fn take_series(&mut self) -> TimeSeries {
+        self.sampler
+            .as_mut()
+            .map(Sampler::take_series)
+            .unwrap_or_default()
+    }
+
+    /// Refreshes the machine-owned registry keys: `sim.*` / `mem.*` (see
+    /// [`SimStats::metrics`] and [`acr_mem::MemStats::metrics`]) plus
+    /// `core.N.retired` (instructions) and `core.N.cycles` (cycles) per
+    /// core.
+    fn refresh_metrics(&mut self) {
+        self.stats.metrics(&mut self.registry);
+        self.mem.stats().metrics(&mut self.registry);
+        for (i, c) in self.cores.iter().enumerate() {
+            self.registry.set(&format!("core.{i}.retired"), c.retired());
+            self.registry.set(&format!("core.{i}.cycles"), c.cycles());
+        }
+    }
+
+    /// Polls the sampler at a scheduling boundary.
+    fn poll_sample(&mut self) {
+        let cycle = self.cycles();
+        if matches!(&self.sampler, Some(s) if s.due(cycle)) {
+            self.refresh_metrics();
+            let reg = &self.registry;
+            if let Some(s) = &mut self.sampler {
+                s.record(cycle, reg);
+            }
         }
     }
 
@@ -327,6 +410,17 @@ impl<'p> Machine<'p> {
             self.cores[i].release_barrier(arrival + cost);
             self.stats.barrier_waits += 1;
         }
+        if self.trace.enabled() {
+            self.trace.emit(
+                TraceEvent::instant(
+                    "barrier.release",
+                    "sim",
+                    TRACK_ENGINE,
+                    (arrival + cost) / TICKS_PER_CYCLE,
+                )
+                .with_arg("cores", participants.len() as u64),
+            );
+        }
         true
     }
 
@@ -375,6 +469,9 @@ impl<'p> Machine<'p> {
             };
             let limit = second_t.saturating_add(SKEW_QUANTUM_TICKS);
             self.run_core_batch(i, limit, hooks, until_retired)?;
+            if self.sampler.is_some() {
+                self.poll_sample();
+            }
         }
     }
 

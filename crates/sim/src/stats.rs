@@ -25,6 +25,28 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Publishes every counter into `reg` under `sim.*` keys (all values
+    /// are retired-event counts):
+    ///
+    /// * `sim.alu_ops` / `sim.mul_ops` / `sim.div_ops` — arithmetic
+    ///   operations (instructions);
+    /// * `sim.loads` / `sim.stores` — memory operations (instructions);
+    /// * `sim.branches` — branches and jumps (instructions);
+    /// * `sim.assocs` — `ASSOC-ADDR` instructions (instructions);
+    /// * `sim.barrier_waits` — barrier releases (per participating core);
+    /// * `sim.retired` — total retired instructions (the progress metric).
+    pub fn metrics(&self, reg: &mut acr_trace::MetricsRegistry) {
+        reg.set("sim.alu_ops", self.alu_ops);
+        reg.set("sim.mul_ops", self.mul_ops);
+        reg.set("sim.div_ops", self.div_ops);
+        reg.set("sim.loads", self.loads);
+        reg.set("sim.stores", self.stores);
+        reg.set("sim.branches", self.branches);
+        reg.set("sim.assocs", self.assocs);
+        reg.set("sim.barrier_waits", self.barrier_waits);
+        reg.set("sim.retired", self.retired);
+    }
+
     /// Field-wise sum.
     pub fn add(&mut self, o: &SimStats) {
         self.alu_ops += o.alu_ops;

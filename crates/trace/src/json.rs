@@ -1,0 +1,453 @@
+//! A minimal JSON parser (no external dependencies) plus a Chrome
+//! `trace_event` validator — the round-trip half of the exporter tests and
+//! the CI trace check.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (held as `f64`; every number this repo emits is an
+    /// integer well inside `f64`'s exact range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth accepted (defence against pathological input; the
+/// traces this repo emits nest three levels deep).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad \\u digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
+                            continue; // hex4 advanced pos past the escape
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the first
+/// syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// `ph:"X"` complete events.
+    pub spans: usize,
+    /// `ph:"i"` instant events.
+    pub instants: usize,
+    /// `ph:"C"` counter events.
+    pub counters: usize,
+    /// Event count per event name.
+    pub names: BTreeMap<String, usize>,
+}
+
+impl ChromeSummary {
+    /// Events recorded under `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.names.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Parses `text` as Chrome `trace_event` JSON and checks its structural
+/// invariants:
+///
+/// * top level is an object with a `traceEvents` array;
+/// * every event has a string `name`/`ph` and integer `ts`; `X` events
+///   also carry an integer `dur`;
+/// * per track (`tid`), `X` spans nest properly — sorted by start (ties:
+///   longest first), every span is either disjoint from or fully contained
+///   in the enclosing span.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a message.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    let mut summary = ChromeSummary::default();
+    // (tid, ts, dur, name) for the nesting check.
+    let mut spans: Vec<(u64, u64, u64, String)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i} ({name}): missing integer `ts`"))?;
+        *summary.names.entry(name.to_owned()).or_insert(0) += 1;
+        match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i} ({name}): X without integer `dur`"))?;
+                let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                spans.push((tid, ts, dur, name.to_owned()));
+                summary.spans += 1;
+            }
+            "i" | "I" => summary.instants += 1,
+            "C" => summary.counters += 1,
+            other => return Err(format!("event {i} ({name}): unsupported ph `{other}`")),
+        }
+    }
+    // Nesting: per tid, spans must form a forest under containment.
+    spans.sort_by(|a, b| {
+        (a.0, a.1, std::cmp::Reverse(a.2)).cmp(&(b.0, b.1, std::cmp::Reverse(b.2)))
+    });
+    let mut stack: Vec<(u64, u64, String)> = Vec::new(); // (end, tid, name)
+    let mut cur_tid = None;
+    for (tid, ts, dur, name) in &spans {
+        if cur_tid != Some(*tid) {
+            stack.clear();
+            cur_tid = Some(*tid);
+        }
+        while matches!(stack.last(), Some((end, _, _)) if *end <= *ts) {
+            stack.pop();
+        }
+        if let Some((end, _, parent)) = stack.last() {
+            if ts + dur > *end {
+                return Err(format!(
+                    "span `{name}` [{ts}, {}) on track {tid} partially overlaps `{parent}` \
+                     ending at {end}",
+                    ts + dur
+                ));
+            }
+        }
+        stack.push((ts + dur, *tid, name.clone()));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace_json;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let v = parse_json(r#"{"a":[1,-2.5,true,null,"x\nA"],"b":{}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("x\nA"));
+        assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("\"abc").is_err());
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("tru").is_err());
+    }
+
+    #[test]
+    fn exporter_output_round_trips() {
+        let events = [
+            TraceEvent::span("recovery", "recovery", 1000, 100, 50).with_arg("safe_epoch", 2),
+            TraceEvent::span("recovery.replay", "recovery", 1000, 110, 20),
+            TraceEvent::instant("fault.inject", "fault", 3, 90),
+        ];
+        let json = chrome_trace_json(&events, None);
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.instants, 1);
+        assert_eq!(summary.count("recovery"), 1);
+        assert_eq!(summary.count("recovery.replay"), 1);
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":10,"tid":1}
+        ]}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+        // Same shapes on different tracks are fine.
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"tid":1},
+            {"name":"b","ph":"X","ts":5,"dur":10,"tid":2}
+        ]}"#;
+        assert!(validate_chrome_trace(json).is_ok());
+    }
+
+    #[test]
+    fn containment_and_adjacency_pass() {
+        let json = r#"{"traceEvents":[
+            {"name":"parent","ph":"X","ts":0,"dur":100,"tid":1},
+            {"name":"child","ph":"X","ts":10,"dur":20,"tid":1},
+            {"name":"sibling","ph":"X","ts":30,"dur":70,"tid":1},
+            {"name":"next","ph":"X","ts":100,"dur":5,"tid":1}
+        ]}"#;
+        let s = validate_chrome_trace(json).unwrap();
+        assert_eq!(s.spans, 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! The unified metrics registry, interval sampler and time series.
+
+use std::collections::BTreeMap;
+
+use crate::chrome::push_json_string;
+
+/// A flat registry of named `u64` counters/gauges behind hierarchical
+/// dot-separated keys (`core.0.retired`, `ckpt.records`, `mem.l1d.hits`,
+/// `energy.dram.pj`). Values are integers only — cycles, events, words,
+/// bytes, picojoules — so snapshots compare bit-exactly and exports are
+/// byte-deterministic.
+///
+/// Keys iterate in lexicographic order (`BTreeMap`), which fixes the
+/// export order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value` (gauge semantics; creates the key on first
+    /// use).
+    pub fn set(&mut self, key: &str, value: u64) {
+        if let Some(slot) = self.map.get_mut(key) {
+            *slot = value;
+        } else {
+            self.map.insert(key.to_owned(), value);
+        }
+    }
+
+    /// Adds `delta` to `key` (counter semantics; creates the key at
+    /// `delta` on first use).
+    pub fn add(&mut self, key: &str, delta: u64) {
+        if let Some(slot) = self.map.get_mut(key) {
+            *slot += delta;
+        } else {
+            self.map.insert(key.to_owned(), delta);
+        }
+    }
+
+    /// Current value of `key`.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.map.get(key).copied()
+    }
+
+    /// Key/value pairs in lexicographic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no key has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One snapshot of the registry at a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Simulated cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Key/value pairs, in lexicographic key order.
+    pub values: Vec<(String, u64)>,
+}
+
+/// An in-memory time series of registry snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample (callers keep cycles non-decreasing).
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The samples in capture order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Line-oriented JSONL export: one object per sample,
+    /// `{"cycle":N,"metrics":{"key":value,…}}`, keys in lexicographic
+    /// order. Extra top-level tags (e.g. `"workload":"cg"`) can be
+    /// supplied; they render before `cycle`, in the order given.
+    pub fn to_jsonl(&self, tags: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push('{');
+            for (k, v) in tags {
+                push_json_string(&mut out, k);
+                out.push(':');
+                push_json_string(&mut out, v);
+                out.push(',');
+            }
+            out.push_str("\"cycle\":");
+            out.push_str(&s.cycle.to_string());
+            out.push_str(",\"metrics\":{");
+            for (i, (k, v)) in s.values.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, k);
+                out.push(':');
+                out.push_str(&v.to_string());
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+/// Snapshots a [`MetricsRegistry`] into a [`TimeSeries`] every `every`
+/// simulated cycles. The driver polls [`Sampler::due`] at its scheduling
+/// granularity and calls [`Sampler::record`] when due, so sample cycles
+/// land at the first observation point at-or-after each K-cycle boundary —
+/// deterministic, because the observation points themselves are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sampler {
+    every: u64,
+    next: u64,
+    series: TimeSeries,
+}
+
+impl Sampler {
+    /// A sampler firing every `every` cycles (clamped to ≥ 1).
+    pub fn new(every: u64) -> Self {
+        let every = every.max(1);
+        Sampler {
+            every,
+            next: every,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// The sampling interval in cycles.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// True when a sample is due at `cycle`.
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next
+    }
+
+    /// Snapshots `reg` at `cycle` and advances the next due point to the
+    /// following interval boundary.
+    pub fn record(&mut self, cycle: u64, reg: &MetricsRegistry) {
+        self.series.push(Sample {
+            cycle,
+            values: reg.iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        });
+        self.next = (cycle / self.every + 1) * self.every;
+    }
+
+    /// The captured series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Takes the captured series, leaving the sampler empty (interval and
+    /// phase preserved).
+    pub fn take_series(&mut self) -> TimeSeries {
+        std::mem::take(&mut self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_set_add_get() {
+        let mut r = MetricsRegistry::new();
+        r.set("b.gauge", 7);
+        r.add("a.count", 2);
+        r.add("a.count", 3);
+        r.set("b.gauge", 9);
+        assert_eq!(r.get("a.count"), Some(5));
+        assert_eq!(r.get("b.gauge"), Some(9));
+        assert_eq!(r.get("missing"), None);
+        let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a.count", "b.gauge"], "lexicographic order");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn sampler_fires_on_interval_boundaries() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("x", 1);
+        let mut s = Sampler::new(100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.record(130, &reg); // first observation after the boundary
+        assert!(!s.due(199));
+        assert!(s.due(200));
+        reg.set("x", 2);
+        s.record(200, &reg);
+        assert_eq!(s.series().len(), 2);
+        assert_eq!(s.series().samples()[0].cycle, 130);
+        assert_eq!(s.series().samples()[1].values[0], ("x".to_owned(), 2));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_sample_with_tags() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("m.a", 1);
+        reg.set("m.b", 2);
+        let mut s = Sampler::new(10);
+        s.record(10, &reg);
+        s.record(20, &reg);
+        let text = s.series().to_jsonl(&[("workload", "cg")]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"workload\":\"cg\",\"cycle\":10,\"metrics\":{\"m.a\":1,\"m.b\":2}}"
+        );
+    }
+
+    #[test]
+    fn series_equality_is_exact() {
+        let mut reg = MetricsRegistry::new();
+        reg.set("k", 42);
+        let mut a = Sampler::new(5);
+        let mut b = Sampler::new(5);
+        a.record(5, &reg);
+        b.record(5, &reg);
+        assert_eq!(a.series(), b.series());
+    }
+}

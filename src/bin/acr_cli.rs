@@ -2,13 +2,18 @@
 //!
 //! The `inject` subcommand runs a deterministic fault-injection and
 //! recovery-verification campaign over the bundled workloads: same seed,
-//! byte-identical output.
+//! byte-identical output. The `trace` subcommand runs one ACR execution
+//! under injected recoverable faults with the trace sink attached and
+//! exports a Chrome `trace_event` JSON (loadable in Perfetto /
+//! `chrome://tracing`) plus optional interval-sampled metrics as JSONL.
 
 use std::process::ExitCode;
 
 use acr::{Experiment, ExperimentSpec};
-use acr_ckpt::{CampaignConfig, Scheme};
-use acr_sim::FaultKindSet;
+use acr_ckpt::{CampaignConfig, CaseOutcome, Scheme};
+use acr_mem::CoreId;
+use acr_sim::{Fault, FaultKind, FaultKindSet};
+use acr_trace::{chrome_trace_json, SharedSink};
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -16,6 +21,7 @@ acr_cli — ACR (Amnesic Checkpointing and Recovery) reproduction driver
 
 USAGE:
     acr_cli inject [OPTIONS]     run a deterministic fault-injection campaign
+    acr_cli trace [OPTIONS]      trace one ACR run under injected faults
     acr_cli workloads            list the bundled workloads
     acr_cli help                 show this message
 
@@ -32,10 +38,30 @@ INJECT OPTIONS:
     --policy P        acr | baseline (default acr)
     --scheme S        global | local (default global)
     --csv DIR         also write per-case CSVs into DIR
+    --metrics-out F   write the fault-free baseline's interval metrics
+                      samples to F as JSONL
+    --sample-interval N
+                      metrics sampling interval in cycles (default 5000
+                      when --metrics-out is given, else off)
+
+TRACE OPTIONS:
+    --workload W      workload to trace (default cg)
+    --out FILE        Chrome trace_event JSON output (default run.trace.json)
+    --metrics-out F   also write the metrics samples to F as JSONL
+    --sample-interval N
+                      metrics sampling interval in cycles (default 5000)
+    --seed N          fault-placement seed (default 42)
+    --faults N        recoverable register faults to inject (default 1)
+    --threads N       cores == threads (default 2)
+    --scale F         workload scale factor (default 0.05)
+    --checkpoints N   checkpoints per nominal run (default 12)
+    --scheme S        global | local (default global)
+    --detail FLAG     on | off — per-store/assoc/miss instants (default off)
 
 Every quantity the campaign reports is derived from the seeded plan and
 the deterministic simulator — two invocations with the same options
-produce byte-identical output (the content hash makes that checkable).
+produce byte-identical output (the content hash makes that checkable,
+and `cmp` on two same-seed trace files does too).
 ";
 
 struct InjectArgs {
@@ -50,6 +76,8 @@ struct InjectArgs {
     amnesic: bool,
     scheme: Scheme,
     csv_dir: Option<String>,
+    metrics_out: Option<String>,
+    sample_interval: u64,
 }
 
 impl Default for InjectArgs {
@@ -66,6 +94,8 @@ impl Default for InjectArgs {
             amnesic: true,
             scheme: Scheme::GlobalCoordinated,
             csv_dir: None,
+            metrics_out: None,
+            sample_interval: 0,
         }
     }
 }
@@ -130,9 +160,18 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
                 };
             }
             "--csv" => out.csv_dir = Some(value.clone()),
+            "--metrics-out" => out.metrics_out = Some(value.clone()),
+            "--sample-interval" => {
+                out.sample_interval = value
+                    .parse()
+                    .map_err(|e| format!("--sample-interval: {e}"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
+    }
+    if out.metrics_out.is_some() && out.sample_interval == 0 {
+        out.sample_interval = 5000;
     }
     Ok(out)
 }
@@ -156,6 +195,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     let mut recovery_cycles = 0u64;
     let mut recovery_energy = 0.0f64;
     let mut combined_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut metrics_jsonl = String::new();
 
     for (i, &bench) in a.workloads.iter().enumerate() {
         let count = base_count + u32::from((i as u32) < remainder);
@@ -180,6 +220,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
             num_checkpoints: a.checkpoints,
             detection_latency_frac: a.latency,
             scheme: a.scheme,
+            sample_interval: a.sample_interval,
             ..CampaignConfig::default()
         };
         let run = exp
@@ -193,6 +234,23 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
             "  recovery energy {:.6e} J over {:.6e} s",
             run.recovery_energy_joules, run.recovery_seconds
         );
+        for c in r
+            .cases
+            .iter()
+            .filter(|c| c.outcome == CaseOutcome::Diverged)
+        {
+            println!(
+                "  case {}: fault landed at cycle {}, recovery stalled {} cycles \
+                 ({} words still divergent)",
+                c.case,
+                c.landing_cycle,
+                c.recovery_stall_cycles,
+                c.mem_divergence + c.reg_divergence
+            );
+        }
+        if a.metrics_out.is_some() {
+            metrics_jsonl.push_str(&r.baseline_series.to_jsonl(&[("workload", bench.name())]));
+        }
         injected += r.injected();
         detected += r.detected();
         recovered += r.recovered();
@@ -222,6 +280,13 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         "  state-divergence count {divergent_words}  recovery cycles {recovery_cycles}  \
          recovery energy {recovery_energy:.6e} J"
     );
+    if let Some(path) = &a.metrics_out {
+        std::fs::write(path, &metrics_jsonl).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "  baseline metrics written to {path} (every {} cycles)",
+            a.sample_interval
+        );
+    }
     println!("  combined hash {combined_hash:#018x}");
     Ok(if aborted == 0 {
         ExitCode::SUCCESS
@@ -230,10 +295,192 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+struct TraceArgs {
+    workload: Benchmark,
+    out: String,
+    metrics_out: Option<String>,
+    sample_interval: u64,
+    seed: u64,
+    faults: u32,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    scheme: Scheme,
+    detail: bool,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            workload: Benchmark::Cg,
+            out: "run.trace.json".to_owned(),
+            metrics_out: None,
+            sample_interval: 5000,
+            seed: 42,
+            faults: 1,
+            threads: 2,
+            scale: 0.05,
+            checkpoints: 12,
+            scheme: Scheme::GlobalCoordinated,
+            detail: false,
+        }
+    }
+}
+
+fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
+    let mut out = TraceArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--workload" => {
+                out.workload = Benchmark::from_name(value.trim())
+                    .ok_or_else(|| format!("unknown workload `{value}`"))?;
+            }
+            "--out" => out.out = value.clone(),
+            "--metrics-out" => out.metrics_out = Some(value.clone()),
+            "--sample-interval" => {
+                out.sample_interval = value
+                    .parse()
+                    .map_err(|e| format!("--sample-interval: {e}"))?;
+                if out.sample_interval == 0 {
+                    return Err("--sample-interval must be positive".into());
+                }
+            }
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => {
+                out.faults = value.parse().map_err(|e| format!("--faults: {e}"))?;
+                if out.faults == 0 {
+                    return Err("--faults must be positive".into());
+                }
+            }
+            "--threads" => {
+                out.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--scale" => out.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--checkpoints" => {
+                out.checkpoints = value.parse().map_err(|e| format!("--checkpoints: {e}"))?;
+            }
+            "--scheme" => {
+                out.scheme = match value.as_str() {
+                    "global" => Scheme::GlobalCoordinated,
+                    "local" => Scheme::LocalCoordinated,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                };
+            }
+            "--detail" => {
+                out.detail = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--detail takes on|off, got `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// Places `count` guaranteed-recoverable register faults deterministically
+/// along the progress axis: evenly spaced, cores round-robin, register and
+/// bit derived from the seed. No RNG — the same seed always yields the
+/// same trace bytes.
+fn planned_faults(seed: u64, count: u32, total: u64, threads: u32) -> Vec<Fault> {
+    (0..u64::from(count))
+        .map(|i| Fault {
+            at_progress: total * (i + 1) / (u64::from(count) + 1),
+            core: CoreId((i % u64::from(threads)) as u32),
+            kind: FaultKind::RegBitFlip {
+                reg: (4 + (seed.wrapping_add(i)) % 24) as u8,
+                bit: ((seed.wrapping_mul(7).wrapping_add(i * 13)) % 64) as u8,
+            },
+        })
+        .collect()
+}
+
+fn trace(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_trace(args)?;
+    let program = generate(
+        a.workload,
+        &WorkloadConfig::default()
+            .with_threads(a.threads)
+            .with_scale(a.scale),
+    );
+    let (sink, events) = SharedSink::memory();
+    let spec = ExperimentSpec::default()
+        .with_cores(a.threads)
+        .with_checkpoints(a.checkpoints)
+        .with_threshold(a.workload.default_threshold())
+        .with_scheme(a.scheme)
+        .with_trace(sink.with_detail(a.detail))
+        .with_sample_interval(a.sample_interval);
+    let mut exp =
+        Experiment::new(program, spec).map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let total = exp
+        .total_work()
+        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let faults = planned_faults(a.seed, a.faults, total, a.threads);
+    let result = exp
+        .run_reckpt_faulted(faults)
+        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let report = result.report.as_ref().expect("engine runs carry a report");
+
+    let recorded = events.borrow().events().to_vec();
+    let json = chrome_trace_json(&recorded, Some(&report.series));
+    std::fs::write(&a.out, &json).map_err(|e| format!("{}: {e}", a.out))?;
+
+    println!(
+        "traced {} ({}): {} cycles, {} checkpoints, {} faults injected, {} recoveries",
+        a.workload.name(),
+        result.label,
+        result.cycles,
+        report.checkpoints_taken,
+        report.faults_injected,
+        report.recoveries.len(),
+    );
+    for (i, rec) in report.recoveries.iter().enumerate() {
+        let landed = report.fault_landing_cycles.get(i).copied().unwrap_or(0);
+        println!(
+            "  recovery {i}: fault landed at cycle {landed}, detected at cycle {}, \
+             stalled {} cycles ({} values recomputed by Slice replay)",
+            rec.detected_at_cycles, rec.stall_cycles, rec.recomputed_values
+        );
+    }
+    println!(
+        "  {} trace events + {} metric samples (every {} cycles) -> {}",
+        recorded.len(),
+        report.series.samples().len(),
+        a.sample_interval,
+        a.out
+    );
+    if let Some(path) = &a.metrics_out {
+        let jsonl = report
+            .series
+            .to_jsonl(&[("workload", a.workload.name()), ("run", "reckpt_faulted")]);
+        std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+        println!("  metrics samples -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("inject") => match inject(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("trace") => match trace(&args[1..]) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -111,6 +111,7 @@ fn apply(policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op],
                         value: input.wrapping_add(u64::from(slice)),
                         slice: SliceId(slice),
                         inputs: vec![input],
+                        cycle: 0,
                     },
                     *epoch,
                 );
