@@ -10,6 +10,7 @@ use acr_sim::{
 use acr_trace::{TraceEvent, TRACK_ENGINE};
 
 use crate::checkpoint::CheckpointRecord;
+use crate::ledger::DecisionLedger;
 use crate::policy::OmissionPolicy;
 use crate::report::{BerReport, IntervalRecord, RecoveryRecord};
 use crate::schedule::ErrorSchedule;
@@ -100,6 +101,9 @@ struct CkptHooks<P> {
     policy: P,
     /// `AddrMap` lookups performed by the omission check (energy).
     omission_lookups: u64,
+    /// Optional omission-decision ledger (observational; `None` keeps the
+    /// hot path to one branch).
+    ledger: Option<Box<DecisionLedger>>,
 }
 
 impl<P: OmissionPolicy> ExecHooks for CkptHooks<P> {
@@ -108,10 +112,18 @@ impl<P: OmissionPolicy> ExecHooks for CkptHooks<P> {
         self.policy.on_store(ev.core.0, ev.addr, epoch);
         if !self.logctl.is_logged(ev.addr) {
             self.omission_lookups += 1;
-            if let Some(owner) = self.policy.try_omit(ev.core.0, ev.addr, epoch) {
+            let omitted = if let Some(owner) = self.policy.try_omit(ev.core.0, ev.addr, epoch) {
                 self.logctl.omit_value(ev.addr, owner);
+                true
             } else {
                 self.logctl.log_value(ev.addr, ev.old, ev.core.0);
+                false
+            };
+            if let Some(led) = &mut self.ledger {
+                let (reason, slice) = self
+                    .policy
+                    .classify(ev.core.0, ev.pc, ev.addr, epoch, omitted);
+                led.record(ev.addr, reason, slice);
             }
         }
         0
@@ -231,6 +243,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 logctl,
                 policy,
                 omission_lookups: 0,
+                ledger: None,
             },
             errors,
             checkpoints,
@@ -243,6 +256,12 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         &self.machine
     }
 
+    /// Mutable machine access (extracting observational state — the
+    /// attribution profile, sampled series — after the run).
+    pub fn machine_mut(&mut self) -> &mut Machine<'p> {
+        &mut self.machine
+    }
+
     /// The omission policy, for ACR statistics extraction.
     pub fn policy(&self) -> &P {
         &self.hooks.policy
@@ -251,6 +270,35 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     /// `AddrMap` lookups issued by the first-update omission check.
     pub fn omission_lookups(&self) -> u64 {
         self.hooks.omission_lookups
+    }
+
+    /// Attaches an omission-decision ledger: from now on every
+    /// first-update decision is classified (via
+    /// [`OmissionPolicy::classify`]) and aggregated. Observational only —
+    /// simulated time and results are unchanged.
+    pub fn enable_ledger(&mut self) {
+        self.hooks.ledger = Some(Box::default());
+    }
+
+    /// The attached ledger (None unless [`Self::enable_ledger`] was
+    /// called).
+    pub fn ledger(&self) -> Option<&DecisionLedger> {
+        self.hooks.ledger.as_deref()
+    }
+
+    /// Takes the ledger, leaving decision tracking disabled.
+    pub fn take_ledger(&mut self) -> Option<DecisionLedger> {
+        self.hooks.ledger.take().map(|b| *b)
+    }
+
+    /// Lifetime `(logged, omitted)` first-update totals from the log
+    /// controller — the independent tally the ledger's conservation
+    /// invariant is checked against.
+    pub fn log_totals(&self) -> (u64, u64) {
+        (
+            self.hooks.logctl.lifetime_logged(),
+            self.hooks.logctl.lifetime_omitted(),
+        )
     }
 
     fn next_stop(&self) -> u64 {
@@ -389,6 +437,14 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         reg.set("ckpt.recoveries", recoveries);
         reg.set("ckpt.recovery_stall_cycles", rec_stall);
         reg.set("ckpt.faults_injected", faults);
+        // Ledger gauges (cumulative decisions per reason code; words).
+        if let Some(led) = &self.hooks.ledger {
+            for reason in crate::ledger::OmitReason::ALL {
+                let key = format!("ckpt.ledger.{}", reason.code().replace([':', '-'], "_"));
+                reg.set(&key, led.total(reason));
+            }
+        }
+        self.hooks.policy.publish_metrics(reg);
     }
 
     fn mark_occurrences(&mut self) {
@@ -647,6 +703,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 recompute_alu += rc.alu_ops;
                 opbuf_reads += rc.opbuf_reads;
                 recompute_cycles_per_core[om.core as usize] += rc.cycles;
+                if let Some(led) = &mut self.hooks.ledger {
+                    led.record_replay(rc.slice, rc.cycles, rc.alu_ops, rc.opbuf_reads);
+                }
                 if self.cfg.oracle {
                     restored_words.push(om.addr);
                 }

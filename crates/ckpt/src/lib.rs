@@ -33,6 +33,7 @@ mod engine;
 pub mod errors;
 pub mod frequency;
 mod inject;
+mod ledger;
 mod policy;
 mod report;
 mod schedule;
@@ -42,6 +43,7 @@ pub use engine::{BerConfig, BerEngine, Scheme, SecondaryStorage};
 pub use inject::{
     run_campaign, CampaignConfig, CampaignError, CampaignReport, CaseOutcome, FaultCaseRecord,
 };
+pub use ledger::{DecisionLedger, OmitReason, ReplayCost, RANGE_BYTES};
 pub use policy::{NoOmission, OmissionPolicy, Recomputed};
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};

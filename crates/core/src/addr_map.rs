@@ -20,6 +20,7 @@ use std::collections::HashMap;
 
 use acr_isa::SliceId;
 use acr_mem::WordAddr;
+use acr_trace::MetricsRegistry;
 
 /// `AddrMap` sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,12 @@ struct Version {
     /// `None` is a tombstone: the address's value is no longer the output
     /// of a known Slice.
     assoc: Option<Assoc>,
+    /// For tombstones only: `true` when the invalidation was forced by a
+    /// capacity eviction (the association existed but had to be dropped),
+    /// `false` when an uncovered store genuinely killed it. Drives the
+    /// omission-decision ledger's `logged:addrmap-evicted` vs
+    /// `logged:not-recomputable` split.
+    evicted: bool,
 }
 
 /// A live association: the Slice and its captured inputs.
@@ -67,8 +74,53 @@ pub struct AddrMapUsage {
     pub rejected_capacity: u64,
     /// Tombstones written by uncovered stores.
     pub tombstones: u64,
+    /// Subset of `tombstones` written by capacity evictions rather than
+    /// uncovered stores.
+    pub evicted_tombstones: u64,
     /// Peak live associations across all cores.
     pub peak_live: usize,
+}
+
+impl AddrMapUsage {
+    /// Publishes the counters into the unified metrics registry under
+    /// `ckpt.addrmap.*` (set-semantics, so refreshes are idempotent):
+    ///
+    /// * `ckpt.addrmap.inserted` — association versions inserted (count);
+    /// * `ckpt.addrmap.rejected_capacity` — insertions dropped at
+    ///   capacity (count);
+    /// * `ckpt.addrmap.tombstones` — tombstone versions written (count);
+    /// * `ckpt.addrmap.evicted_tombstones` — tombstones forced by
+    ///   capacity evictions (count, subset of `tombstones`);
+    /// * `ckpt.addrmap.peak_live` — peak live associations across all
+    ///   cores (associations).
+    pub fn metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set("ckpt.addrmap.inserted", self.inserted);
+        reg.set("ckpt.addrmap.rejected_capacity", self.rejected_capacity);
+        reg.set("ckpt.addrmap.tombstones", self.tombstones);
+        reg.set("ckpt.addrmap.evicted_tombstones", self.evicted_tombstones);
+        reg.set("ckpt.addrmap.peak_live", self.peak_live as u64);
+    }
+}
+
+/// What the `AddrMap` knows about the value `addr` held at a checkpoint —
+/// the classification behind the omission-decision ledger's reason codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocState {
+    /// A live association describes the value: recomputable via `slice`
+    /// on `core`.
+    Live {
+        /// The associated Slice.
+        slice: SliceId,
+        /// The owning core.
+        core: u32,
+    },
+    /// The association was invalidated by a later uncovered store.
+    Dead,
+    /// The association was dropped by a capacity eviction.
+    Evicted,
+    /// No version covers the epoch (the address never had an association
+    /// old enough).
+    Absent,
 }
 
 /// The versioned association buffer — see the module-level notes at
@@ -113,29 +165,53 @@ impl AddrMap {
     /// address's value is not recomputable. A tombstone is only needed if
     /// a (non-tombstone) association exists.
     pub(crate) fn record_store(&mut self, core: u32, addr: WordAddr, epoch: u64) {
-        if let Some(versions) = self.map.get_mut(&addr) {
-            match versions.last_mut() {
-                Some(last) if last.assoc.is_none() => {
-                    // Already dead from an earlier (or equal) epoch on; a
-                    // later uncovered store changes nothing.
+        self.tombstone(core, addr, epoch, false, false);
+    }
+
+    /// Writes a tombstone version. `evicted` marks capacity evictions
+    /// (vs. genuine invalidation by an uncovered store); `create_entry`
+    /// materialises an entry for a previously unknown address — eviction
+    /// tombstones need one so a later first update can still be
+    /// attributed to the eviction, while plain uncovered stores to
+    /// unknown addresses stay free.
+    fn tombstone(&mut self, core: u32, addr: WordAddr, epoch: u64, evicted: bool, create: bool) {
+        let versions = if create {
+            self.map.entry(addr).or_default()
+        } else {
+            match self.map.get_mut(&addr) {
+                Some(v) => v,
+                None => return,
+            }
+        };
+        match versions.last_mut() {
+            Some(last) if last.assoc.is_none() => {
+                // Already dead from an earlier (or equal) epoch on; a
+                // later uncovered store changes nothing.
+            }
+            Some(last) if last.epoch == epoch => {
+                // Same-epoch association superseded within the
+                // interval: it can never be looked up (lookups target
+                // strictly older epochs), so replace in place.
+                let owner = last.core;
+                last.assoc = None;
+                last.core = core;
+                last.evicted = evicted;
+                self.live_per_core[owner as usize] -= 1;
+                self.usage.tombstones += 1;
+                if evicted {
+                    self.usage.evicted_tombstones += 1;
                 }
-                Some(last) if last.epoch == epoch => {
-                    // Same-epoch association superseded within the
-                    // interval: it can never be looked up (lookups target
-                    // strictly older epochs), so replace in place.
-                    let owner = last.core;
-                    last.assoc = None;
-                    last.core = core;
-                    self.live_per_core[owner as usize] -= 1;
-                    self.usage.tombstones += 1;
-                }
-                _ => {
-                    versions.push(Version {
-                        epoch,
-                        core,
-                        assoc: None,
-                    });
-                    self.usage.tombstones += 1;
+            }
+            _ => {
+                versions.push(Version {
+                    epoch,
+                    core,
+                    assoc: None,
+                    evicted,
+                });
+                self.usage.tombstones += 1;
+                if evicted {
+                    self.usage.evicted_tombstones += 1;
                 }
             }
         }
@@ -154,8 +230,10 @@ impl AddrMap {
     ) -> bool {
         if self.live_per_core[core as usize] >= self.cfg.capacity_per_core {
             self.usage.rejected_capacity += 1;
-            // The association (if any) no longer describes the new value.
-            self.record_store(core, addr, epoch);
+            // The association (if any) no longer describes the new value;
+            // the eviction-flagged tombstone lets a later first update be
+            // attributed to the capacity limit rather than the program.
+            self.tombstone(core, addr, epoch, true, true);
             return false;
         }
         let versions = self.map.entry(addr).or_default();
@@ -168,12 +246,14 @@ impl AddrMap {
                 }
                 last.core = core;
                 last.assoc = Some(assoc);
+                last.evicted = false;
             }
             _ => {
                 versions.push(Version {
                     epoch,
                     core,
                     assoc: Some(assoc),
+                    evicted: false,
                 });
             }
         }
@@ -204,6 +284,27 @@ impl AddrMap {
             .find(|v| v.epoch < epoch)
             .filter(|v| v.assoc.is_some())
             .map(|v| v.core)
+    }
+
+    /// Classifies what the map knows about the value `addr` held at
+    /// checkpoint `epoch` — the version lookup [`Self::lookup_for_epoch`]
+    /// performs, with tombstones split by cause. Read-only (ledger
+    /// attribution; never charges simulated time).
+    pub fn classify_for_epoch(&self, addr: WordAddr, epoch: u64) -> AssocState {
+        let Some(versions) = self.map.get(&addr) else {
+            return AssocState::Absent;
+        };
+        match versions.iter().rev().find(|v| v.epoch < epoch) {
+            None => AssocState::Absent,
+            Some(v) => match &v.assoc {
+                Some(a) => AssocState::Live {
+                    slice: a.slice,
+                    core: v.core,
+                },
+                None if v.evicted => AssocState::Evicted,
+                None => AssocState::Dead,
+            },
+        }
     }
 
     /// Prunes versions no longer reachable once epoch `sealed` is sealed:
@@ -363,6 +464,47 @@ mod tests {
         m.record_store(0, wa(9), 1);
         assert_eq!(m.usage().tombstones, 0);
         assert!(m.lookup_for_epoch(wa(9), 2).is_none());
+    }
+
+    #[test]
+    fn classification_splits_tombstones_by_cause() {
+        let mut m = map(1);
+        // Live association.
+        m.record_assoc(0, wa(1), 0, SliceId(1), vec![4]);
+        assert_eq!(
+            m.classify_for_epoch(wa(1), 1),
+            AssocState::Live {
+                slice: SliceId(1),
+                core: 0
+            }
+        );
+        // Uncovered store kills it → Dead.
+        m.record_store(0, wa(1), 1);
+        assert_eq!(m.classify_for_epoch(wa(1), 2), AssocState::Dead);
+        // Capacity eviction on a fresh address → Evicted (entry is
+        // materialised even though the address was never associated).
+        m.record_assoc(1, wa(2), 0, SliceId(1), vec![]); // fills core 1
+        m.record_assoc(1, wa(3), 0, SliceId(2), vec![]); // rejected
+        assert_eq!(m.classify_for_epoch(wa(3), 1), AssocState::Evicted);
+        // Never-seen address → Absent.
+        assert_eq!(m.classify_for_epoch(wa(9), 1), AssocState::Absent);
+        let u = m.usage();
+        assert_eq!(u.rejected_capacity, 1);
+        assert_eq!(u.evicted_tombstones, 1);
+        assert!(u.tombstones >= 2);
+    }
+
+    #[test]
+    fn usage_metrics_publish_under_ckpt_addrmap_keys() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
+        m.record_store(0, wa(1), 1);
+        let mut reg = acr_trace::MetricsRegistry::new();
+        m.usage().metrics(&mut reg);
+        assert_eq!(reg.get("ckpt.addrmap.inserted"), Some(1));
+        assert_eq!(reg.get("ckpt.addrmap.tombstones"), Some(1));
+        assert_eq!(reg.get("ckpt.addrmap.evicted_tombstones"), Some(0));
+        assert_eq!(reg.get("ckpt.addrmap.peak_live"), Some(1));
     }
 
     #[test]

@@ -4,12 +4,12 @@ use std::fmt;
 
 use acr_ckpt::{
     run_campaign, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError, CampaignReport,
-    ErrorSchedule, NoOmission, Scheme, SecondaryStorage,
+    DecisionLedger, ErrorSchedule, NoOmission, Scheme, SecondaryStorage,
 };
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
 use acr_mem::MemStats;
-use acr_sim::{Fault, Machine, MachineConfig, NoHooks, SimError, SimStats};
+use acr_sim::{Fault, Machine, MachineConfig, NoHooks, PcProfile, SimError, SimStats};
 use acr_slicer::{instrument, SliceStats, SlicerConfig};
 use acr_trace::SharedSink;
 
@@ -100,6 +100,11 @@ pub struct ExperimentSpec {
     /// Metrics sampling interval in cycles for checkpointed runs
     /// (0 = off). Samples land in the run's [`BerReport::series`].
     pub sample_interval: u64,
+    /// Attribution profiling: per-PC retire accounting on the machine
+    /// plus the omission-decision ledger on checkpointed runs. Purely
+    /// observational — enabling it never changes cycle counts or
+    /// checkpoint contents (the default keeps the hot path free of it).
+    pub profile: bool,
 }
 
 impl Default for ExperimentSpec {
@@ -118,6 +123,7 @@ impl Default for ExperimentSpec {
             scratchpad: false,
             trace: SharedSink::disabled(),
             sample_interval: 0,
+            profile: false,
         }
     }
 }
@@ -165,6 +171,13 @@ impl ExperimentSpec {
         self.sample_interval = cycles;
         self
     }
+
+    /// Enables attribution profiling — per-PC retire accounting and, on
+    /// checkpointed runs, the omission-decision ledger (chainable).
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
 }
 
 /// The outcome of one configuration run.
@@ -190,6 +203,16 @@ pub struct RunResult {
     pub acr: Option<AcrStats>,
     /// Compiler-pass statistics (absent for non-amnesic runs).
     pub slices: Option<SliceStats>,
+    /// Per-PC attribution profile (present when the spec enabled
+    /// profiling).
+    pub profile: Option<PcProfile>,
+    /// Omission-decision ledger (present when profiling a checkpointed
+    /// run).
+    pub ledger: Option<DecisionLedger>,
+    /// Lifetime `(logged, omitted)` word totals from the log controller
+    /// (present when profiling a checkpointed run) — the right-hand side
+    /// of the ledger's conservation invariant.
+    pub log_totals: Option<(u64, u64)>,
 }
 
 impl RunResult {
@@ -328,11 +351,15 @@ impl Experiment {
             return Ok(r.clone());
         }
         let mut machine = Machine::new(self.spec.machine, &self.raw);
+        if self.spec.profile {
+            machine.enable_profiling();
+        }
         machine.run(&mut NoHooks, u64::MAX)?;
         let cycles = machine.cycles();
         let sim = *machine.stats();
         let mem = *machine.mem().stats();
-        let result = self.finish("No_Ckpt".to_owned(), cycles, sim, mem, None, None, None);
+        let mut result = self.finish("No_Ckpt".to_owned(), cycles, sim, mem, None, None, None);
+        result.profile = machine.take_profile();
         self.no_ckpt = Some(result.clone());
         Ok(result)
     }
@@ -374,9 +401,12 @@ impl Experiment {
         let mut machine = Machine::new(self.spec.machine, &self.raw);
         self.attach_observability(&mut machine);
         let mut engine = BerEngine::new(machine, NoOmission, cfg);
+        if self.spec.profile {
+            engine.enable_ledger();
+        }
         let report = engine.run_to_completion()?;
         let label = label_for("Ckpt", errors, self.spec.scheme);
-        Ok(self.finish(
+        let mut result = self.finish(
             label,
             report.cycles,
             report.sim,
@@ -384,7 +414,11 @@ impl Experiment {
             Some(report),
             None,
             None,
-        ))
+        );
+        result.profile = engine.machine_mut().take_profile();
+        result.log_totals = self.spec.profile.then(|| engine.log_totals());
+        result.ledger = engine.take_ledger();
+        Ok(result)
     }
 
     /// `ReCkpt_NE` / `ReCkpt_E[,Loc]`: ACR with `errors` injected errors.
@@ -434,11 +468,15 @@ impl Experiment {
         let mut machine = Machine::new(spec_machine, &program);
         self.attach_observability(&mut machine);
         let policy = AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
-            .with_scratchpad(self.spec.scratchpad);
+            .with_scratchpad(self.spec.scratchpad)
+            .with_rejected_pcs(&slice_stats.rejected_store_pcs);
         let mut engine = BerEngine::new(machine, policy, cfg);
+        if self.spec.profile {
+            engine.enable_ledger();
+        }
         let report = engine.run_to_completion()?;
         let acr = engine.policy().stats();
-        Ok(self.finish(
+        let mut result = self.finish(
             label,
             report.cycles,
             report.sim,
@@ -446,7 +484,11 @@ impl Experiment {
             Some(report),
             Some(acr),
             Some(slice_stats),
-        ))
+        );
+        result.profile = engine.machine_mut().take_profile();
+        result.log_totals = self.spec.profile.then(|| engine.log_totals());
+        result.ledger = engine.take_ledger();
+        Ok(result)
     }
 
     /// Attaches the spec's trace sink and sampling interval to a machine
@@ -457,6 +499,9 @@ impl Experiment {
         }
         if self.spec.sample_interval > 0 {
             machine.enable_sampling(self.spec.sample_interval);
+        }
+        if self.spec.profile {
+            machine.enable_profiling();
         }
     }
 
@@ -561,6 +606,9 @@ impl Experiment {
             report,
             acr,
             slices,
+            profile: None,
+            ledger: None,
+            log_totals: None,
         }
     }
 }
@@ -716,6 +764,40 @@ mod tests {
         exp.set_spec(new_spec);
         let (_, s1) = exp.instrumented();
         assert!(s1.sliced_stores <= sliced_10);
+    }
+
+    #[test]
+    fn profiled_run_is_cycle_identical_and_ledger_conserves_decisions() {
+        use acr_ckpt::OmitReason;
+        let p = recomputable_kernel(2, 300);
+        let base = Experiment::new(p.clone(), spec())
+            .unwrap()
+            .run_reckpt(1)
+            .unwrap();
+        let mut exp = Experiment::new(p, spec().with_profile(true)).unwrap();
+        let r = exp.run_reckpt(1).unwrap();
+        // Observation must not perturb the run.
+        assert_eq!(r.cycles, base.cycles, "profiling must not change timing");
+        assert_eq!(r.checkpoint_bytes(), base.checkpoint_bytes());
+        assert_eq!(r.sim.retired, base.sim.retired);
+        // Conservation: every first-update decision appears in the ledger
+        // under exactly one reason, and the per-reason split matches the
+        // log controller's lifetime word totals.
+        let ledger = r.ledger.as_ref().expect("profiled run carries ledger");
+        let (logged, omitted) = r.log_totals.expect("profiled run carries totals");
+        assert_eq!(ledger.total_omitted(), omitted);
+        assert_eq!(ledger.total_logged(), logged);
+        assert_eq!(ledger.total_decisions(), logged + omitted);
+        let by_reason: u64 = OmitReason::ALL.iter().map(|r| ledger.total(*r)).sum();
+        assert_eq!(by_reason, ledger.total_decisions());
+        assert!(ledger.total(OmitReason::OmittedSlice) > 0);
+        // Replay costs were attributed to Slices during the recovery.
+        assert!(ledger.replays().next().is_some(), "error run must replay");
+        // The per-PC profile is populated and internally consistent.
+        let prof = r.profile.as_ref().expect("profiled run carries profile");
+        assert!(prof.total_retires() > 0);
+        assert_eq!(prof.tick_histogram().count(), prof.total_retires());
+        assert!(prof.total_ticks() >= prof.total_retires());
     }
 
     #[test]

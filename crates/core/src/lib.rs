@@ -61,7 +61,7 @@ pub mod placement;
 mod policy;
 mod stats;
 
-pub use addr_map::{AddrMap, AddrMapConfig};
+pub use addr_map::{AddrMap, AddrMapConfig, AddrMapUsage, AssocState};
 pub use experiment::{CampaignRunResult, Experiment, ExperimentError, ExperimentSpec, RunResult};
 pub use policy::AcrPolicy;
 pub use stats::AcrStats;

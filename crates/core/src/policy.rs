@@ -1,11 +1,14 @@
 //! [`AcrPolicy`] — the ACR checkpoint handler and recovery handler.
 
-use acr_ckpt::{OmissionPolicy, Recomputed};
-use acr_isa::Slice;
+use std::collections::BTreeSet;
+
+use acr_ckpt::{OmissionPolicy, OmitReason, Recomputed};
+use acr_isa::{Slice, SliceId};
 use acr_mem::WordAddr;
 use acr_sim::AssocEvent;
+use acr_trace::MetricsRegistry;
 
-use crate::addr_map::{AddrMap, AddrMapConfig};
+use crate::addr_map::{AddrMap, AddrMapConfig, AssocState};
 use crate::stats::AcrStats;
 
 /// ACR's control logic (Fig. 4 of the paper), plugged into the BER engine
@@ -33,6 +36,11 @@ pub struct AcrPolicy {
     /// overlaps the restore instead of serializing before the register
     /// restore.
     scratchpad: bool,
+    /// `(thread, pc)` of stores whose extracted Slice the slicer's length
+    /// threshold rejected (post-instrumentation coordinates, from
+    /// `SliceStats::rejected_store_pcs`). Lets the decision ledger
+    /// distinguish `logged:slice-too-long` from `logged:no-slice`.
+    rejected_pcs: BTreeSet<(u32, u32)>,
 }
 
 impl AcrPolicy {
@@ -44,7 +52,16 @@ impl AcrPolicy {
             stats: AcrStats::default(),
             assoc_extra_cycles: 0,
             scratchpad: false,
+            rejected_pcs: BTreeSet::new(),
         }
+    }
+
+    /// Installs the slicer's threshold-rejected store sites
+    /// (`SliceStats::rejected_store_pcs`) so the decision ledger can
+    /// attribute their first updates to `logged:slice-too-long`.
+    pub fn with_rejected_pcs(mut self, pcs: &[(u32, u32)]) -> Self {
+        self.rejected_pcs = pcs.iter().copied().collect();
+        self
     }
 
     /// Enables the scratchpad-based recomputation implementation
@@ -106,10 +123,45 @@ impl OmissionPolicy for AcrPolicy {
         self.stats.recomputed_values += 1;
         Some(Recomputed {
             value,
+            slice: assoc.slice,
             cycles: alu_ops + opbuf_reads,
             alu_ops,
             opbuf_reads,
         })
+    }
+
+    fn classify(
+        &self,
+        core: u32,
+        pc: u32,
+        addr: WordAddr,
+        epoch: u64,
+        omitted: bool,
+    ) -> (OmitReason, Option<SliceId>) {
+        match self.map.classify_for_epoch(addr, epoch) {
+            AssocState::Live { slice, .. } => {
+                debug_assert!(omitted, "live association must have been omitted");
+                (OmitReason::OmittedSlice, Some(slice))
+            }
+            AssocState::Evicted => (OmitReason::LoggedAddrmapEvicted, None),
+            AssocState::Dead => (OmitReason::LoggedNotRecomputable, None),
+            // The map never saw the address: either no Slice covers the
+            // producing store, or one was extracted but rejected by the
+            // length threshold. Attributed to the overwriting store's
+            // site — for the loop-structured kernels here the overwriter
+            // and the producer are the same static store.
+            AssocState::Absent => {
+                if self.rejected_pcs.contains(&(core, pc)) {
+                    (OmitReason::LoggedSliceTooLong, None)
+                } else {
+                    (OmitReason::LoggedNoSlice, None)
+                }
+            }
+        }
+    }
+
+    fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        self.map.usage().metrics(reg);
     }
 
     fn on_checkpoint(&mut self, sealed_epoch: u64) {
@@ -148,6 +200,7 @@ mod tests {
     fn assoc_event(addr: u64, inputs: Vec<u64>) -> AssocEvent {
         AssocEvent {
             core: CoreId(0),
+            pc: 0,
             addr: WordAddr::new(addr),
             value: inputs.iter().sum(),
             slice: SliceId(0),

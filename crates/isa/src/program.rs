@@ -79,6 +79,12 @@ pub struct Program {
     slices: Vec<Slice>,
     /// Size of the data memory image in bytes the program expects.
     mem_bytes: u64,
+    /// Per-thread label regions: `(start_pc, label)` pairs sorted by start
+    /// PC. A region covers every PC from its start up to (not including)
+    /// the next region's start. Purely observational metadata — attribution
+    /// exporters map PCs back to workload phases through it; execution
+    /// never reads it. May be shorter than `threads` (unlabeled tail).
+    labels: Vec<Vec<(u32, String)>>,
 }
 
 /// Static instruction mix of a program (see
@@ -208,7 +214,37 @@ impl Program {
             threads,
             slices,
             mem_bytes,
+            labels: Vec::new(),
         }
+    }
+
+    /// Installs the label regions of thread `t` as `(start_pc, label)`
+    /// pairs; they are kept sorted by start PC so [`Program::label_at`]
+    /// can binary-search. Replaces any previous regions for the thread.
+    pub fn set_thread_labels(&mut self, t: u32, mut regions: Vec<(u32, String)>) {
+        regions.sort_by_key(|(start, _)| *start);
+        let idx = t as usize;
+        if self.labels.len() <= idx {
+            self.labels.resize_with(idx + 1, Vec::new);
+        }
+        self.labels[idx] = regions;
+    }
+
+    /// The label regions of thread `t` (empty when unlabeled).
+    pub fn thread_labels(&self, t: u32) -> &[(u32, String)] {
+        self.labels
+            .get(t as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The label covering `pc` on thread `t`: the region with the largest
+    /// start PC that is `<= pc`. `None` when the thread has no regions or
+    /// `pc` precedes the first one.
+    pub fn label_at(&self, t: u32, pc: u32) -> Option<&str> {
+        let regions = self.thread_labels(t);
+        let idx = regions.partition_point(|(start, _)| *start <= pc);
+        idx.checked_sub(1).map(|i| regions[i].1.as_str())
     }
 
     /// Number of threads.
@@ -392,6 +428,21 @@ mod tests {
         assert!(p.validate().is_ok());
         assert_eq!(p.static_len(), 4);
         assert_eq!(p.slice_table_len(), 1);
+    }
+
+    #[test]
+    fn label_regions_cover_half_open_ranges() {
+        let code = ThreadCode::new(vec![Instr::Barrier, Instr::Barrier, Instr::Halt]);
+        let mut p = Program::new(vec![code], vec![], 0);
+        assert_eq!(p.label_at(0, 0), None, "unlabeled program");
+        // Install out of order; lookup must still see sorted regions.
+        p.set_thread_labels(0, vec![(2, "phase0".to_owned()), (0, "init".to_owned())]);
+        assert_eq!(p.label_at(0, 0), Some("init"));
+        assert_eq!(p.label_at(0, 1), Some("init"));
+        assert_eq!(p.label_at(0, 2), Some("phase0"));
+        assert_eq!(p.label_at(0, 99), Some("phase0"), "last region is open");
+        assert_eq!(p.label_at(1, 0), None, "missing thread is unlabeled");
+        assert_eq!(p.thread_labels(0).len(), 2);
     }
 
     #[test]

@@ -107,6 +107,12 @@ pub struct LogController {
     /// [`LogController::RETAINED`] are kept — the paper shows two most
     /// recent checkpoints suffice when detection latency ≤ period.
     completed: VecDeque<LogEpoch>,
+    /// Lifetime count of log records written (records; monotonic — never
+    /// reset by seal or rollback). The independent tally the
+    /// omission-decision ledger's conservation invariant checks against.
+    total_logged: u64,
+    /// Lifetime count of omissions granted (records; monotonic).
+    total_omitted: u64,
 }
 
 impl LogController {
@@ -121,7 +127,20 @@ impl LogController {
             bits: vec![0; num_words.div_ceil(64)],
             current: LogEpoch::new(0),
             completed: VecDeque::with_capacity(Self::RETAINED + 1),
+            total_logged: 0,
+            total_omitted: 0,
         }
+    }
+
+    /// Lifetime count of log records written, across every epoch ever
+    /// opened (monotonic; unaffected by seal, pruning or rollback).
+    pub fn lifetime_logged(&self) -> u64 {
+        self.total_logged
+    }
+
+    /// Lifetime count of omissions granted (monotonic).
+    pub fn lifetime_omitted(&self) -> u64 {
+        self.total_omitted
     }
 
     /// The in-progress epoch.
@@ -172,6 +191,7 @@ impl LogController {
     pub fn log_value(&mut self, addr: WordAddr, old_value: u64, core: u32) {
         debug_assert!(!self.is_logged(addr), "double log of {addr}");
         self.set_bit(addr);
+        self.total_logged += 1;
         self.current.records.push(LogRecord {
             addr,
             old_value,
@@ -184,6 +204,7 @@ impl LogController {
     pub fn omit_value(&mut self, addr: WordAddr, core: u32) {
         debug_assert!(!self.is_logged(addr), "double log of {addr}");
         self.set_bit(addr);
+        self.total_omitted += 1;
         self.current.omitted.push(OmittedRecord { addr, core });
     }
 
@@ -396,6 +417,20 @@ mod tests {
         let undone = lc.rollback_victims(0, 0b1);
         let idx: Vec<u64> = undone.iter().map(|e| e.index).collect();
         assert_eq!(idx, vec![1, 0]);
+    }
+
+    #[test]
+    fn lifetime_totals_survive_seal_and_rollback() {
+        let mut lc = LogController::new(1024);
+        lc.log_value(wa(1), 11, 0);
+        lc.omit_value(wa(2), 0);
+        lc.seal_epoch();
+        lc.log_value(wa(1), 12, 0);
+        let _ = lc.rollback_to(0);
+        // Re-execution after rollback re-logs the word: counted again.
+        lc.log_value(wa(1), 11, 0);
+        assert_eq!(lc.lifetime_logged(), 3);
+        assert_eq!(lc.lifetime_omitted(), 1);
     }
 
     #[test]

@@ -274,6 +274,7 @@ impl CoreModel {
         hooks: &mut dyn ExecHooks,
     ) -> Result<StepKind, SimError> {
         let issue0 = self.ticks + 1;
+        let pc = self.pc;
         self.retired += 1;
         stats.retired += 1;
         // Stamp the memory system's observational clock so trace events it
@@ -345,6 +346,7 @@ impl CoreModel {
                 self.pc += 1;
                 let extra = hooks.on_store(StoreEvent {
                     core: self.id,
+                    pc,
                     addr: w,
                     old,
                     new: val,
@@ -378,6 +380,7 @@ impl CoreModel {
                 self.pc += 1;
                 let extra = hooks.on_assoc(AssocEvent {
                     core: self.id,
+                    pc,
                     addr,
                     value,
                     slice,

@@ -10,6 +10,9 @@ use acr_trace::{SharedSink, TraceEvent};
 pub struct StoreEvent {
     /// Core that stored.
     pub core: CoreId,
+    /// Program counter of the store instruction (post-instrumentation
+    /// coordinates), for attribution and ledger classification.
+    pub pc: u32,
     /// Target word.
     pub addr: WordAddr,
     /// Value the word held *before* this store.
@@ -26,6 +29,8 @@ pub struct StoreEvent {
 pub struct AssocEvent {
     /// Core that executed the association.
     pub core: CoreId,
+    /// Program counter of the `ASSOC-ADDR` instruction, for attribution.
+    pub pc: u32,
     /// Address of the associated (preceding) store.
     pub addr: WordAddr,
     /// Value that store wrote (the value the Slice recomputes).

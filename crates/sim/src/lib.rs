@@ -28,6 +28,7 @@ mod core_model;
 mod fault;
 mod hooks;
 mod machine;
+mod profile;
 mod stats;
 
 pub use config::MachineConfig;
@@ -37,6 +38,7 @@ pub use fault::{
 };
 pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent, TracingHooks};
 pub use machine::{Machine, RunOutcome, SimError};
+pub use profile::{PcCounters, PcProfile, RetireClass};
 pub use stats::SimStats;
 
 /// Scheduling ticks per core cycle (one tick is one issue slot of the

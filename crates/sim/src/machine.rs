@@ -10,6 +10,7 @@ use acr_trace::{MetricsRegistry, Sampler, SharedSink, TimeSeries, TraceEvent, TR
 use crate::config::MachineConfig;
 use crate::core_model::{CoreModel, CoreSnapshot, StepKind};
 use crate::hooks::ExecHooks;
+use crate::profile::{PcProfile, RetireClass};
 use crate::stats::SimStats;
 use crate::TICKS_PER_CYCLE;
 
@@ -114,6 +115,7 @@ pub struct Machine<'p> {
     trace: SharedSink,
     registry: MetricsRegistry,
     sampler: Option<Sampler>,
+    profiler: Option<Box<PcProfile>>,
 }
 
 impl fmt::Debug for Machine<'_> {
@@ -158,6 +160,7 @@ impl<'p> Machine<'p> {
             trace: SharedSink::disabled(),
             registry: MetricsRegistry::new(),
             sampler: None,
+            profiler: None,
         }
     }
 
@@ -180,6 +183,26 @@ impl<'p> Machine<'p> {
     /// at-or-after every `every_cycles` boundary.
     pub fn enable_sampling(&mut self, every_cycles: u64) {
         self.sampler = Some(Sampler::new(every_cycles));
+    }
+
+    /// Enables per-PC retire attribution (see [`PcProfile`]). Like the
+    /// sampler and trace sink this is purely observational: it reads each
+    /// core's local clock around every step and charges no simulated
+    /// cycles, so a profiled run stays cycle- and hash-identical to an
+    /// unprofiled one.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Box::default());
+    }
+
+    /// The attribution profile accumulated so far (None unless
+    /// [`Self::enable_profiling`] was called).
+    pub fn profile(&self) -> Option<&PcProfile> {
+        self.profiler.as_deref()
+    }
+
+    /// Takes the attribution profile, leaving profiling disabled.
+    pub fn take_profile(&mut self) -> Option<PcProfile> {
+        self.profiler.take().map(|b| *b)
     }
 
     /// The unified metrics registry. Engine layers publish their own
@@ -222,6 +245,17 @@ impl<'p> Machine<'p> {
         for (i, c) in self.cores.iter().enumerate() {
             self.registry.set(&format!("core.{i}.retired"), c.retired());
             self.registry.set(&format!("core.{i}.cycles"), c.cycles());
+        }
+        if let Some(p) = &self.profiler {
+            // Set-semantics (idempotent): `profile.sites` is distinct
+            // (core, pc) pairs, `profile.retired` instructions,
+            // `profile.ticks` ticks; `profile.retire.ticks` is the
+            // per-retire issue-to-issue latency distribution in ticks.
+            self.registry.set("profile.sites", p.len() as u64);
+            self.registry.set("profile.retired", p.total_retires());
+            self.registry.set("profile.ticks", p.total_ticks());
+            *self.registry.hist_mut("profile.retire.ticks") = p.tick_histogram().clone();
+            self.registry.publish_hist_digests();
         }
     }
 
@@ -501,7 +535,12 @@ impl<'p> Machine<'p> {
             self.fuel -= 1;
             let pc = core.pc();
             let instr = *code.fetch(pc).unwrap_or(&Instr::Halt);
+            let ticks_before = core.ticks();
             let kind = core.step(&instr, &self.cfg, &mut self.mem, &mut self.stats, hooks)?;
+            let delta = core.ticks() - ticks_before;
+            if let Some(prof) = self.profiler.as_deref_mut() {
+                prof.record(i as u32, pc, retire_class(&instr), delta);
+            }
             batch += 1;
             retired_total += 1;
             match kind {
@@ -515,6 +554,7 @@ impl<'p> Machine<'p> {
                             return Err(SimError::FuelExhausted);
                         }
                         self.fuel -= 1;
+                        let t0 = self.cores[i].ticks();
                         self.cores[i].step(
                             &next,
                             &self.cfg,
@@ -522,6 +562,10 @@ impl<'p> Machine<'p> {
                             &mut self.stats,
                             hooks,
                         )?;
+                        if let Some(prof) = self.profiler.as_deref_mut() {
+                            let d = self.cores[i].ticks() - t0;
+                            prof.record(i as u32, next_pc, RetireClass::Memory, d);
+                        }
                         batch += 1;
                         retired_total += 1;
                     }
@@ -530,6 +574,16 @@ impl<'p> Machine<'p> {
                 StepKind::Normal => {}
             }
         }
+    }
+}
+
+/// Which attribution bucket an instruction's excess ticks belong in:
+/// memory waits for loads, stores and `ASSOC-ADDR`s, scoreboard/control
+/// stalls for everything else.
+fn retire_class(instr: &Instr) -> RetireClass {
+    match instr {
+        Instr::Load { .. } | Instr::Store { .. } | Instr::AssocAddr { .. } => RetireClass::Memory,
+        _ => RetireClass::Compute,
     }
 }
 
@@ -644,6 +698,38 @@ mod tests {
         let before = m.ticks();
         m.stall_cores(m.all_mask(), before + 4000);
         assert_eq!(m.ticks(), before + 4000);
+    }
+
+    #[test]
+    fn profiling_conserves_retires_and_never_perturbs_timing() {
+        let p = demo_program(2);
+        let cfg = MachineConfig::with_cores(2);
+
+        let mut plain = Machine::new(cfg, &p);
+        plain.run(&mut NoHooks, u64::MAX).unwrap();
+
+        let mut profiled = Machine::new(cfg, &p);
+        profiled.enable_profiling();
+        profiled.run(&mut NoHooks, u64::MAX).unwrap();
+
+        // Observational only: identical timing and final state.
+        assert_eq!(profiled.cycles(), plain.cycles());
+        assert_eq!(profiled.stats(), plain.stats());
+        assert_eq!(profiled.mem().image().words(), plain.mem().image().words());
+
+        // Every retired instruction was attributed, and total attributed
+        // ticks equal the sum of per-core local clocks.
+        let prof = profiled.take_profile().unwrap();
+        assert_eq!(prof.total_retires(), profiled.total_retired());
+        let core_ticks: u64 = profiled.cores().iter().map(CoreModel::ticks).sum();
+        assert!(
+            prof.total_ticks() <= core_ticks,
+            "attributed {} > clock sum {core_ticks}",
+            prof.total_ticks()
+        );
+        assert_eq!(prof.tick_histogram().count(), prof.total_retires());
+        // Memory waits exist in this store-heavy program.
+        assert!(prof.iter().any(|(_, c)| c.mem_ticks > 0));
     }
 
     #[test]

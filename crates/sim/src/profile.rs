@@ -1,0 +1,160 @@
+//! Per-PC retire attribution.
+//!
+//! When enabled on a [`crate::Machine`], every retired instruction charges
+//! its issue-slot ticks to the program counter it retired from, split into
+//! execute / stall / memory-wait buckets. Attribution is purely
+//! observational: it reads the core's local clock around each step and
+//! never charges simulated cycles, so a profiled run is cycle-for-cycle
+//! and hash-for-hash identical to an unprofiled one (the same contract
+//! [`acr_trace::SharedSink`] keeps).
+//!
+//! ## Charging rules
+//!
+//! For one retired instruction with observed local-time delta `d` ticks
+//! (always ≥ 1: the issue slot itself):
+//!
+//! * `ticks += d` — total time attributed to the PC;
+//! * the first tick is the issue slot (execute);
+//! * the remaining `d − 1` ticks are `mem_ticks` for loads, stores and
+//!   `ASSOC-ADDR`s (LSQ admission + dependent-miss delay) and
+//!   `stall_ticks` for everything else (operand scoreboard waits,
+//!   barrier drains).
+//!
+//! Keys are `(core, pc)` in a `BTreeMap`, so iteration order — and every
+//! export built from it — is deterministic.
+
+use std::collections::BTreeMap;
+
+use acr_trace::Histogram;
+
+/// Which attribution bucket an instruction's excess ticks land in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireClass {
+    /// ALU/immediate/branch/control: excess ticks are scoreboard stalls.
+    Compute,
+    /// Load/store/`ASSOC-ADDR`: excess ticks are memory waits.
+    Memory,
+}
+
+/// Cycle accounting for one `(core, pc)` site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcCounters {
+    /// Instructions retired at this PC.
+    pub retires: u64,
+    /// Total ticks attributed (issue slots + stalls + memory waits).
+    pub ticks: u64,
+    /// Ticks beyond the issue slot spent waiting on memory.
+    pub mem_ticks: u64,
+    /// Ticks beyond the issue slot spent stalled on operands/control.
+    pub stall_ticks: u64,
+}
+
+/// The per-PC attribution profile of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcProfile {
+    map: BTreeMap<(u32, u32), PcCounters>,
+    tick_hist: Histogram,
+}
+
+impl PcProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one retired instruction at `(core, pc)` with observed
+    /// local-time delta `delta_ticks` (≥ 1).
+    #[inline]
+    pub fn record(&mut self, core: u32, pc: u32, class: RetireClass, delta_ticks: u64) {
+        let c = self.map.entry((core, pc)).or_default();
+        c.retires += 1;
+        c.ticks += delta_ticks;
+        let excess = delta_ticks.saturating_sub(1);
+        match class {
+            RetireClass::Memory => c.mem_ticks += excess,
+            RetireClass::Compute => c.stall_ticks += excess,
+        }
+        self.tick_hist.record(delta_ticks);
+    }
+
+    /// Per-site counters in `(core, pc)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &PcCounters)> {
+        self.map.iter()
+    }
+
+    /// Number of distinct `(core, pc)` sites observed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total ticks attributed across all sites.
+    pub fn total_ticks(&self) -> u64 {
+        self.map.values().map(|c| c.ticks).sum()
+    }
+
+    /// Total instructions attributed across all sites.
+    pub fn total_retires(&self) -> u64 {
+        self.map.values().map(|c| c.retires).sum()
+    }
+
+    /// Distribution of per-retire tick deltas (issue-to-issue latency).
+    pub fn tick_histogram(&self) -> &Histogram {
+        &self.tick_hist
+    }
+
+    /// Folds `other` into `self` (used to combine per-segment profiles of
+    /// a run that was interrupted by recoveries).
+    pub fn merge(&mut self, other: &PcProfile) {
+        for (key, c) in &other.map {
+            let dst = self.map.entry(*key).or_default();
+            dst.retires += c.retires;
+            dst.ticks += c.ticks;
+            dst.mem_ticks += c.mem_ticks;
+            dst.stall_ticks += c.stall_ticks;
+        }
+        self.tick_hist.merge(&other.tick_hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_classifies_excess_ticks() {
+        let mut p = PcProfile::new();
+        p.record(0, 4, RetireClass::Compute, 1); // pure issue slot
+        p.record(0, 4, RetireClass::Compute, 5); // 4 stall ticks
+        p.record(0, 7, RetireClass::Memory, 9); // 8 mem ticks
+        let c4 = p.iter().find(|(k, _)| **k == (0, 4)).unwrap().1;
+        assert_eq!(c4.retires, 2);
+        assert_eq!(c4.ticks, 6);
+        assert_eq!(c4.stall_ticks, 4);
+        assert_eq!(c4.mem_ticks, 0);
+        let c7 = p.iter().find(|(k, _)| **k == (0, 7)).unwrap().1;
+        assert_eq!(c7.mem_ticks, 8);
+        assert_eq!(p.total_ticks(), 15);
+        assert_eq!(p.total_retires(), 3);
+        assert_eq!(p.tick_histogram().count(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = PcProfile::new();
+        let mut b = PcProfile::new();
+        a.record(0, 1, RetireClass::Compute, 2);
+        b.record(0, 1, RetireClass::Memory, 3);
+        b.record(1, 1, RetireClass::Compute, 1);
+        a.merge(&b);
+        assert_eq!(a.total_retires(), 3);
+        assert_eq!(a.total_ticks(), 6);
+        let c = a.iter().find(|(k, _)| **k == (0, 1)).unwrap().1;
+        assert_eq!(c.stall_ticks, 1);
+        assert_eq!(c.mem_ticks, 2);
+    }
+}

@@ -29,8 +29,20 @@ pub struct SliceStats {
     pub static_stores: u64,
     /// Stores instrumented with an `ASSOC-ADDR`.
     pub sliced_stores: u64,
-    /// Extracted but dropped: longer than the threshold.
+    /// Extracted but dropped: longer than the threshold. Counts every
+    /// length-based drop, whether the extractor bailed out early or the
+    /// finished slice failed the threshold filter (see
+    /// [`SliceStats::rejected_threshold_filter`] for the latter alone).
     pub rejected_too_long: u64,
+    /// Subset of [`SliceStats::rejected_too_long`]: slices that extracted
+    /// successfully but were dropped by the `cfg.threshold` length filter.
+    /// Distinct so the runtime ledger's `logged:slice-too-long` reason can
+    /// be cross-checked against the compiler pass.
+    pub rejected_threshold_filter: u64,
+    /// Post-instrumentation `(thread, pc)` of every store whose slice was
+    /// dropped for length — the static anchor for the runtime ledger's
+    /// `logged:slice-too-long` classification.
+    pub rejected_store_pcs: Vec<(u32, u32)>,
     /// No arithmetic in the producer chain.
     pub rejected_no_arith: u64,
     /// More inputs than the operand buffer captures.
@@ -110,11 +122,14 @@ pub fn instrument(program: &Program, cfg: &SlicerConfig) -> (Program, SliceStats
     let mut slice_table: Vec<Slice> = Vec::new();
     let mut dedup: HashMap<Slice, SliceId> = HashMap::new();
     let mut new_threads: Vec<ThreadCode> = Vec::with_capacity(program.num_threads());
+    let mut thread_positions: Vec<Vec<u32>> = Vec::with_capacity(program.num_threads());
 
-    for code in program.threads() {
+    for (ti, code) in program.threads().iter().enumerate() {
         let blocks = basic_blocks(code);
         // pc of store → AssocAddr instruction to insert after it.
         let mut insertions: BTreeMap<u32, Instr> = BTreeMap::new();
+        // Pre-shift pcs of stores whose slice was dropped for length.
+        let mut too_long_pcs: Vec<u32> = Vec::new();
         for (pc, instr) in code.instrs().iter().enumerate() {
             if !matches!(instr, Instr::Store { .. }) {
                 continue;
@@ -125,6 +140,8 @@ pub fn instrument(program: &Program, cfg: &SlicerConfig) -> (Program, SliceStats
                 Ok(ex) => {
                     if ex.slice.len() > cfg.threshold {
                         stats.rejected_too_long += 1;
+                        stats.rejected_threshold_filter += 1;
+                        too_long_pcs.push(pc);
                         continue;
                     }
                     stats.sliced_stores += 1;
@@ -143,18 +160,45 @@ pub fn instrument(program: &Program, cfg: &SlicerConfig) -> (Program, SliceStats
                     );
                 }
                 Err(RejectReason::NoArith) => stats.rejected_no_arith += 1,
-                Err(RejectReason::TooLong) => stats.rejected_too_long += 1,
+                Err(RejectReason::TooLong) => {
+                    stats.rejected_too_long += 1;
+                    too_long_pcs.push(pc);
+                }
                 Err(RejectReason::TooManyInputs) => stats.rejected_too_many_inputs += 1,
                 Err(RejectReason::InputClobbered) => stats.rejected_input_clobbered += 1,
                 Err(RejectReason::NotAStore) => unreachable!("filtered above"),
             }
         }
+        // Record length-rejected store pcs in *post-instrumentation*
+        // coordinates, applying the same shift the rebuild applies to
+        // branch targets.
+        let positions: Vec<u32> = insertions.keys().copied().collect();
+        for pc in too_long_pcs {
+            let shift = positions.partition_point(|&q| q < pc) as u32;
+            stats.rejected_store_pcs.push((ti as u32, pc + shift));
+        }
         new_threads.push(rebuild_with_insertions(code, &insertions));
+        thread_positions.push(positions);
     }
 
     stats.unique_slices = slice_table.len() as u64;
     stats.embedded_slice_instrs = slice_table.iter().map(|s| s.len() as u64).sum();
-    let instrumented = Program::new(new_threads, slice_table, program.mem_bytes());
+    let mut instrumented = Program::new(new_threads, slice_table, program.mem_bytes());
+    // Carry label regions over, shifting each region start past the
+    // ASSOC-ADDRs inserted below it (same mapping as branch targets).
+    for (ti, positions) in thread_positions.iter().enumerate() {
+        let regions: Vec<(u32, String)> = program
+            .thread_labels(ti as u32)
+            .iter()
+            .map(|(start, label)| {
+                let shift = positions.partition_point(|&q| q < *start) as u32;
+                (start + shift, label.clone())
+            })
+            .collect();
+        if !regions.is_empty() {
+            instrumented.set_thread_labels(ti as u32, regions);
+        }
+    }
     debug_assert_eq!(instrumented.validate(), Ok(()));
     (instrumented, stats)
 }
@@ -253,10 +297,64 @@ mod tests {
         let (_, s10) = instrument(&p, &SlicerConfig { threshold: 10 });
         assert_eq!(s10.sliced_stores, 0);
         assert_eq!(s10.rejected_too_long, 1);
+        assert_eq!(
+            s10.rejected_threshold_filter, 1,
+            "post-extraction threshold drops are counted distinctly"
+        );
+        // No insertions in this program, so the rejected store pc is the
+        // store's own pc (16 instructions precede it).
+        assert_eq!(s10.rejected_store_pcs, vec![(0, 16)]);
 
         let (_, s20) = instrument(&p, &SlicerConfig { threshold: 20 });
         assert_eq!(s20.sliced_stores, 1);
+        assert_eq!(s20.rejected_threshold_filter, 0);
+        assert!(s20.rejected_store_pcs.is_empty());
         assert_eq!(*s20.length_histogram.get(&16).unwrap(), 1);
+    }
+
+    #[test]
+    fn labels_shift_with_insertions() {
+        let p = looped_program();
+        let mut p = p;
+        // Label the loop body start: pc 1 (after the imm) and the store
+        // region further down.
+        p.set_thread_labels(0, vec![(0, "setup".to_owned()), (5, "body".to_owned())]);
+        let (ip, stats) = instrument(&p, &SlicerConfig::default());
+        assert_eq!(stats.sliced_stores, 1);
+        // One ASSOC-ADDR inserted after the store at pc 5; a region start
+        // at or below the store pc is unshifted, anything past it moves.
+        assert_eq!(ip.thread_labels(0)[0], (0, "setup".to_owned()));
+        assert_eq!(ip.thread_labels(0)[1], (5, "body".to_owned()));
+        // The label over the store covers the inserted ASSOC-ADDR too.
+        assert_eq!(ip.label_at(0, 6), Some("body"));
+    }
+
+    #[test]
+    fn rejected_store_pcs_are_post_instrumentation_coordinates() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(4096);
+        let t = b.thread(0);
+        // First store: short slice, accepted (gets an ASSOC-ADDR).
+        t.alui(AluOp::Add, Reg(1), Reg(0), 5);
+        t.store(Reg(1), Reg(0), 0); // pc 1
+                                    // Second store: long slice, rejected at threshold 10.
+        t.alu(AluOp::Add, Reg(2), Reg(0), Reg(1));
+        for _ in 0..15 {
+            t.alui(AluOp::Add, Reg(2), Reg(2), 1);
+        }
+        t.store(Reg(2), Reg(0), 8); // pc 18 pre-shift
+        t.halt();
+        let p = b.build();
+        let (ip, stats) = instrument(&p, &SlicerConfig { threshold: 10 });
+        assert_eq!(stats.sliced_stores, 1);
+        assert_eq!(stats.rejected_threshold_filter, 1);
+        // The accepted store's ASSOC-ADDR sits at pc 2, shifting the
+        // rejected store from 18 to 19.
+        assert_eq!(stats.rejected_store_pcs, vec![(0, 19)]);
+        assert!(matches!(
+            ip.thread(0).fetch(19),
+            Some(acr_isa::Instr::Store { .. })
+        ));
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], series: Option<&TimeSeries>) -> 
                 push_common(&mut out, ev.name, ev.cat, 'i', ev.cycle, ev.track);
                 out.push_str(",\"s\":\"g\"");
             }
+            EventKind::Counter => {
+                push_common(&mut out, ev.name, ev.cat, 'C', ev.cycle, ev.track);
+            }
         }
         let args: Vec<(&str, u64)> = ev.args.iter().filter_map(|a| *a).collect();
         if !args.is_empty() {
@@ -131,6 +134,18 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\",\"ts\":55"));
         assert!(json.contains("\"name\":\"mem.l1d.hits\",\"cat\":\"metrics\",\"ph\":\"C\""));
         assert!(json.contains("\"args\":{\"value\":9}"));
+    }
+
+    #[test]
+    fn renders_counter_events_with_multiple_series() {
+        let events = [TraceEvent::counter("ledger.reasons", "profile", 1002, 90)
+            .with_arg("omitted_slice", 5)
+            .with_arg("logged_no_slice", 2)];
+        let json = chrome_trace_json(&events, None);
+        assert!(
+            json.contains("\"name\":\"ledger.reasons\",\"cat\":\"profile\",\"ph\":\"C\",\"ts\":90")
+        );
+        assert!(json.contains("\"args\":{\"omitted_slice\":5,\"logged_no_slice\":2}"));
     }
 
     #[test]

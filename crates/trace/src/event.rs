@@ -23,6 +23,9 @@ pub enum EventKind {
     Span,
     /// A point in time (Chrome `ph:"i"`; `dur` is ignored).
     Instant,
+    /// A counter sample (Chrome/Perfetto `ph:"C"`): each argument renders
+    /// as one series on the event's counter track; `dur` is ignored.
+    Counter,
 }
 
 /// One cycle-stamped event. Names and categories are `'static` string
@@ -65,6 +68,21 @@ impl TraceEvent {
     pub fn instant(name: &'static str, cat: &'static str, track: u32, cycle: u64) -> Self {
         TraceEvent {
             kind: EventKind::Instant,
+            name,
+            cat,
+            track,
+            cycle,
+            dur: 0,
+            args: [None; MAX_ARGS],
+        }
+    }
+
+    /// A counter sample at `cycle` on `track`; attach up to [`MAX_ARGS`]
+    /// series with [`TraceEvent::with_arg`]. Renders as a Perfetto/Chrome
+    /// counter track (`ph:"C"`).
+    pub fn counter(name: &'static str, cat: &'static str, track: u32, cycle: u64) -> Self {
+        TraceEvent {
+            kind: EventKind::Counter,
             name,
             cat,
             track,

@@ -1,0 +1,264 @@
+//! Log-bucketed integer histogram with deterministic merge and digests.
+//!
+//! An HdrHistogram-style fixed-shape histogram: values are bucketed by
+//! magnitude with [`SUB_BITS`] bits of sub-bucket resolution, so relative
+//! quantization error is bounded by `2^-SUB_BITS` while the whole `u64`
+//! range is representable. Everything is integer arithmetic over a fixed
+//! bucket layout, so two histograms built from the same value stream are
+//! bit-identical, [`Histogram::merge`] is associative and commutative, and
+//! percentile digests are byte-deterministic across runs and platforms.
+
+/// Sub-bucket resolution bits: each power-of-two magnitude range is split
+/// into `2^SUB_BITS` equal sub-buckets (values below `2^SUB_BITS` are
+/// recorded exactly).
+pub const SUB_BITS: u32 = 4;
+
+/// Number of sub-buckets per magnitude range.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total number of buckets: one exact bucket per value below `2^SUB_BITS`,
+/// then `SUB_COUNT` buckets per remaining magnitude (64 − SUB_BITS of them).
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT;
+
+/// Bucket index for `v`. Values below `2^SUB_BITS` map to themselves;
+/// larger values map by (magnitude, top `SUB_BITS` mantissa bits).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+        (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Highest value that maps into bucket `i` — the representative value
+/// reported by percentile queries (conservative: never under-reports).
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    if i < SUB_COUNT {
+        i as u64
+    } else {
+        let major = (i >> SUB_BITS) as u32; // >= 1
+        let sub = (i & (SUB_COUNT - 1)) as u64;
+        let msb = major + SUB_BITS - 1;
+        let step = 1u64 << (msb - SUB_BITS);
+        let low = (1u64 << msb) + sub * step;
+        low + (step - 1)
+    }
+}
+
+/// A deterministic log-bucketed `u64` histogram.
+///
+/// Records integer observations (cycles, bytes, lengths, …) into a fixed
+/// bucket layout. Supports exact count/sum/min/max, bounded-error
+/// percentiles, and a merge that is associative, commutative and loss-free
+/// (bucket counts add), so per-shard histograms combine into exactly the
+/// histogram of the combined stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` (no-op when `n == 0`).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket. Merging is associative
+    /// and commutative and equals recording both streams into one
+    /// histogram, so shard-then-merge is exact.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at percentile `pct` (clamped to 0..=100): the upper bound of
+    /// the bucket holding the observation of rank `ceil(count·pct/100)`.
+    /// Monotone non-decreasing in `pct`; returns 0 on an empty histogram
+    /// and never exceeds the bucket bound above [`Histogram::max`].
+    pub fn percentile(&self, pct: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = u64::from(pct.min(100));
+        // Rank of the target observation, 1-based; pct == 0 reads rank 1.
+        let rank = ((self.count * pct).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i);
+            }
+        }
+        bucket_high(NUM_BUCKETS - 1)
+    }
+
+    /// The standard digest: `(p50, p90, p99)`.
+    pub fn digest(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50),
+            self.percentile(90),
+            self.percentile(99),
+        )
+    }
+
+    /// Non-empty buckets as `(bucket_upper_bound, count)`, in ascending
+    /// value order — the stable export form.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_high(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..(1 << SUB_BITS) {
+            h.record(v);
+            assert_eq!(bucket_high(bucket_of(v)), v, "value {v} must be exact");
+        }
+        assert_eq!(h.count(), 1 << SUB_BITS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), (1 << SUB_BITS) - 1);
+    }
+
+    #[test]
+    fn bucket_bound_error_is_within_one_sub_bucket() {
+        for &v in &[16u64, 17, 100, 1000, 65_535, 1 << 40, u64::MAX] {
+            let hi = bucket_high(bucket_of(v));
+            assert!(hi >= v, "bucket bound {hi} under-reports {v}");
+            // Relative error bounded by 2^-SUB_BITS.
+            assert!(
+                hi - v <= v >> SUB_BITS,
+                "bucket bound {hi} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = h.digest();
+        assert!((480..=540).contains(&p50), "p50 was {p50}");
+        assert!((880..=960).contains(&p90), "p90 was {p90}");
+        assert!((980..=1060).contains(&p99), "p99 was {p99}");
+        assert_eq!(h.percentile(100), bucket_high(bucket_of(1000)));
+        assert!(h.percentile(100) >= p99);
+        assert_eq!(h.mean(), 500);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(50), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 99, 1 << 20, 7, 7, 12_345] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 500, 1 << 33] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

@@ -409,6 +409,47 @@ mod tests {
     }
 
     #[test]
+    fn decodes_escape_sequences() {
+        let v = parse_json(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\u{8}\u{c}\n\r\t"));
+        // \u escapes: ASCII, BMP, a surrogate pair, and an escaped NUL.
+        let v = parse_json("\"\\u0041\\u00e9\\u2603\\ud83d\\ude00\\u0000\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{e9}\u{2603}\u{1f600}\u{0}"));
+        // Raw (unescaped) UTF-8 passes through untouched.
+        let v = parse_json("\"é☃😀\"").unwrap();
+        assert_eq!(v.as_str(), Some("é☃😀"));
+        // Malformed escapes are rejected, not mangled.
+        assert!(parse_json(r#""\q""#).is_err(), "unknown escape");
+        assert!(parse_json(r#""\u12""#).is_err(), "truncated \\u");
+        assert!(parse_json(r#""\u12g4""#).is_err(), "non-hex \\u digit");
+        assert!(parse_json(r#""\ud800""#).is_err(), "lone high surrogate");
+        assert!(parse_json("\"\\").is_err(), "escape at end of input");
+    }
+
+    #[test]
+    fn deeply_nested_arrays_hit_the_depth_limit() {
+        // Exactly at the limit: parses.
+        // The outermost value parses at depth 0, so MAX_DEPTH+1 nested
+        // arrays still parse; one more trips the guard.
+        let ok_depth = 129;
+        let ok = format!("{}{}", "[".repeat(ok_depth), "]".repeat(ok_depth));
+        assert!(parse_json(&ok).is_ok(), "depth {ok_depth} must parse");
+        // One past: rejected with the depth message, not a stack overflow.
+        let too_deep = format!("{}{}", "[".repeat(ok_depth + 1), "]".repeat(ok_depth + 1));
+        let err = parse_json(&too_deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // Same guard for objects.
+        let mut obj = String::new();
+        for _ in 0..(ok_depth + 1) {
+            obj.push_str("{\"k\":");
+        }
+        obj.push('0');
+        obj.push_str(&"}".repeat(ok_depth + 1));
+        let err = parse_json(&obj).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
     fn exporter_output_round_trips() {
         let events = [
             TraceEvent::span("recovery", "recovery", 1000, 100, 50).with_arg("safe_epoch", 2),

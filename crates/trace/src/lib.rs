@@ -49,6 +49,7 @@
 
 mod chrome;
 mod event;
+mod hist;
 mod json;
 mod metrics;
 
@@ -56,5 +57,6 @@ pub use chrome::chrome_trace_json;
 pub use event::{
     EventKind, MemorySink, SharedSink, TraceEvent, TraceSink, MAX_ARGS, TRACK_ENGINE, TRACK_MEM,
 };
+pub use hist::{Histogram, NUM_BUCKETS, SUB_BITS};
 pub use json::{parse_json, validate_chrome_trace, ChromeSummary, Json};
 pub use metrics::{MetricsRegistry, Sample, Sampler, TimeSeries};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::chrome::push_json_string;
+use crate::hist::Histogram;
 
 /// A flat registry of named `u64` counters/gauges behind hierarchical
 /// dot-separated keys (`core.0.retired`, `ckpt.records`, `mem.l1d.hits`,
@@ -15,6 +16,7 @@ use crate::chrome::push_json_string;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     map: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -61,6 +63,53 @@ impl MetricsRegistry {
     /// True when no key has been registered.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// The histogram registered under `key`, created empty on first use.
+    /// Histogram keys live in the same dot-separated namespace as counters
+    /// (e.g. `profile.retire.cycles`) but in a separate map, because a
+    /// histogram is a distribution, not a scalar.
+    pub fn hist_mut(&mut self, key: &str) -> &mut Histogram {
+        self.hists.entry(key.to_owned()).or_default()
+    }
+
+    /// Records `value` into the histogram under `key` (created on first
+    /// use).
+    pub fn record_hist(&mut self, key: &str, value: u64) {
+        self.hist_mut(key).record(value);
+    }
+
+    /// The histogram under `key`, if one has been registered.
+    pub fn hist(&self, key: &str) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// Key/histogram pairs in lexicographic key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Projects every registered histogram into scalar counters —
+    /// `<key>.count`, `<key>.p50`, `<key>.p90`, `<key>.p99`, `<key>.max` —
+    /// so digests ride along in [`Sample`] snapshots and JSONL/Chrome
+    /// counter exports. Idempotent between recordings; call before
+    /// sampling or exporting.
+    pub fn publish_hist_digests(&mut self) {
+        let digests: Vec<(String, u64, u64, u64, u64, u64)> = self
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let (p50, p90, p99) = h.digest();
+                (k.clone(), h.count(), p50, p90, p99, h.max())
+            })
+            .collect();
+        for (k, count, p50, p90, p99, max) in digests {
+            self.set(&format!("{k}.count"), count);
+            self.set(&format!("{k}.p50"), p50);
+            self.set(&format!("{k}.p90"), p90);
+            self.set(&format!("{k}.p99"), p99);
+            self.set(&format!("{k}.max"), max);
+        }
     }
 }
 

@@ -86,10 +86,12 @@ pub fn generate(bench: Benchmark, cfg: &WorkloadConfig) -> Program {
     let mut b = ProgramBuilder::new(threads as usize);
     b.set_mem_bytes(shared_bytes + u64::from(threads) * region_bytes);
 
+    let mut labels: Vec<Vec<(u32, String)>> = Vec::with_capacity(threads as usize);
     for t in 0..threads {
         let input_base = shared_bytes + u64::from(t) * region_bytes;
         let out_base = input_base + u64::from(spec.input_words) * 8;
         let tb = b.thread(t);
+        let mut regions = vec![(tb.here(), "init".to_owned())];
         tb.imm(regs::ZERO, 0);
         tb.imm(regs::SHARED, 0);
         tb.imm(regs::INPUT, input_base);
@@ -100,6 +102,7 @@ pub fn generate(bench: Benchmark, cfg: &WorkloadConfig) -> Program {
         tb.barrier();
 
         for (pi, phase) in spec.phases.iter().enumerate() {
+            regions.push((tb.here(), format!("phase{pi}.{}", phase.name)));
             emit_phase(
                 tb,
                 phase,
@@ -113,8 +116,12 @@ pub fn generate(bench: Benchmark, cfg: &WorkloadConfig) -> Program {
             tb.barrier();
         }
         tb.halt();
+        labels.push(regions);
     }
-    let p = b.build();
+    let mut p = b.build();
+    for (t, regions) in labels.into_iter().enumerate() {
+        p.set_thread_labels(t as u32, regions);
+    }
     p.validate().expect("generated program is well-formed");
     p
 }

@@ -6,14 +6,19 @@
 //! under injected recoverable faults with the trace sink attached and
 //! exports a Chrome `trace_event` JSON (loadable in Perfetto /
 //! `chrome://tracing`) plus optional interval-sampled metrics as JSONL.
+//! The `profile` subcommand runs the same faulted execution with the
+//! attribution profiler and the omission-decision ledger attached and
+//! exports a collapsed-stack flamegraph (speedscope / inferno) plus a
+//! ledger text report — byte-identical for a given seed.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use acr::{Experiment, ExperimentSpec};
-use acr_ckpt::{CampaignConfig, CaseOutcome, Scheme};
+use acr_ckpt::{CampaignConfig, CaseOutcome, OmitReason, Scheme};
 use acr_mem::CoreId;
 use acr_sim::{Fault, FaultKind, FaultKindSet};
-use acr_trace::{chrome_trace_json, SharedSink};
+use acr_trace::{chrome_trace_json, SharedSink, TraceEvent, TRACK_ENGINE};
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -22,6 +27,9 @@ acr_cli — ACR (Amnesic Checkpointing and Recovery) reproduction driver
 USAGE:
     acr_cli inject [OPTIONS]     run a deterministic fault-injection campaign
     acr_cli trace [OPTIONS]      trace one ACR run under injected faults
+    acr_cli profile [OPTIONS]    attribution-profile one ACR run: per-PC cycle
+                                 accounting, omission-decision ledger,
+                                 flamegraph export
     acr_cli workloads            list the bundled workloads
     acr_cli help                 show this message
 
@@ -57,6 +65,22 @@ TRACE OPTIONS:
     --checkpoints N   checkpoints per nominal run (default 12)
     --scheme S        global | local (default global)
     --detail FLAG     on | off — per-store/assoc/miss instants (default off)
+
+PROFILE OPTIONS:
+    --workload W      workload to profile (default cg)
+    --seed N          fault-placement seed (default 42)
+    --faults N        recoverable register faults to inject (default 1)
+    --threads N       cores == threads (default 2)
+    --scale F         workload scale factor (default 0.05)
+    --checkpoints N   checkpoints per nominal run (default 12)
+    --scheme S        global | local (default global)
+    --flame-out F     collapsed-stack flamegraph output, loadable in
+                      speedscope / inferno (default run.folded)
+    --ledger-out F    omission-decision ledger text output
+                      (default run.ledger.txt)
+    --trace-out F     also write a Chrome trace with the profile and
+                      ledger counter tracks appended
+    --top N           hottest attribution sites to print (default 10)
 
 Every quantity the campaign reports is derived from the seeded plan and
 the deterministic simulator — two invocations with the same options
@@ -470,6 +494,286 @@ fn trace(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+struct ProfileArgs {
+    workload: Benchmark,
+    seed: u64,
+    faults: u32,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    scheme: Scheme,
+    flame_out: String,
+    ledger_out: String,
+    trace_out: Option<String>,
+    top: usize,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        ProfileArgs {
+            workload: Benchmark::Cg,
+            seed: 42,
+            faults: 1,
+            threads: 2,
+            scale: 0.05,
+            checkpoints: 12,
+            scheme: Scheme::GlobalCoordinated,
+            flame_out: "run.folded".to_owned(),
+            ledger_out: "run.ledger.txt".to_owned(),
+            trace_out: None,
+            top: 10,
+        }
+    }
+}
+
+fn parse_profile(args: &[String]) -> Result<ProfileArgs, String> {
+    let mut out = ProfileArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--workload" => {
+                out.workload = Benchmark::from_name(value.trim())
+                    .ok_or_else(|| format!("unknown workload `{value}`"))?;
+            }
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => {
+                out.faults = value.parse().map_err(|e| format!("--faults: {e}"))?;
+                if out.faults == 0 {
+                    return Err("--faults must be positive".into());
+                }
+            }
+            "--threads" => {
+                out.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--scale" => out.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--checkpoints" => {
+                out.checkpoints = value.parse().map_err(|e| format!("--checkpoints: {e}"))?;
+            }
+            "--scheme" => {
+                out.scheme = match value.as_str() {
+                    "global" => Scheme::GlobalCoordinated,
+                    "local" => Scheme::LocalCoordinated,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                };
+            }
+            "--flame-out" => out.flame_out = value.clone(),
+            "--ledger-out" => out.ledger_out = value.clone(),
+            "--trace-out" => out.trace_out = Some(value.clone()),
+            "--top" => out.top = value.parse().map_err(|e| format!("--top: {e}"))?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// Sanitizes a region label for the collapsed-stack format (frames are
+/// `;`-separated, samples end at the first space).
+fn flame_frame(label: &str) -> String {
+    label.replace([';', ' '], "_")
+}
+
+/// Renders the per-PC profile as collapsed stacks:
+/// `workload;tN;region;class;pc_0x… ticks`, one line per attribution
+/// site, in `(core, pc)` order — loadable in speedscope or inferno.
+fn collapsed_stacks(
+    workload: &str,
+    program: &acr_isa::Program,
+    prof: &acr_sim::PcProfile,
+) -> String {
+    let mut out = String::new();
+    for ((core, pc), c) in prof.iter() {
+        if c.ticks == 0 {
+            continue;
+        }
+        let region = flame_frame(program.label_at(*core, *pc).unwrap_or("code"));
+        let class = if c.mem_ticks > 0 { "mem" } else { "cpu" };
+        let _ = writeln!(
+            out,
+            "{workload};t{core};{region};{class};pc_0x{pc:x} {}",
+            c.ticks
+        );
+    }
+    out
+}
+
+/// Renders the omission-decision ledger as a deterministic text report:
+/// reason totals, the per-4-KiB-range split, per-Slice omission counts and
+/// per-Slice replay cost (cycles plus pJ from the energy model).
+fn ledger_report(
+    workload: &str,
+    seed: u64,
+    ledger: &acr_ckpt::DecisionLedger,
+    energy: &acr_energy::EnergyModel,
+) -> String {
+    let mut out = String::new();
+    let total = ledger.total_decisions();
+    let _ = writeln!(out, "# omission-decision ledger: {workload} seed {seed}");
+    let _ = writeln!(
+        out,
+        "decisions {total}  logged {}  omitted {}",
+        ledger.total_logged(),
+        ledger.total_omitted()
+    );
+    for reason in OmitReason::ALL {
+        let n = ledger.total(reason);
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / total as f64
+        };
+        let _ = writeln!(out, "  {:<24} {n:>10}  {pct:>5.1}%", reason.code());
+    }
+    let _ = writeln!(
+        out,
+        "# per 4 KiB range: base {}",
+        OmitReason::ALL.map(OmitReason::code).join(" ")
+    );
+    for (base, counts) in ledger.ranges() {
+        let _ = write!(out, "range {base:#012x}");
+        for n in counts {
+            let _ = write!(out, " {n}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# per-slice omissions");
+    for (slice, n) in ledger.per_slice() {
+        let _ = writeln!(out, "slice {} omitted {n}", slice.0);
+    }
+    let _ = writeln!(out, "# per-slice replay cost");
+    for (slice, rc) in ledger.replays() {
+        let pj = rc.alu_ops as f64 * energy.alu_pj + rc.opbuf_reads as f64 * energy.opbuf_pj;
+        let _ = writeln!(
+            out,
+            "slice {} replays {} cycles {} alu {} opbuf {} energy_pj {pj:.1}",
+            slice.0, rc.replays, rc.cycles, rc.alu_ops, rc.opbuf_reads
+        );
+    }
+    out
+}
+
+fn profile(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_profile(args)?;
+    let program = generate(
+        a.workload,
+        &WorkloadConfig::default()
+            .with_threads(a.threads)
+            .with_scale(a.scale),
+    );
+    let (sink, events) = SharedSink::memory();
+    let mut spec = ExperimentSpec::default()
+        .with_cores(a.threads)
+        .with_checkpoints(a.checkpoints)
+        .with_threshold(a.workload.default_threshold())
+        .with_scheme(a.scheme)
+        .with_profile(true);
+    if a.trace_out.is_some() {
+        spec = spec.with_trace(sink).with_sample_interval(5000);
+    }
+    let mut exp =
+        Experiment::new(program, spec).map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let total = exp
+        .total_work()
+        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let faults = planned_faults(a.seed, a.faults, total, a.threads);
+    let result = exp
+        .run_reckpt_faulted(faults)
+        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
+    let prof = result.profile.as_ref().expect("profiling was enabled");
+    let ledger = result.ledger.as_ref().expect("profiling was enabled");
+    let (logged, omitted) = result.log_totals.expect("profiling was enabled");
+
+    // Conservation: the ledger classified every first-update decision,
+    // and its logged/omitted split matches the log controller's word
+    // totals. A violation is an attribution bug, not a user error.
+    assert_eq!(
+        ledger.total_decisions(),
+        logged + omitted,
+        "ledger decisions must equal words logged + omitted"
+    );
+    assert_eq!(ledger.total_omitted(), omitted);
+
+    let energy = exp.spec().energy;
+    let (iprog, _) = exp.instrumented();
+    let flame = collapsed_stacks(a.workload.name(), iprog, prof);
+    std::fs::write(&a.flame_out, &flame).map_err(|e| format!("{}: {e}", a.flame_out))?;
+    let ledger_txt = ledger_report(a.workload.name(), a.seed, ledger, &energy);
+    std::fs::write(&a.ledger_out, &ledger_txt).map_err(|e| format!("{}: {e}", a.ledger_out))?;
+
+    println!(
+        "profiled {} ({}): {} cycles, {} attribution sites, {} retires",
+        a.workload.name(),
+        result.label,
+        result.cycles,
+        prof.len(),
+        prof.total_retires(),
+    );
+    let (p50, p90, p99) = prof.tick_histogram().digest();
+    println!("  retire ticks p50 {p50} p90 {p90} p99 {p99}");
+    println!(
+        "  decisions {}: {} omitted, {} logged",
+        ledger.total_decisions(),
+        omitted,
+        logged
+    );
+
+    // Hottest sites by attributed ticks (ties broken by site order).
+    let mut sites: Vec<_> = prof.iter().collect();
+    sites.sort_by(|a, b| b.1.ticks.cmp(&a.1.ticks).then(a.0.cmp(b.0)));
+    println!(
+        "  {:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
+        "core", "pc", "region", "retires", "ticks", "mem", "stall"
+    );
+    for ((core, pc), c) in sites.into_iter().take(a.top) {
+        println!(
+            "  {core:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
+            format!("0x{pc:x}"),
+            iprog.label_at(*core, *pc).unwrap_or("code"),
+            c.retires,
+            c.ticks,
+            c.mem_ticks,
+            c.stall_ticks
+        );
+    }
+    println!("  flamegraph -> {}", a.flame_out);
+    println!("  ledger -> {}", a.ledger_out);
+
+    if let Some(path) = &a.trace_out {
+        let report = result.report.as_ref().expect("engine runs carry a report");
+        let mut recorded = events.borrow().events().to_vec();
+        // Ledger reason totals as one counter track per reason, stamped
+        // at the end of the run, plus the retire-latency digest.
+        for reason in OmitReason::ALL {
+            recorded.push(
+                TraceEvent::counter(reason.code(), "ledger", TRACK_ENGINE, result.cycles)
+                    .with_arg("words", ledger.total(reason)),
+            );
+        }
+        recorded.push(
+            TraceEvent::counter(
+                "profile.retire.ticks",
+                "profile",
+                TRACK_ENGINE,
+                result.cycles,
+            )
+            .with_arg("p50", p50)
+            .with_arg("p90", p90)
+            .with_arg("p99", p99),
+        );
+        let json = chrome_trace_json(&recorded, Some(&report.series));
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("  trace -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -481,6 +785,13 @@ fn main() -> ExitCode {
             }
         },
         Some("trace") => match trace(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("profile") => match profile(&args[1..]) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -107,6 +107,7 @@ fn apply(policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op],
                 policy.on_assoc(
                     &AssocEvent {
                         core: CoreId(core),
+                        pc: 0,
                         addr: WordAddr::new(a),
                         value: input.wrapping_add(u64::from(slice)),
                         slice: SliceId(slice),

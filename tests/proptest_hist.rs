@@ -1,0 +1,115 @@
+//! Property tests for the deterministic log-bucketed `Histogram`
+//! (`acr_trace::Histogram`), driven by the in-tree `forall` harness:
+//! merge associativity/commutativity, percentile monotonicity, and
+//! record/count conservation.
+
+use acr_rng::check::forall;
+use acr_rng::SmallRng;
+use acr_trace::Histogram;
+
+/// Random value with magnitude spread across the whole `u64` range, so the
+/// log buckets (not just the exact small-value region) are exercised.
+fn gen_value(rng: &mut SmallRng) -> u64 {
+    let bits = rng.gen_range(0..64u32);
+    rng.next_u64() >> bits
+}
+
+fn gen_hist(rng: &mut SmallRng, max_records: u32) -> Histogram {
+    let n = rng.gen_range(0..=max_records);
+    let mut h = Histogram::new();
+    for _ in 0..n {
+        h.record(gen_value(rng));
+    }
+    h
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    forall("hist_merge_assoc", 64, 0x6869_7374, |rng| {
+        let a = gen_hist(rng, 40);
+        let b = gen_hist(rng, 40);
+        let c = gen_hist(rng, 40);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right, "merge must be associative");
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+    });
+}
+
+#[test]
+fn percentiles_are_monotone_in_rank() {
+    forall("hist_pct_monotone", 64, 0x9c7_1e55, |rng| {
+        let h = gen_hist(rng, 100);
+        let mut prev = 0u64;
+        for pct in 0..=100u32 {
+            let v = h.percentile(pct);
+            assert!(
+                v >= prev,
+                "percentile({pct}) = {v} < percentile({}) = {prev}",
+                pct - 1
+            );
+            prev = v;
+        }
+        // The top percentile never exceeds the bucket bound above max.
+        if h.count() > 0 {
+            assert!(h.percentile(100) >= h.max());
+        }
+    });
+}
+
+#[test]
+fn record_count_is_conserved() {
+    forall("hist_conservation", 64, 0xc0_c5e2, |rng| {
+        let n = rng.gen_range(0..200u32);
+        let mut h = Histogram::new();
+        let mut expect_sum = 0u64;
+        for _ in 0..n {
+            let v = gen_value(rng);
+            h.record(v);
+            expect_sum = expect_sum.saturating_add(v);
+        }
+        assert_eq!(h.count(), u64::from(n), "count must equal records made");
+        assert_eq!(h.sum(), expect_sum, "sum must equal the summed stream");
+        let bucket_total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, h.count(), "bucket counts must sum to count");
+
+        // Merging two shards conserves counts exactly.
+        let other = gen_hist(rng, 50);
+        let merged_count = h.count() + other.count();
+        h.merge(&other);
+        assert_eq!(h.count(), merged_count);
+        let bucket_total: u64 = h.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, merged_count);
+    });
+}
+
+#[test]
+fn same_stream_gives_identical_histograms() {
+    forall("hist_determinism", 16, 7, |rng| {
+        let values: Vec<u64> = (0..64).map(|_| gen_value(rng)).collect();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &values {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    });
+}
