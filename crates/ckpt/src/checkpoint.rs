@@ -22,9 +22,52 @@ pub struct CheckpointRecord {
     /// Shadow copy of functional memory (oracle only; zero simulated
     /// cost).
     pub shadow_mem: Option<Vec<u64>>,
+    /// Integrity checksum over the architectural snapshot and epoch
+    /// binding, sealed when the commit completes. A crash inside the
+    /// commit window leaves a generation whose stored checksum no longer
+    /// matches — a *torn commit* — which recovery detects with
+    /// [`CheckpointRecord::verify`] before trusting the generation.
+    pub check: u64,
 }
 
 impl CheckpointRecord {
+    /// Computes the integrity checksum of the checkpoint's restorable
+    /// content: FNV-1a over `begins_epoch`, `progress` and every core's
+    /// architectural snapshot. The shadow memory is oracle-only state and
+    /// deliberately excluded.
+    pub fn compute_check(begins_epoch: u64, progress: u64, arch: &[CoreSnapshot]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+        };
+        mix(begins_epoch);
+        mix(progress);
+        for snap in arch {
+            for &r in &snap.regs {
+                mix(r);
+            }
+            mix(u64::from(snap.pc));
+            mix(u64::from(snap.halted) | u64::from(snap.at_barrier) << 1);
+            mix(snap.retired);
+        }
+        h
+    }
+
+    /// Seals the commit: stamps the checksum over the current content.
+    pub fn seal(&mut self) {
+        self.check = Self::compute_check(self.begins_epoch, self.progress, &self.arch);
+    }
+
+    /// Whether the generation's content still matches the checksum sealed
+    /// at commit time. `false` means the commit was torn (or the snapshot
+    /// corrupted after the fact) and the generation must not be restored.
+    pub fn verify(&self) -> bool {
+        self.check == Self::compute_check(self.begins_epoch, self.progress, &self.arch)
+    }
+
     /// Bytes of architectural state this checkpoint recorded (register
     /// files + pc words of the cores in `mask`).
     pub fn arch_bytes(mask: u64, num_cores: usize) -> u64 {
@@ -44,5 +87,33 @@ mod tests {
             3 * CoreSnapshot::BYTES
         );
         assert_eq!(CheckpointRecord::arch_bytes(0, 4), 0);
+    }
+
+    #[test]
+    fn sealed_checkpoint_verifies_until_torn() {
+        let snap = CoreSnapshot {
+            regs: [0; acr_isa::NUM_REGS],
+            pc: 0,
+            halted: false,
+            at_barrier: false,
+            retired: 0,
+        };
+        let mut ckpt = CheckpointRecord {
+            begins_epoch: 3,
+            progress: 1000,
+            cycles: 5000,
+            arch: vec![snap.clone(), snap],
+            groups: vec![u64::MAX],
+            shadow_mem: None,
+            check: 0,
+        };
+        ckpt.seal();
+        assert!(ckpt.verify());
+        // Shadow memory is oracle-only: attaching it does not invalidate.
+        ckpt.shadow_mem = Some(vec![1, 2, 3]);
+        assert!(ckpt.verify());
+        // A torn commit leaves arch state inconsistent with the checksum.
+        ckpt.arch[1].regs[7] ^= 1 << 42;
+        assert!(!ckpt.verify());
     }
 }

@@ -1,4 +1,68 @@
-//! Error-rate models (Fig. 1 of the paper).
+//! Error-rate models (Fig. 1 of the paper) and typed configuration
+//! errors for the user-reachable campaign surface.
+
+use std::fmt;
+
+/// A malformed campaign or engine configuration, reported to the user as
+/// a message instead of a panic backtrace. Internal invariant violations
+/// stay as panics; everything a CLI flag or caller-supplied config can
+/// trigger goes through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkptError {
+    /// Detection latency fraction outside `[0, 1]` — the paper assumes
+    /// detection no later than one checkpoint period after occurrence.
+    InvalidLatency {
+        /// The rejected fraction.
+        frac: f64,
+    },
+    /// A campaign with zero cases was requested.
+    EmptyCampaign,
+    /// The kind set enables no fault that can actually be injected (e.g.
+    /// only `mem` with an empty written working set).
+    NoInjectableKind {
+        /// The kind selection as requested.
+        requested: String,
+    },
+    /// The program retires too few instructions to place a fault in
+    /// `[1, total)`.
+    ProgramTooShort {
+        /// Total retired instructions of the fault-free run.
+        total: u64,
+    },
+    /// The requested feature combination is not supported.
+    Unsupported {
+        /// What was requested and why it is rejected.
+        what: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::InvalidLatency { frac } => write!(
+                f,
+                "detection latency fraction {frac} must be within [0, 1] \
+                 (at most one checkpoint period)"
+            ),
+            CkptError::EmptyCampaign => {
+                write!(f, "campaign must plan at least one fault case")
+            }
+            CkptError::NoInjectableKind { requested } => write!(
+                f,
+                "no injectable fault kind: `{requested}` selects nothing \
+                 the target program can be corrupted with"
+            ),
+            CkptError::ProgramTooShort { total } => write!(
+                f,
+                "program too short to inject into ({total} retired \
+                 instructions; need at least 2)"
+            ),
+            CkptError::Unsupported { what } => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
 
 /// Relative per-bit soft-error rate after `generations` technology
 /// generations, assuming the 8 %/bit/generation degradation the paper's

@@ -27,15 +27,25 @@ use std::fmt;
 use acr_isa::interp::{ExecError, Interp};
 use acr_isa::{Program, Reg, ThreadId, NUM_REGS};
 use acr_sim::{
-    Fault, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, Machine, MachineConfig, SimError,
-    StoreCensus,
+    Fault, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, Machine, MachineConfig,
+    RecoveryFault, RecoveryFaultKind, SimError, StoreCensus,
 };
 
 use acr_trace::TimeSeries;
 
-use crate::engine::{BerConfig, BerEngine, Scheme};
+use crate::engine::{BerConfig, BerEngine, ResilienceConfig, Scheme};
+use crate::errors::CkptError;
 use crate::policy::OmissionPolicy;
 use crate::schedule::{uniform_points, ErrorSchedule};
+
+/// Recovery-fault kind labels, in rendering order (escalation histogram).
+const RECOVERY_FAULT_LABELS: [&str; 5] = [
+    "replay-input",
+    "restored-word",
+    "torn-record",
+    "crash-mid-restore",
+    "torn-commit",
+];
 
 /// Campaign parameters. Everything that affects the outcome is in here —
 /// two campaigns with equal configs over the same program are
@@ -60,6 +70,16 @@ pub struct CampaignConfig {
     /// run (0 = sampling off). The sampled series is purely observational:
     /// it never changes case outcomes or the campaign content hash.
     pub sample_interval: u64,
+    /// Nested-fault mode: additionally strike each case's first recovery
+    /// with a deterministic recovery-window fault
+    /// ([`RecoveryFault::planned`]) and record the engine's escalation
+    /// response. Extends the content hash with the per-case escalation
+    /// data; plain campaigns hash exactly as before.
+    pub recovery_faults: bool,
+    /// Checkpoint generations the engine retains as fallbacks (≥ 1).
+    /// Raised to at least 2 automatically in nested-fault mode so a
+    /// torn-commit case has a generation to fall back to.
+    pub generations: u32,
 }
 
 impl Default for CampaignConfig {
@@ -73,13 +93,17 @@ impl Default for CampaignConfig {
             scheme: Scheme::GlobalCoordinated,
             interp_fuel: 1 << 32,
             sample_interval: 0,
+            recovery_faults: false,
+            generations: 1,
         }
     }
 }
 
 /// Why a campaign could not even start (per-case failures never abort the
 /// campaign — they are recorded as [`CaseOutcome::Aborted`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Eq` is withheld because [`CkptError::InvalidLatency`] carries the
+/// rejected `f64`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
     /// The fault-free timing run failed: the workload itself is broken.
     Sim(SimError),
@@ -91,6 +115,9 @@ pub enum CampaignError {
         /// Number of differing memory words.
         words: u64,
     },
+    /// The campaign configuration is malformed (user-reachable: CLI flags
+    /// map straight onto [`CampaignConfig`]).
+    Config(CkptError),
 }
 
 impl fmt::Display for CampaignError {
@@ -102,11 +129,18 @@ impl fmt::Display for CampaignError {
                 f,
                 "fault-free run disagrees with the reference interpreter on {words} words"
             ),
+            CampaignError::Config(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CampaignError {}
+
+impl From<CkptError> for CampaignError {
+    fn from(e: CkptError) -> Self {
+        CampaignError::Config(e)
+    }
+}
 
 /// How one injected fault ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +206,17 @@ pub struct FaultCaseRecord {
     /// [`CampaignReport::csv`] so the pinned campaign content hash stays
     /// stable across releases; the CLI prints it per diverged case.
     pub landing_cycle: u64,
+    /// The recovery-window fault injected into this case's first recovery
+    /// (nested-fault mode only). Hashes through the escalation section,
+    /// never [`CampaignReport::csv`], so plain campaign hashes are
+    /// untouched.
+    pub recovery_fault: Option<RecoveryFaultKind>,
+    /// Recovery re-replay attempts across the case's recoveries.
+    pub replay_retries: u64,
+    /// Checkpoint-generation fallbacks across the case's recoveries.
+    pub generation_fallbacks: u64,
+    /// Times the case's engine entered degraded full-logging mode.
+    pub degraded_entries: u64,
     /// Verdict.
     pub outcome: CaseOutcome,
 }
@@ -274,6 +319,49 @@ impl CampaignReport {
         self.cases.iter().map(|c| c.recompute_alu_ops).sum()
     }
 
+    /// Recovery re-replay attempts, summed (escalation rung 1).
+    pub fn replay_retries(&self) -> u64 {
+        self.cases.iter().map(|c| c.replay_retries).sum()
+    }
+
+    /// Checkpoint-generation fallbacks, summed (escalation rung 2).
+    pub fn generation_fallbacks(&self) -> u64 {
+        self.cases.iter().map(|c| c.generation_fallbacks).sum()
+    }
+
+    /// Degraded full-logging entries, summed (escalation rung 3).
+    pub fn degraded_entries(&self) -> u64 {
+        self.cases.iter().map(|c| c.degraded_entries).sum()
+    }
+
+    /// Whether any case carried a recovery-window fault (nested-fault
+    /// mode).
+    pub fn has_recovery_faults(&self) -> bool {
+        self.cases.iter().any(|c| c.recovery_fault.is_some())
+    }
+
+    /// Per-case escalation CSV (nested-fault mode; header included).
+    /// Appended to the content hash only when recovery faults were
+    /// injected, so plain campaign hashes are bit-identical to releases
+    /// without this section.
+    pub fn escalation_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("case,recovery_fault,replay_retries,generation_fallbacks,degraded\n");
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                c.case,
+                c.recovery_fault.map_or("-", |k| k.label()),
+                c.replay_retries,
+                c.generation_fallbacks,
+                c.degraded_entries,
+            );
+        }
+        out
+    }
+
     /// Per-case CSV (header included).
     pub fn csv(&self) -> String {
         use std::fmt::Write as _;
@@ -316,7 +404,12 @@ impl CampaignReport {
     pub fn content_hash(&self) -> u64 {
         let head = format!("{},{},{}\n", self.seed, self.total_progress, self.num_cores);
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in head.bytes().chain(self.csv().bytes()) {
+        let esc = if self.has_recovery_faults() {
+            self.escalation_csv()
+        } else {
+            String::new()
+        };
+        for b in head.bytes().chain(self.csv().bytes()).chain(esc.bytes()) {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0100_0000_01b3);
         }
@@ -379,6 +472,33 @@ impl CampaignReport {
                 let _ = writeln!(out, "  {label}: {ok}/{total} recovered");
             }
         }
+        if self.has_recovery_faults() {
+            let _ = writeln!(
+                out,
+                "  escalation: replay_retries {}  generation_fallbacks {}  degraded_entries {}",
+                self.replay_retries(),
+                self.generation_fallbacks(),
+                self.degraded_entries()
+            );
+            for label in RECOVERY_FAULT_LABELS {
+                let total = self
+                    .cases
+                    .iter()
+                    .filter(|c| c.recovery_fault.map(|k| k.label()) == Some(label))
+                    .count() as u64;
+                let ok = self
+                    .cases
+                    .iter()
+                    .filter(|c| {
+                        c.recovery_fault.map(|k| k.label()) == Some(label)
+                            && c.outcome == CaseOutcome::Recovered
+                    })
+                    .count() as u64;
+                if total > 0 {
+                    let _ = writeln!(out, "  recovery-fault {label}: {ok}/{total} recovered");
+                }
+            }
+        }
         let _ = writeln!(out, "  content_hash {:#018x}", self.content_hash());
         out
     }
@@ -404,6 +524,25 @@ where
     P: OmissionPolicy,
     F: FnMut() -> P,
 {
+    // Malformed configurations get typed errors before any work runs.
+    if cfg.count == 0 {
+        return Err(CkptError::EmptyCampaign.into());
+    }
+    if !(0.0..=1.0).contains(&cfg.detection_latency_frac) {
+        return Err(CkptError::InvalidLatency {
+            frac: cfg.detection_latency_frac,
+        }
+        .into());
+    }
+    if cfg.recovery_faults && cfg.scheme != Scheme::GlobalCoordinated {
+        return Err(CkptError::Unsupported {
+            what: "recovery faults require the global coordinated scheme \
+                   (per-group rollback has no single safe generation to tear)"
+                .to_string(),
+        }
+        .into());
+    }
+
     // Fault-free reference: the ISA interpreter, an implementation
     // independent of the timing simulator.
     let mut interp = Interp::new(program);
@@ -441,6 +580,35 @@ where
     }
     let total = base.total_retired();
     let num_cores = machine.num_cores;
+    if total < 2 {
+        return Err(CkptError::ProgramTooShort { total }.into());
+    }
+    let mem_targets = census.into_targets();
+    // Mirror the plan generator's injectability rules with a typed error:
+    // memory flips need a non-empty written working set to land on.
+    let injectable = cfg.kinds.reg
+        || cfg.kinds.pc
+        || cfg.kinds.crash
+        || (cfg.kinds.mem && !mem_targets.is_empty());
+    if !injectable {
+        let mut requested: Vec<&str> = Vec::new();
+        if cfg.kinds.reg {
+            requested.push("reg");
+        }
+        if cfg.kinds.pc {
+            requested.push("pc");
+        }
+        if cfg.kinds.mem {
+            requested.push("mem");
+        }
+        if cfg.kinds.crash {
+            requested.push("crash");
+        }
+        return Err(CkptError::NoInjectableKind {
+            requested: requested.join(","),
+        }
+        .into());
+    }
 
     let plan = FaultPlan::generate(&FaultPlanConfig {
         seed: cfg.seed,
@@ -448,7 +616,7 @@ where
         kinds: cfg.kinds,
         total_progress: total,
         cores: num_cores,
-        mem_targets: census.into_targets(),
+        mem_targets,
     });
 
     let period = total / (u64::from(cfg.num_checkpoints) + 1);
@@ -458,6 +626,19 @@ where
 
     let mut cases = Vec::with_capacity(plan.faults.len());
     for (i, &fault) in plan.faults.iter().enumerate() {
+        let resilience = if cfg.recovery_faults {
+            ResilienceConfig {
+                generations: cfg.generations.max(2),
+                recovery_faults: RecoveryFault::planned(cfg.seed, i as u32),
+                ..Default::default()
+            }
+        } else {
+            ResilienceConfig {
+                generations: cfg.generations.max(1),
+                ..Default::default()
+            }
+        };
+        let recovery_fault = resilience.recovery_faults.first().map(|f| f.kind);
         let ber = BerConfig {
             scheme: cfg.scheme,
             triggers: uniform_points(total, cfg.num_checkpoints),
@@ -468,6 +649,7 @@ where
             oracle: true,
             secondary: None,
             faults: vec![fault],
+            resilience,
         };
         let m = Machine::new(machine, program);
         let mut engine = BerEngine::new(m, policy(), ber);
@@ -512,6 +694,10 @@ where
                     waste_cycles: report.recoveries.iter().map(|r| r.waste_cycles).sum(),
                     cycles: report.cycles,
                     landing_cycle: report.fault_landing_cycles.first().copied().unwrap_or(0),
+                    recovery_fault,
+                    replay_retries: report.replay_retries,
+                    generation_fallbacks: report.generation_fallbacks,
+                    degraded_entries: report.degraded_entries,
                     outcome: if converged {
                         CaseOutcome::Recovered
                     } else {
@@ -535,6 +721,10 @@ where
                 waste_cycles: 0,
                 cycles: 0,
                 landing_cycle: 0,
+                recovery_fault,
+                replay_retries: 0,
+                generation_fallbacks: 0,
+                degraded_entries: 0,
                 outcome: CaseOutcome::Aborted,
             },
         };
@@ -629,6 +819,112 @@ mod tests {
         assert_eq!(a.csv(), b.csv());
         let c = campaign(15, FaultKindSet::all(), 43);
         assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn malformed_configs_get_typed_errors() {
+        let p = kernel(1, 60);
+        let m = MachineConfig::with_cores(1);
+
+        let cfg = CampaignConfig {
+            count: 0,
+            ..CampaignConfig::default()
+        };
+        let err = run_campaign(&p, m, &cfg, || NoOmission).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::Config(CkptError::EmptyCampaign)
+        ));
+
+        let cfg = CampaignConfig {
+            detection_latency_frac: 1.5,
+            ..CampaignConfig::default()
+        };
+        let err = run_campaign(&p, m, &cfg, || NoOmission).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::Config(CkptError::InvalidLatency { .. })
+        ));
+
+        let cfg = CampaignConfig {
+            recovery_faults: true,
+            scheme: Scheme::LocalCoordinated,
+            ..CampaignConfig::default()
+        };
+        let err = run_campaign(&p, m, &cfg, || NoOmission).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::Config(CkptError::Unsupported { .. })
+        ));
+        // Typed errors render as messages, never panic backtraces.
+        assert!(err.to_string().contains("global coordinated"));
+    }
+
+    #[test]
+    fn storeless_program_cannot_take_mem_faults() {
+        let mut b = ProgramBuilder::new(1);
+        b.set_mem_bytes(1 << 12);
+        let tb = b.thread(0);
+        let l = tb.begin_loop(Reg(1), Reg(2), 50);
+        tb.alui(AluOp::Add, Reg(3), Reg(1), 1);
+        tb.end_loop(l);
+        tb.halt();
+        let p = b.build();
+        let cfg = CampaignConfig {
+            count: 5,
+            kinds: FaultKindSet {
+                reg: false,
+                pc: false,
+                mem: true,
+                crash: false,
+            },
+            ..CampaignConfig::default()
+        };
+        let err = run_campaign(&p, MachineConfig::with_cores(1), &cfg, || NoOmission).unwrap_err();
+        match err {
+            CampaignError::Config(CkptError::NoInjectableKind { requested }) => {
+                assert_eq!(requested, "mem");
+            }
+            other => panic!("expected NoInjectableKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_fault_campaign_recovers_and_hashes_deterministically() {
+        let p = kernel(2, 60);
+        let m = MachineConfig::with_cores(2);
+        let cfg = CampaignConfig {
+            seed: 42,
+            count: 12,
+            kinds: FaultKindSet::recoverable(),
+            num_checkpoints: 5,
+            recovery_faults: true,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+        assert!(a.has_recovery_faults());
+        assert_eq!(a.recovered(), 12, "{}", a.summary());
+        assert_eq!(a.divergent_words(), 0);
+        assert_eq!(a.aborted(), 0);
+        // The nested faults actually bit: escalation is visible, not silent.
+        assert!(
+            a.replay_retries() + a.generation_fallbacks() > 0,
+            "{}",
+            a.summary()
+        );
+        let b = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.escalation_csv(), b.escalation_csv());
+        // The escalation section extends the hash relative to a plain
+        // campaign over the same seed.
+        let plain_cfg = CampaignConfig {
+            recovery_faults: false,
+            ..cfg.clone()
+        };
+        let plain = run_campaign(&p, m, &plain_cfg, || NoOmission).expect("campaign runs");
+        assert!(!plain.has_recovery_faults());
+        assert_ne!(a.content_hash(), plain.content_hash());
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //!   ([`DecisionLedger::replays`]).
 //!
 //! **Conservation invariant**: the per-reason counts sum exactly to the
-//! number of first-update decisions taken — equal to the engine's
-//! omission-lookup count and to the log controller's lifetime
-//! logged + omitted totals. A word is never double-counted and never
-//! dropped. Recording is purely observational (no simulated cycles), and
-//! every aggregate is keyed through `BTreeMap`s so exports are
-//! deterministic.
+//! number of first-update decisions taken — equal to the log
+//! controller's lifetime logged + omitted totals. (In degraded
+//! full-logging mode the engine skips the omission lookup and records
+//! `logged:degraded` directly, so the sum can exceed the omission-lookup
+//! count; outside degraded windows the two coincide.) A word is never
+//! double-counted and never dropped. Recording is purely observational
+//! (no simulated cycles), and every aggregate is keyed through
+//! `BTreeMap`s so exports are deterministic.
 
 use std::collections::BTreeMap;
 
@@ -45,16 +47,26 @@ pub enum OmitReason {
     /// Logged: the association was invalidated by a later uncovered store
     /// (the old value is no longer any Slice's output).
     LoggedNotRecomputable,
+    /// Logged: the engine was in degraded full-logging mode after a
+    /// recovery escalation — omission is suspended until the next clean
+    /// checkpoint commits, so the word was logged regardless of whether a
+    /// Slice could have recomputed it.
+    LoggedDegraded,
 }
+
+/// Number of distinct [`OmitReason`] codes (array width of the ledger's
+/// per-reason aggregates).
+pub const NUM_REASONS: usize = 6;
 
 impl OmitReason {
     /// All reasons, in rendering order.
-    pub const ALL: [OmitReason; 5] = [
+    pub const ALL: [OmitReason; NUM_REASONS] = [
         OmitReason::OmittedSlice,
         OmitReason::LoggedNoSlice,
         OmitReason::LoggedSliceTooLong,
         OmitReason::LoggedAddrmapEvicted,
         OmitReason::LoggedNotRecomputable,
+        OmitReason::LoggedDegraded,
     ];
 
     /// The stable reason code used in exports.
@@ -65,6 +77,7 @@ impl OmitReason {
             OmitReason::LoggedSliceTooLong => "logged:slice-too-long",
             OmitReason::LoggedAddrmapEvicted => "logged:addrmap-evicted",
             OmitReason::LoggedNotRecomputable => "logged:not-recomputable",
+            OmitReason::LoggedDegraded => "logged:degraded",
         }
     }
 
@@ -80,6 +93,7 @@ impl OmitReason {
             OmitReason::LoggedSliceTooLong => 2,
             OmitReason::LoggedAddrmapEvicted => 3,
             OmitReason::LoggedNotRecomputable => 4,
+            OmitReason::LoggedDegraded => 5,
         }
     }
 }
@@ -101,8 +115,8 @@ pub struct ReplayCost {
 /// see the module-level notes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DecisionLedger {
-    totals: [u64; 5],
-    ranges: BTreeMap<u64, [u64; 5]>,
+    totals: [u64; NUM_REASONS],
+    ranges: BTreeMap<u64, [u64; NUM_REASONS]>,
     per_slice: BTreeMap<u32, u64>,
     replays: BTreeMap<u32, ReplayCost>,
 }
@@ -156,7 +170,7 @@ impl DecisionLedger {
     /// Per-range decision counts in ascending address order: the range's
     /// starting byte address and its counts indexed like
     /// [`OmitReason::ALL`].
-    pub fn ranges(&self) -> impl Iterator<Item = (u64, [u64; 5])> + '_ {
+    pub fn ranges(&self) -> impl Iterator<Item = (u64, [u64; NUM_REASONS])> + '_ {
         self.ranges.iter().map(|(k, v)| (k * RANGE_BYTES, *v))
     }
 

@@ -39,11 +39,12 @@ mod report;
 mod schedule;
 
 pub use checkpoint::CheckpointRecord;
-pub use engine::{BerConfig, BerEngine, Scheme, SecondaryStorage};
+pub use engine::{BerConfig, BerEngine, ResilienceConfig, Scheme, SecondaryStorage};
+pub use errors::CkptError;
 pub use inject::{
     run_campaign, CampaignConfig, CampaignError, CampaignReport, CaseOutcome, FaultCaseRecord,
 };
-pub use ledger::{DecisionLedger, OmitReason, ReplayCost, RANGE_BYTES};
+pub use ledger::{DecisionLedger, OmitReason, ReplayCost, NUM_REASONS, RANGE_BYTES};
 pub use policy::{NoOmission, OmissionPolicy, Recomputed};
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};

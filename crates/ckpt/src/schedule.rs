@@ -34,17 +34,29 @@ impl ErrorSchedule {
     /// # Panics
     ///
     /// Panics if `latency_frac` is not within `[0, 1]` (the paper assumes
-    /// detection latency no longer than the checkpoint period).
+    /// detection latency no longer than the checkpoint period). Callers
+    /// handling user input should use [`ErrorSchedule::try_uniform`].
     pub fn uniform(total: u64, num_errors: u32, num_checkpoints: u32, latency_frac: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&latency_frac),
-            "detection latency must be at most one checkpoint period"
-        );
+        Self::try_uniform(total, num_errors, num_checkpoints, latency_frac)
+            .expect("detection latency must be at most one checkpoint period")
+    }
+
+    /// Fallible form of [`ErrorSchedule::uniform`]: rejects an out-of-range
+    /// `latency_frac` with a typed error instead of panicking.
+    pub fn try_uniform(
+        total: u64,
+        num_errors: u32,
+        num_checkpoints: u32,
+        latency_frac: f64,
+    ) -> Result<Self, crate::CkptError> {
+        if !(0.0..=1.0).contains(&latency_frac) {
+            return Err(crate::CkptError::InvalidLatency { frac: latency_frac });
+        }
         let period = total / (u64::from(num_checkpoints) + 1);
-        ErrorSchedule {
+        Ok(ErrorSchedule {
             occurrences: uniform_points(total, num_errors),
             detection_latency: (period as f64 * latency_frac) as u64,
-        }
+        })
     }
 
     /// No errors (the `*_NE` configurations).
@@ -75,6 +87,13 @@ mod tests {
     #[should_panic(expected = "checkpoint period")]
     fn excessive_latency_rejected() {
         let _ = ErrorSchedule::uniform(1000, 1, 9, 1.5);
+    }
+
+    #[test]
+    fn try_uniform_reports_typed_error() {
+        let err = ErrorSchedule::try_uniform(1000, 1, 9, 1.5).unwrap_err();
+        assert!(matches!(err, crate::CkptError::InvalidLatency { .. }));
+        assert!(ErrorSchedule::try_uniform(1000, 1, 9, 1.0).is_ok());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 
 use acr_ckpt::{
     run_campaign, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError, CampaignReport,
-    DecisionLedger, ErrorSchedule, NoOmission, Scheme, SecondaryStorage,
+    DecisionLedger, ErrorSchedule, NoOmission, ResilienceConfig, Scheme, SecondaryStorage,
 };
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
@@ -17,8 +17,9 @@ use crate::addr_map::AddrMapConfig;
 use crate::policy::AcrPolicy;
 use crate::stats::AcrStats;
 
-/// Errors from the experiment API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors from the experiment API. `Eq` is withheld because campaign
+/// configuration errors carry the rejected `f64` latency fraction.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentError {
     /// The workload program is malformed.
     Program(ProgramError),
@@ -105,6 +106,12 @@ pub struct ExperimentSpec {
     /// observational — enabling it never changes cycle counts or
     /// checkpoint contents (the default keeps the hot path free of it).
     pub profile: bool,
+    /// Torn-recovery resilience: checkpoint generations retained as
+    /// fallbacks, the re-replay retry bound, and (for tests/injection)
+    /// scheduled recovery-window faults. The default (`generations: 1`,
+    /// no faults) is behaviourally identical to a build without the
+    /// escalation machinery.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ExperimentSpec {
@@ -124,6 +131,7 @@ impl Default for ExperimentSpec {
             trace: SharedSink::disabled(),
             sample_interval: 0,
             profile: false,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -176,6 +184,12 @@ impl ExperimentSpec {
     /// checkpointed runs, the omission-decision ledger (chainable).
     pub fn with_profile(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Sets the torn-recovery resilience configuration (chainable).
+    pub fn with_resilience(mut self, r: ResilienceConfig) -> Self {
+        self.resilience = r;
         self
     }
 }
@@ -387,6 +401,7 @@ impl Experiment {
             oracle: self.spec.oracle,
             secondary: self.spec.secondary,
             faults: Vec::new(),
+            resilience: self.spec.resilience.clone(),
         })
     }
 
@@ -469,7 +484,8 @@ impl Experiment {
         self.attach_observability(&mut machine);
         let policy = AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
             .with_scratchpad(self.spec.scratchpad)
-            .with_rejected_pcs(&slice_stats.rejected_store_pcs);
+            .with_rejected_pcs(&slice_stats.rejected_store_pcs)
+            .with_generations(cfg.resilience.generations);
         let mut engine = BerEngine::new(machine, policy, cfg);
         if self.spec.profile {
             engine.enable_ledger();
@@ -528,9 +544,17 @@ impl Experiment {
                 let (p, s) = self.instrumented();
                 (p.clone(), s.clone())
             };
+            // Match the per-case engines' retention depth (nested-fault
+            // campaigns force at least two generations).
+            let generations = if cfg.recovery_faults {
+                cfg.generations.max(2)
+            } else {
+                cfg.generations.max(1)
+            };
             let report = run_campaign(&program, machine, cfg, || {
                 AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
                     .with_scratchpad(scratchpad)
+                    .with_generations(generations)
             })?;
             ("Inject_ReCkpt", report)
         } else {
@@ -722,6 +746,64 @@ mod tests {
         assert_eq!(base.label, "Inject_Ckpt");
         assert_eq!(base.report.recovered(), 12, "{}", base.report.summary());
         assert_eq!(base.report.recomputed_values(), 0);
+    }
+
+    #[test]
+    fn reckpt_survives_corrupt_replay_by_retrying_and_degrading() {
+        use acr_sim::{RecoveryFault, RecoveryFaultKind};
+        let p = recomputable_kernel(2, 300);
+        let s = spec().with_resilience(ResilienceConfig {
+            generations: 2,
+            recovery_faults: vec![RecoveryFault {
+                at_recovery: 0,
+                kind: RecoveryFaultKind::ReplayInput { bit: 5 },
+            }],
+            ..ResilienceConfig::default()
+        });
+        let mut exp = Experiment::new(p.clone(), s).unwrap();
+        let r = exp.run_reckpt(1).unwrap();
+        let report = r.report.as_ref().unwrap();
+        assert_eq!(report.errors_handled, 1);
+        assert!(
+            report.replay_retries >= 1,
+            "a corrupt Slice replay must be caught by the omitted-record \
+             checksum and retried"
+        );
+        assert_eq!(
+            report.degraded_entries, 1,
+            "untrustworthy replay must open a degraded full-logging window"
+        );
+        assert_eq!(report.divergent_words, 0);
+        // The degraded window closes at the next clean commit and the run
+        // converges to the same final state as an unfaulted recovery.
+        let clean = Experiment::new(p, spec()).unwrap().run_reckpt(1).unwrap();
+        assert_eq!(r.sim.retired, clean.sim.retired);
+    }
+
+    #[test]
+    fn acr_campaign_survives_nested_recovery_faults() {
+        let p = recomputable_kernel(2, 200);
+        let mut exp = Experiment::new(p, spec()).unwrap();
+        let cfg = CampaignConfig {
+            seed: 9,
+            count: 10,
+            num_checkpoints: 5,
+            recovery_faults: true,
+            ..CampaignConfig::default()
+        };
+        let run = exp.run_fault_campaign(&cfg, true).unwrap();
+        let r = &run.report;
+        assert!(r.has_recovery_faults());
+        assert_eq!(r.recovered(), 10, "{}", r.summary());
+        assert_eq!(r.divergent_words(), 0);
+        assert!(
+            r.replay_retries() + r.generation_fallbacks() > 0,
+            "{}",
+            r.summary()
+        );
+        // Escalation work is charged, so recovery costs energy beyond the
+        // clean-campaign floor.
+        assert!(run.recovery_energy_joules > 0.0);
     }
 
     #[test]

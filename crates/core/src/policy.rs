@@ -41,6 +41,12 @@ pub struct AcrPolicy {
     /// `SliceStats::rejected_store_pcs`). Lets the decision ledger
     /// distinguish `logged:slice-too-long` from `logged:no-slice`.
     rejected_pcs: BTreeSet<(u32, u32)>,
+    /// Checkpoint generations the engine retains as rollback fallbacks
+    /// (≥ 1). Deepens association pruning so a generation-fallback
+    /// rollback can still recompute every omitted value of the older
+    /// epochs it restores. Must match the engine's
+    /// `ResilienceConfig::generations`.
+    generations: u64,
 }
 
 impl AcrPolicy {
@@ -53,7 +59,17 @@ impl AcrPolicy {
             assoc_extra_cycles: 0,
             scratchpad: false,
             rejected_pcs: BTreeSet::new(),
+            generations: 1,
         }
+    }
+
+    /// Sets the checkpoint-generation retention depth (≥ 1; values below
+    /// are clamped up). Must match the engine's
+    /// `ResilienceConfig::generations` so a torn-commit fallback finds
+    /// its associations still live.
+    pub fn with_generations(mut self, generations: u32) -> Self {
+        self.generations = u64::from(generations.max(1));
+        self
     }
 
     /// Installs the slicer's threshold-rejected store sites
@@ -165,9 +181,12 @@ impl OmissionPolicy for AcrPolicy {
     }
 
     fn on_checkpoint(&mut self, sealed_epoch: u64) {
-        // After sealing epoch `k`, checkpoints `k` and `k+1` remain
-        // restorable; prune associations unreachable from either.
-        self.map.prune(sealed_epoch.saturating_sub(1));
+        // After sealing epoch `k` with G retained generations, the oldest
+        // restorable checkpoint is `k - G`; prune associations
+        // unreachable from every surviving checkpoint. G = 1 gives the
+        // original two-checkpoint retention.
+        self.map
+            .prune(sealed_epoch.saturating_sub(self.generations));
     }
 
     fn on_rollback(&mut self, safe_epoch: u64, victim_mask: u64) {

@@ -37,6 +37,6 @@ mod stats;
 mod system;
 
 pub use addr::{LineAddr, WordAddr, LINE_BYTES, WORDS_PER_LINE};
-pub use log::{LogController, LogEpoch, LogRecord, OmittedRecord, LOG_RECORD_BYTES};
+pub use log::{record_check, LogController, LogEpoch, LogRecord, OmittedRecord, LOG_RECORD_BYTES};
 pub use stats::MemStats;
 pub use system::{AccessKind, CoreId, FlushStats, MemConfig, MemSystem};

@@ -21,6 +21,26 @@ use crate::addr::WordAddr;
 /// Bytes per log record: 8 B address + 8 B old value.
 pub const LOG_RECORD_BYTES: u64 = 16;
 
+/// Per-record integrity checksum: FNV-1a over the record's address, old
+/// value and owning core. Stored alongside the record at log/omit time so
+/// recovery can detect a torn or corrupted entry before applying it. The
+/// checksum is observational — it models ECC/CRC the memory controller
+/// would compute in-line and adds no simulated cost.
+pub fn record_check(addr: WordAddr, old_value: u64, core: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in addr
+        .byte()
+        .to_le_bytes()
+        .into_iter()
+        .chain(old_value.to_le_bytes())
+        .chain(core.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// An old-value record: `addr` held `old_value` at the start of the
 /// record's epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +52,15 @@ pub struct LogRecord {
     /// Core whose store triggered the first update (cost attribution under
     /// coordinated local checkpointing).
     pub core: u32,
+    /// Integrity checksum over `(addr, old_value, core)`, set at log time.
+    pub check: u64,
+}
+
+impl LogRecord {
+    /// Whether the record still matches its stored checksum.
+    pub fn verify(&self) -> bool {
+        self.check == record_check(self.addr, self.old_value, self.core)
+    }
 }
 
 /// A first-update whose old value ACR omitted from the log because it is
@@ -43,6 +72,19 @@ pub struct OmittedRecord {
     /// Core whose `AddrMap` holds the association (Slices are thread-local,
     /// Section III-A).
     pub core: u32,
+    /// Integrity checksum over the *omitted* old value, set at omit time.
+    /// The value itself is not stored (that is the whole point of
+    /// omission), but its checksum lets recovery verify that Slice replay
+    /// recomputed the right word without keeping the word around.
+    pub check: u64,
+}
+
+impl OmittedRecord {
+    /// Whether `recomputed` matches the old value whose checksum was
+    /// captured when the omission was granted.
+    pub fn verify_recomputed(&self, recomputed: u64) -> bool {
+        self.check == record_check(self.addr, recomputed, self.core)
+    }
 }
 
 /// The log of one checkpoint interval.
@@ -103,10 +145,13 @@ pub struct LogController {
     /// Per-word logged bits for the *current* epoch, packed 64 words per u64.
     bits: Vec<u64>,
     current: LogEpoch,
-    /// Completed epochs, most recent last. At most
-    /// [`LogController::RETAINED`] are kept — the paper shows two most
-    /// recent checkpoints suffice when detection latency ≤ period.
+    /// Completed epochs, most recent last. At most `retained` are kept —
+    /// the paper shows two most recent checkpoints suffice when detection
+    /// latency ≤ period; torn-recovery resilience retains more so a
+    /// corrupted generation can fall back to an older one.
     completed: VecDeque<LogEpoch>,
+    /// Completed epochs to retain (defaults to [`LogController::RETAINED`]).
+    retained: usize,
     /// Lifetime count of log records written (records; monotonic — never
     /// reset by seal or rollback). The independent tally the
     /// omission-decision ledger's conservation invariant checks against.
@@ -123,13 +168,33 @@ impl LogController {
     /// Creates a controller covering `num_words` memory words, starting in
     /// epoch 0.
     pub fn new(num_words: usize) -> Self {
+        Self::with_retention(num_words, Self::RETAINED)
+    }
+
+    /// Creates a controller retaining the `retained` most recent completed
+    /// epochs instead of the default [`LogController::RETAINED`]. Multi-
+    /// generation recovery needs the logs of every restorable checkpoint
+    /// generation still on hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retained` is zero — recovery always needs at least the
+    /// most recent completed epoch.
+    pub fn with_retention(num_words: usize, retained: usize) -> Self {
+        assert!(retained >= 1, "must retain at least one completed epoch");
         LogController {
             bits: vec![0; num_words.div_ceil(64)],
             current: LogEpoch::new(0),
-            completed: VecDeque::with_capacity(Self::RETAINED + 1),
+            completed: VecDeque::with_capacity(retained + 1),
+            retained,
             total_logged: 0,
             total_omitted: 0,
         }
+    }
+
+    /// Completed epochs this controller retains.
+    pub fn retention(&self) -> usize {
+        self.retained
     }
 
     /// Lifetime count of log records written, across every epoch ever
@@ -196,16 +261,24 @@ impl LogController {
             addr,
             old_value,
             core,
+            check: record_check(addr, old_value, core),
         });
     }
 
     /// ACR path: marks the first update handled *without* logging the old
-    /// value (it is recomputable via core `core`'s `AddrMap`).
-    pub fn omit_value(&mut self, addr: WordAddr, core: u32) {
+    /// value (it is recomputable via core `core`'s `AddrMap`). The old
+    /// value is still passed in so its checksum can be captured for
+    /// recovery-time verification of the recomputed word; only the
+    /// checksum is retained.
+    pub fn omit_value(&mut self, addr: WordAddr, old_value: u64, core: u32) {
         debug_assert!(!self.is_logged(addr), "double log of {addr}");
         self.set_bit(addr);
         self.total_omitted += 1;
-        self.current.omitted.push(OmittedRecord { addr, core });
+        self.current.omitted.push(OmittedRecord {
+            addr,
+            core,
+            check: record_check(addr, old_value, core),
+        });
     }
 
     /// Establishes a checkpoint: seals the current epoch, clears the logged
@@ -215,7 +288,7 @@ impl LogController {
         let next = LogEpoch::new(self.current.index + 1);
         let sealed = std::mem::replace(&mut self.current, next);
         self.completed.push_back(sealed);
-        while self.completed.len() > Self::RETAINED {
+        while self.completed.len() > self.retained {
             self.completed.pop_front();
         }
         self.bits.fill(0);
@@ -337,7 +410,7 @@ mod tests {
     fn omitted_counts_in_baseline_not_bytes() {
         let mut lc = LogController::new(1024);
         lc.log_value(wa(1), 10, 0);
-        lc.omit_value(wa(2), 0);
+        lc.omit_value(wa(2), 20, 0);
         let e = lc.current();
         assert_eq!(e.bytes(), LOG_RECORD_BYTES);
         assert_eq!(e.baseline_bytes(), 2 * LOG_RECORD_BYTES);
@@ -388,7 +461,7 @@ mod tests {
         lc.log_value(wa(2), 22, 1); // epoch 0, core 1
         lc.seal_epoch();
         lc.log_value(wa(3), 33, 0); // epoch 1, core 0
-        lc.omit_value(wa(4), 1); // epoch 1, core 1 (omitted)
+        lc.omit_value(wa(4), 44, 1); // epoch 1, core 1 (omitted)
 
         // Victim = core 1 only, safe epoch = 0: extract core 1's entries
         // from epochs >= 0; core 0's stay.
@@ -423,7 +496,7 @@ mod tests {
     fn lifetime_totals_survive_seal_and_rollback() {
         let mut lc = LogController::new(1024);
         lc.log_value(wa(1), 11, 0);
-        lc.omit_value(wa(2), 0);
+        lc.omit_value(wa(2), 22, 0);
         lc.seal_epoch();
         lc.log_value(wa(1), 12, 0);
         let _ = lc.rollback_to(0);
@@ -431,6 +504,46 @@ mod tests {
         lc.log_value(wa(1), 11, 0);
         assert_eq!(lc.lifetime_logged(), 3);
         assert_eq!(lc.lifetime_omitted(), 1);
+    }
+
+    #[test]
+    fn record_checksums_verify_and_detect_corruption() {
+        let mut lc = LogController::new(1024);
+        lc.log_value(wa(7), 0xdead_beef, 1);
+        let rec = lc.current().records[0];
+        assert!(rec.verify());
+        let torn = LogRecord {
+            old_value: rec.old_value ^ (1 << 17),
+            ..rec
+        };
+        assert!(!torn.verify());
+    }
+
+    #[test]
+    fn omitted_checksum_verifies_recomputed_value() {
+        let mut lc = LogController::new(1024);
+        lc.omit_value(wa(9), 0x1234, 0);
+        let om = lc.current().omitted[0];
+        assert!(om.verify_recomputed(0x1234));
+        assert!(!om.verify_recomputed(0x1235)); // wrong replay output
+    }
+
+    #[test]
+    fn with_retention_keeps_extra_generations() {
+        let mut lc = LogController::with_retention(1024, 4);
+        assert_eq!(lc.retention(), 4);
+        for v in 0..6 {
+            lc.log_value(wa(1), v, 0);
+            lc.seal_epoch();
+        }
+        let idx: Vec<u64> = lc.completed().map(|e| e.index).collect();
+        assert_eq!(idx, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one completed epoch")]
+    fn zero_retention_rejected() {
+        let _ = LogController::with_retention(64, 0);
     }
 
     #[test]

@@ -255,6 +255,94 @@ impl FaultPlan {
     }
 }
 
+/// A corruption that strikes *while recovery itself is running* — the
+/// nested-fault surface the base [`FaultPlan`] does not model. JASS-style
+/// multi-level retention and ReStore-style redundant recovery state exist
+/// precisely because these happen; the escalation ladder in
+/// `acr-ckpt::engine` is exercised by injecting them deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFaultKind {
+    /// Corrupt the output of one Slice replay: the first recomputation of
+    /// an omitted word returns a value with `bit` flipped. The omitted
+    /// record's stored checksum exposes the mismatch; a re-replay (Slice
+    /// execution is repeatable) produces the correct word.
+    ReplayInput {
+        /// Bit flipped in the recomputed value (`0..64`).
+        bit: u8,
+    },
+    /// Flip `bit` of a restored word after it is written back to memory.
+    /// Read-back verification against the log record detects it; rewriting
+    /// the word on retry repairs it.
+    RestoredWordFlip {
+        /// Bit flipped in the restored word (`0..64`).
+        bit: u8,
+    },
+    /// Persistently corrupt one old-value log record (flip `bit` of its
+    /// stored value) before it is applied. The per-record checksum detects
+    /// the tear; the retry repairs the record from the redundant mirror
+    /// copy (ReStore-style) at an extra read cost.
+    TornRecord {
+        /// Bit flipped in the record's stored old value (`0..64`).
+        bit: u8,
+    },
+    /// Power-loss crash halfway through applying the restore: the attempt
+    /// stops after half the records. Restoring old values is idempotent,
+    /// so a full retry from the same generation succeeds.
+    CrashMidRestore,
+    /// The selected safe checkpoint turns out to be a torn commit (a crash
+    /// landed inside its commit window): its integrity checksum fails
+    /// verification, forcing fallback to the previous retained generation.
+    TornCommit,
+}
+
+impl RecoveryFaultKind {
+    /// Short stable label for reports and the escalation histogram.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryFaultKind::ReplayInput { .. } => "replay-input",
+            RecoveryFaultKind::RestoredWordFlip { .. } => "restored-word",
+            RecoveryFaultKind::TornRecord { .. } => "torn-record",
+            RecoveryFaultKind::CrashMidRestore => "crash-mid-restore",
+            RecoveryFaultKind::TornCommit => "torn-commit",
+        }
+    }
+}
+
+/// One planned recovery-window fault: strike during the `at_recovery`-th
+/// recovery of the run (0-based), once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryFault {
+    /// Which recovery of the run to strike (0 = the first).
+    pub at_recovery: u32,
+    /// What to corrupt inside the recovery window.
+    pub kind: RecoveryFaultKind,
+}
+
+impl RecoveryFault {
+    /// Deterministic per-case recovery-fault plan: one fault striking the
+    /// case's first recovery, its kind cycling through all five classes
+    /// and its bit position derived from the seed. No RNG — the same
+    /// `(seed, case)` always yields the same plan, which keeps campaign
+    /// output byte-identical across runs.
+    pub fn planned(seed: u64, case: u32) -> Vec<RecoveryFault> {
+        let mix = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(case));
+        let bit = (mix >> 8) as u8 % 64;
+        let kind = match (u64::from(case).wrapping_add(seed)) % 5 {
+            0 => RecoveryFaultKind::ReplayInput { bit },
+            1 => RecoveryFaultKind::RestoredWordFlip { bit },
+            2 => RecoveryFaultKind::TornRecord { bit },
+            3 => RecoveryFaultKind::CrashMidRestore,
+            _ => RecoveryFaultKind::TornCommit,
+        };
+        vec![RecoveryFault {
+            at_recovery: 0,
+            kind,
+        }]
+    }
+}
+
 /// What applying a fault actually changed — recorded so campaign reports
 /// can describe each case precisely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -344,6 +432,26 @@ mod tests {
         for f in &FaultPlan::generate(&c).faults {
             assert!(f.kind.guaranteed_recoverable());
         }
+    }
+
+    #[test]
+    fn recovery_plans_are_deterministic_and_cover_all_kinds() {
+        let mut labels = std::collections::BTreeSet::new();
+        for case in 0..10 {
+            let plan = RecoveryFault::planned(42, case);
+            assert_eq!(plan, RecoveryFault::planned(42, case));
+            assert_eq!(plan.len(), 1);
+            assert_eq!(plan[0].at_recovery, 0);
+            labels.insert(plan[0].kind.label());
+            match plan[0].kind {
+                RecoveryFaultKind::ReplayInput { bit }
+                | RecoveryFaultKind::RestoredWordFlip { bit }
+                | RecoveryFaultKind::TornRecord { bit } => assert!(bit < 64),
+                _ => {}
+            }
+        }
+        // Ten consecutive cases cycle through all five classes.
+        assert_eq!(labels.len(), 5);
     }
 
     #[test]

@@ -34,7 +34,8 @@ mod stats;
 pub use config::MachineConfig;
 pub use core_model::{CoreModel, CoreSnapshot};
 pub use fault::{
-    Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, PC_FAULT_BITS,
+    Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, RecoveryFault,
+    RecoveryFaultKind, PC_FAULT_BITS,
 };
 pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent, TracingHooks};
 pub use machine::{Machine, RunOutcome, SimError};

@@ -51,6 +51,14 @@ INJECT OPTIONS:
     --sample-interval N
                       metrics sampling interval in cycles (default 5000
                       when --metrics-out is given, else off)
+    --recovery-faults additionally strike each case's first recovery with
+                      a deterministic recovery-window fault (torn record,
+                      flipped restored word, corrupt replay, crash
+                      mid-restore, torn commit) and report the engine's
+                      escalation histogram (global scheme only)
+    --generations N   checkpoint generations retained as rollback
+                      fallbacks (default 1; at least 2 with
+                      --recovery-faults)
 
 TRACE OPTIONS:
     --workload W      workload to trace (default cg)
@@ -102,6 +110,8 @@ struct InjectArgs {
     csv_dir: Option<String>,
     metrics_out: Option<String>,
     sample_interval: u64,
+    recovery_faults: bool,
+    generations: u32,
 }
 
 impl Default for InjectArgs {
@@ -120,6 +130,8 @@ impl Default for InjectArgs {
             csv_dir: None,
             metrics_out: None,
             sample_interval: 0,
+            recovery_faults: false,
+            generations: 1,
         }
     }
 }
@@ -129,6 +141,12 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        // Valueless flags first — everything else takes a value.
+        if flag == "--recovery-faults" {
+            out.recovery_faults = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -190,6 +208,12 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
                     .parse()
                     .map_err(|e| format!("--sample-interval: {e}"))?;
             }
+            "--generations" => {
+                out.generations = value.parse().map_err(|e| format!("--generations: {e}"))?;
+                if out.generations == 0 {
+                    return Err("--generations must be positive".into());
+                }
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -218,6 +242,9 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     let mut divergent_words = 0u64;
     let mut recovery_cycles = 0u64;
     let mut recovery_energy = 0.0f64;
+    let mut replay_retries = 0u64;
+    let mut generation_fallbacks = 0u64;
+    let mut degraded_entries = 0u64;
     let mut combined_hash = 0xcbf2_9ce4_8422_2325u64;
     let mut metrics_jsonl = String::new();
 
@@ -245,6 +272,8 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
             detection_latency_frac: a.latency,
             scheme: a.scheme,
             sample_interval: a.sample_interval,
+            recovery_faults: a.recovery_faults,
+            generations: a.generations,
             ..CampaignConfig::default()
         };
         let run = exp
@@ -283,6 +312,9 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         divergent_words += r.divergent_words();
         recovery_cycles += r.recovery_stall_cycles();
         recovery_energy += run.recovery_energy_joules;
+        replay_retries += r.replay_retries();
+        generation_fallbacks += r.generation_fallbacks();
+        degraded_entries += r.degraded_entries();
         for b in r.content_hash().to_le_bytes() {
             combined_hash ^= u64::from(b);
             combined_hash = combined_hash.wrapping_mul(0x0100_0000_01b3);
@@ -304,6 +336,13 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         "  state-divergence count {divergent_words}  recovery cycles {recovery_cycles}  \
          recovery energy {recovery_energy:.6e} J"
     );
+    if a.recovery_faults {
+        println!(
+            "  escalation total: replay_retries {replay_retries}  \
+             generation_fallbacks {generation_fallbacks}  \
+             degraded_entries {degraded_entries}"
+        );
+    }
     if let Some(path) = &a.metrics_out {
         std::fs::write(path, &metrics_jsonl).map_err(|e| format!("{path}: {e}"))?;
         println!(
