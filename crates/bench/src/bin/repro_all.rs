@@ -4,6 +4,12 @@
 //! minutes; pipe to a file to archive the results (EXPERIMENTS.md records
 //! a reference run).
 //!
+//! `--jobs N` shards the independent figure/table computations across N
+//! worker threads (0 = auto: `ACR_JOBS` env, else available parallelism).
+//! Reports are collected per task and printed in the fixed sequential
+//! order, so the output is byte-identical for every jobs value (modulo
+//! the final wall-time line).
+//!
 //! `--metrics-out FILE` additionally runs one sampled `ReCkpt_NE`
 //! execution per benchmark and writes the interval metrics samples to
 //! FILE as JSONL (tagged per workload); `--sample-interval N` sets the
@@ -13,13 +19,22 @@ use std::time::Instant;
 
 use acr_bench::figures;
 use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
-use acr_ckpt::Scheme;
+use acr_ckpt::{ParallelRunner, Scheme};
 use acr_workloads::Benchmark;
 
-fn parse_args() -> Result<(Option<String>, u64), String> {
+struct Args {
+    metrics_out: Option<String>,
+    sample_interval: u64,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut metrics_out = None;
-    let mut sample_interval = 5000u64;
+    let mut out = Args {
+        metrics_out: None,
+        sample_interval: 5000,
+        jobs: 0,
+    };
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -27,20 +42,21 @@ fn parse_args() -> Result<(Option<String>, u64), String> {
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
-            "--metrics-out" => metrics_out = Some(value.clone()),
+            "--metrics-out" => out.metrics_out = Some(value.clone()),
             "--sample-interval" => {
-                sample_interval = value
+                out.sample_interval = value
                     .parse()
                     .map_err(|e| format!("--sample-interval: {e}"))?;
-                if sample_interval == 0 {
+                if out.sample_interval == 0 {
                     return Err("--sample-interval must be positive".into());
                 }
             }
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
     }
-    Ok((metrics_out, sample_interval))
+    Ok(out)
 }
 
 /// One sampled ACR run per benchmark, serialised as JSONL metric samples.
@@ -70,8 +86,60 @@ fn sampled_metrics(sample_interval: u64) -> Result<String, String> {
     Ok(out)
 }
 
+/// One independent unit of figure/table work: returns its reports in
+/// print order. Figures that share an expensive sweep (Fig. 6–9 all read
+/// `main_sweep`) are bundled into one task so the sweep still runs once.
+type FigureTask = Box<dyn Fn() -> Result<Vec<String>, String> + Sync>;
+
+fn figure_tasks() -> Vec<FigureTask> {
+    vec![
+        Box::new(|| Ok(vec![figures::fig01_report()])),
+        Box::new(|| Ok(vec![figures::table1_report()])),
+        Box::new(|| {
+            let rows = figures::main_sweep(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map_err(|e| format!("sweep: {e}"))?;
+            Ok(vec![
+                figures::fig06_report(&rows),
+                figures::fig07_report(&rows),
+                figures::fig08_report(&rows),
+                figures::fig09_report(&rows),
+            ])
+        }),
+        Box::new(|| {
+            figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("table2: {e}"))
+        }),
+        Box::new(|| {
+            figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("fig10: {e}"))
+        }),
+        Box::new(|| {
+            figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("fig11: {e}"))
+        }),
+        Box::new(|| {
+            figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("fig12: {e}"))
+        }),
+        Box::new(|| {
+            figures::scalability_report(DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("scalability: {e}"))
+        }),
+        Box::new(|| {
+            figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                .map(|r| vec![r])
+                .map_err(|e| format!("fig13: {e}"))
+        }),
+    ]
+}
+
 fn main() -> ExitCode {
-    let (metrics_out, sample_interval) = match parse_args() {
+    let args = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -79,58 +147,32 @@ fn main() -> ExitCode {
         }
     };
     let t0 = Instant::now();
-    print!("{}", figures::fig01_report());
-    println!();
-    print!("{}", figures::table1_report());
-    println!();
-    let rows = figures::main_sweep(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep");
-    for report in [
-        figures::fig06_report(&rows),
-        figures::fig07_report(&rows),
-        figures::fig08_report(&rows),
-        figures::fig09_report(&rows),
-    ] {
-        print!("{report}");
-        println!();
+    let tasks = figure_tasks();
+    let chunks = ParallelRunner::new(args.jobs).run_ordered(tasks.len(), |i| tasks[i]());
+    for chunk in chunks {
+        let reports = match chunk {
+            Ok(reports) => reports,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        };
+        for report in reports {
+            print!("{report}");
+            println!();
+        }
     }
-    print!(
-        "{}",
-        figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    print!(
-        "{}",
-        figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    print!(
-        "{}",
-        figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    print!(
-        "{}",
-        figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    print!(
-        "{}",
-        figures::scalability_report(DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    print!(
-        "{}",
-        figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE).expect("sweep")
-    );
-    println!();
-    if let Some(path) = metrics_out {
-        match sampled_metrics(sample_interval) {
+    if let Some(path) = args.metrics_out {
+        match sampled_metrics(args.sample_interval) {
             Ok(jsonl) => {
                 if let Err(e) = std::fs::write(&path, jsonl) {
                     eprintln!("error: {path}: {e}");
                     return ExitCode::from(2);
                 }
-                println!("metrics samples (every {sample_interval} cycles) -> {path}");
+                println!(
+                    "metrics samples (every {} cycles) -> {path}",
+                    args.sample_interval
+                );
                 println!();
             }
             Err(msg) => {

@@ -31,10 +31,11 @@ use acr_sim::{
     RecoveryFault, RecoveryFaultKind, SimError, StoreCensus,
 };
 
-use acr_trace::TimeSeries;
+use acr_trace::{MetricsRegistry, TimeSeries};
 
 use crate::engine::{BerConfig, BerEngine, ResilienceConfig, Scheme};
 use crate::errors::CkptError;
+use crate::parallel::ParallelRunner;
 use crate::policy::OmissionPolicy;
 use crate::schedule::{uniform_points, ErrorSchedule};
 
@@ -80,6 +81,18 @@ pub struct CampaignConfig {
     /// Raised to at least 2 automatically in nested-fault mode so a
     /// torn-commit case has a generation to fall back to.
     pub generations: u32,
+    /// Worker threads sharding the per-case loop (0 = auto:
+    /// [`crate::parallel::available_jobs`]). Purely an execution knob:
+    /// the report — cases, CSVs, metrics, content hash — is byte-identical
+    /// for every value, because results merge in case-index order.
+    /// Defaults to 1 so library callers stay sequential unless they opt
+    /// in.
+    pub jobs: usize,
+    /// Collect a one-line-per-case progress log into
+    /// [`CampaignReport::case_log`]. Lines are buffered per shard and
+    /// flushed in case order at merge, so the log is jobs-invariant; it
+    /// never enters the content hash.
+    pub progress: bool,
 }
 
 impl Default for CampaignConfig {
@@ -95,6 +108,8 @@ impl Default for CampaignConfig {
             sample_interval: 0,
             recovery_faults: false,
             generations: 1,
+            jobs: 1,
+            progress: false,
         }
     }
 }
@@ -248,6 +263,17 @@ pub struct CampaignReport {
     /// unless [`CampaignConfig::sample_interval`] > 0). Observational
     /// only: excluded from [`CampaignReport::content_hash`].
     pub baseline_series: TimeSeries,
+    /// Campaign-wide counters and histograms (case outcomes, recovery
+    /// costs, escalation rungs), accumulated per worker shard and folded
+    /// with the loss-free [`MetricsRegistry::merge`] — identical for
+    /// every [`CampaignConfig::jobs`] value. Observational only: excluded
+    /// from [`CampaignReport::content_hash`].
+    pub metrics: MetricsRegistry,
+    /// One line per case in case order when [`CampaignConfig::progress`]
+    /// is set (empty otherwise). Buffered per shard, flushed at merge, so
+    /// the text never interleaves across workers. Excluded from
+    /// [`CampaignReport::content_hash`].
+    pub case_log: String,
 }
 
 impl CampaignReport {
@@ -504,10 +530,188 @@ impl CampaignReport {
     }
 }
 
+/// Everything one fault case needs, shared read-only across workers.
+/// Only plain data and the `Sync` policy factory cross the thread
+/// boundary; each worker builds its own `Machine`/`BerEngine` (which are
+/// `!Send` by design — their trace sink is `Rc`-based).
+struct CaseCtx<'a, F> {
+    program: &'a Program,
+    machine: MachineConfig,
+    cfg: &'a CampaignConfig,
+    total: u64,
+    detection_latency: u64,
+    reference_mem: &'a [u64],
+    /// Reference register file (single-threaded programs only).
+    reference_regs: Option<&'a [u64]>,
+    policy: &'a F,
+}
+
+/// Runs one planned fault to its verdict: fresh machine, fresh policy,
+/// engine run, differential compare. Pure in `(ctx, i, fault)`, which is
+/// what makes the campaign jobs-invariant.
+fn run_fault_case<P, F>(ctx: &CaseCtx<'_, F>, i: usize, fault: Fault) -> FaultCaseRecord
+where
+    P: OmissionPolicy,
+    F: Fn() -> P,
+{
+    let cfg = ctx.cfg;
+    let total = ctx.total;
+    let resilience = if cfg.recovery_faults {
+        ResilienceConfig {
+            generations: cfg.generations.max(2),
+            recovery_faults: RecoveryFault::planned(cfg.seed, i as u32),
+            ..Default::default()
+        }
+    } else {
+        ResilienceConfig {
+            generations: cfg.generations.max(1),
+            ..Default::default()
+        }
+    };
+    let recovery_fault = resilience.recovery_faults.first().map(|f| f.kind);
+    let ber = BerConfig {
+        scheme: cfg.scheme,
+        triggers: uniform_points(total, cfg.num_checkpoints),
+        errors: ErrorSchedule {
+            occurrences: Vec::new(),
+            detection_latency: ctx.detection_latency,
+        },
+        oracle: true,
+        secondary: None,
+        faults: vec![fault],
+        resilience,
+    };
+    let m = Machine::new(ctx.machine, ctx.program);
+    let mut engine = BerEngine::new(m, (ctx.policy)(), ber);
+    match engine.run_to_completion() {
+        Ok(report) => {
+            let m = engine.machine();
+            let mem_divergence = m
+                .mem()
+                .image()
+                .words()
+                .iter()
+                .zip(ctx.reference_mem)
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            let reg_divergence = ctx.reference_regs.map_or(0, |refs| {
+                (0..NUM_REGS)
+                    .filter(|&r| m.cores()[0].reg(Reg(r as u8)) != refs[r])
+                    .count() as u64
+            });
+            let final_retired = m.total_retired();
+            let converged = mem_divergence == 0
+                && reg_divergence == 0
+                && final_retired == total
+                && m.all_halted();
+            FaultCaseRecord {
+                case: i as u32,
+                fault,
+                recoveries: report.recoveries.len() as u64,
+                exception_detections: report.exception_detections,
+                shadow_divergence: report.divergent_words,
+                mem_divergence,
+                reg_divergence,
+                final_retired,
+                restored_records: report.recoveries.iter().map(|r| r.restored_records).sum(),
+                recomputed_values: report.recoveries.iter().map(|r| r.recomputed_values).sum(),
+                recompute_alu_ops: report.recoveries.iter().map(|r| r.recompute_alu_ops).sum(),
+                recovery_stall_cycles: report.recovery_stall_cycles,
+                waste_cycles: report.recoveries.iter().map(|r| r.waste_cycles).sum(),
+                cycles: report.cycles,
+                landing_cycle: report.fault_landing_cycles.first().copied().unwrap_or(0),
+                recovery_fault,
+                replay_retries: report.replay_retries,
+                generation_fallbacks: report.generation_fallbacks,
+                degraded_entries: report.degraded_entries,
+                outcome: if converged {
+                    CaseOutcome::Recovered
+                } else {
+                    CaseOutcome::Diverged
+                },
+            }
+        }
+        Err(_) => FaultCaseRecord {
+            case: i as u32,
+            fault,
+            recoveries: 0,
+            exception_detections: 0,
+            shadow_divergence: 0,
+            mem_divergence: 0,
+            reg_divergence: 0,
+            final_retired: 0,
+            restored_records: 0,
+            recomputed_values: 0,
+            recompute_alu_ops: 0,
+            recovery_stall_cycles: 0,
+            waste_cycles: 0,
+            cycles: 0,
+            landing_cycle: 0,
+            recovery_fault,
+            replay_retries: 0,
+            generation_fallbacks: 0,
+            degraded_entries: 0,
+            outcome: CaseOutcome::Aborted,
+        },
+    }
+}
+
+/// One progress-log line for a finished case (deterministic: record data
+/// only, no timestamps, no worker identity).
+fn case_log_line(c: &FaultCaseRecord) -> String {
+    format!(
+        "case {:04} {}:{} core{} at {} -> {} (recoveries {}, cycles {})",
+        c.case,
+        c.fault.kind.label(),
+        fault_detail(c.fault.kind),
+        c.fault.core.0,
+        c.fault.at_progress,
+        c.outcome.label(),
+        c.recoveries,
+        c.cycles,
+    )
+}
+
+/// Folds one finished case into a shard's metrics registry. Add-only
+/// counters and histograms, so shard merge order cannot change the
+/// result.
+fn record_case_metrics(reg: &mut MetricsRegistry, c: &FaultCaseRecord) {
+    reg.add("campaign.cases", 1);
+    let outcome_key = match c.outcome {
+        CaseOutcome::Recovered => "campaign.recovered",
+        CaseOutcome::Diverged => "campaign.diverged",
+        CaseOutcome::Aborted => "campaign.aborted",
+    };
+    reg.add(outcome_key, 1);
+    reg.add("campaign.recoveries", c.recoveries);
+    reg.add("campaign.exception_detections", c.exception_detections);
+    reg.add(
+        "campaign.divergent_words",
+        c.mem_divergence + c.reg_divergence,
+    );
+    reg.add("campaign.restored_records", c.restored_records);
+    reg.add("campaign.recomputed_values", c.recomputed_values);
+    reg.add("campaign.recompute_alu_ops", c.recompute_alu_ops);
+    reg.add("campaign.replay_retries", c.replay_retries);
+    reg.add("campaign.generation_fallbacks", c.generation_fallbacks);
+    reg.add("campaign.degraded_entries", c.degraded_entries);
+    if let Some(k) = c.recovery_fault {
+        reg.add(&format!("campaign.recovery_fault.{}", k.label()), 1);
+    }
+    reg.record_hist("campaign.case.cycles", c.cycles);
+    reg.record_hist(
+        "campaign.case.recovery_stall_cycles",
+        c.recovery_stall_cycles,
+    );
+    reg.record_hist("campaign.case.waste_cycles", c.waste_cycles);
+}
+
 /// Runs a fault campaign over `program`: one fresh machine + policy per
 /// planned fault, differentially verified against the reference
 /// interpreter. `policy` is a factory — campaigns over ACR use it to
-/// build a fresh `AcrPolicy` per case.
+/// build a fresh `AcrPolicy` per case. With [`CampaignConfig::jobs`] > 1
+/// the cases shard across worker threads; the report is byte-identical
+/// for every jobs value (see [`crate::parallel`]).
 ///
 /// # Errors
 ///
@@ -518,11 +722,11 @@ pub fn run_campaign<P, F>(
     program: &Program,
     machine: MachineConfig,
     cfg: &CampaignConfig,
-    mut policy: F,
+    policy: F,
 ) -> Result<CampaignReport, CampaignError>
 where
     P: OmissionPolicy,
-    F: FnMut() -> P,
+    F: Fn() -> P + Sync,
 {
     // Malformed configurations get typed errors before any work runs.
     if cfg.count == 0 {
@@ -622,113 +826,53 @@ where
     let period = total / (u64::from(cfg.num_checkpoints) + 1);
     let detection_latency = (period as f64 * cfg.detection_latency_frac) as u64;
     let reference_mem = interp.mem();
-    let single_threaded = program.num_threads() == 1;
+    // Precompute the reference register file so workers share a plain
+    // slice instead of the interpreter itself.
+    let reference_regs: Option<Vec<u64>> = (program.num_threads() == 1).then(|| {
+        (0..NUM_REGS)
+            .map(|r| interp.reg(ThreadId(0), Reg(r as u8)))
+            .collect()
+    });
 
-    let mut cases = Vec::with_capacity(plan.faults.len());
-    for (i, &fault) in plan.faults.iter().enumerate() {
-        let resilience = if cfg.recovery_faults {
-            ResilienceConfig {
-                generations: cfg.generations.max(2),
-                recovery_faults: RecoveryFault::planned(cfg.seed, i as u32),
-                ..Default::default()
-            }
-        } else {
-            ResilienceConfig {
-                generations: cfg.generations.max(1),
-                ..Default::default()
-            }
-        };
-        let recovery_fault = resilience.recovery_faults.first().map(|f| f.kind);
-        let ber = BerConfig {
-            scheme: cfg.scheme,
-            triggers: uniform_points(total, cfg.num_checkpoints),
-            errors: ErrorSchedule {
-                occurrences: Vec::new(),
-                detection_latency,
-            },
-            oracle: true,
-            secondary: None,
-            faults: vec![fault],
-            resilience,
-        };
-        let m = Machine::new(machine, program);
-        let mut engine = BerEngine::new(m, policy(), ber);
-        let case = match engine.run_to_completion() {
-            Ok(report) => {
-                let m = engine.machine();
-                let mem_divergence = m
-                    .mem()
-                    .image()
-                    .words()
-                    .iter()
-                    .zip(reference_mem)
-                    .filter(|(a, b)| a != b)
-                    .count() as u64;
-                let reg_divergence = if single_threaded {
-                    (0..NUM_REGS)
-                        .filter(|&r| {
-                            m.cores()[0].reg(Reg(r as u8)) != interp.reg(ThreadId(0), Reg(r as u8))
-                        })
-                        .count() as u64
-                } else {
-                    0
-                };
-                let final_retired = m.total_retired();
-                let converged = mem_divergence == 0
-                    && reg_divergence == 0
-                    && final_retired == total
-                    && m.all_halted();
-                FaultCaseRecord {
-                    case: i as u32,
-                    fault,
-                    recoveries: report.recoveries.len() as u64,
-                    exception_detections: report.exception_detections,
-                    shadow_divergence: report.divergent_words,
-                    mem_divergence,
-                    reg_divergence,
-                    final_retired,
-                    restored_records: report.recoveries.iter().map(|r| r.restored_records).sum(),
-                    recomputed_values: report.recoveries.iter().map(|r| r.recomputed_values).sum(),
-                    recompute_alu_ops: report.recoveries.iter().map(|r| r.recompute_alu_ops).sum(),
-                    recovery_stall_cycles: report.recovery_stall_cycles,
-                    waste_cycles: report.recoveries.iter().map(|r| r.waste_cycles).sum(),
-                    cycles: report.cycles,
-                    landing_cycle: report.fault_landing_cycles.first().copied().unwrap_or(0),
-                    recovery_fault,
-                    replay_retries: report.replay_retries,
-                    generation_fallbacks: report.generation_fallbacks,
-                    degraded_entries: report.degraded_entries,
-                    outcome: if converged {
-                        CaseOutcome::Recovered
-                    } else {
-                        CaseOutcome::Diverged
-                    },
-                }
-            }
-            Err(_) => FaultCaseRecord {
-                case: i as u32,
-                fault,
-                recoveries: 0,
-                exception_detections: 0,
-                shadow_divergence: 0,
-                mem_divergence: 0,
-                reg_divergence: 0,
-                final_retired: 0,
-                restored_records: 0,
-                recomputed_values: 0,
-                recompute_alu_ops: 0,
-                recovery_stall_cycles: 0,
-                waste_cycles: 0,
-                cycles: 0,
-                landing_cycle: 0,
-                recovery_fault,
-                replay_retries: 0,
-                generation_fallbacks: 0,
-                degraded_entries: 0,
-                outcome: CaseOutcome::Aborted,
-            },
-        };
-        cases.push(case);
+    let ctx = CaseCtx {
+        program,
+        machine,
+        cfg,
+        total,
+        detection_latency,
+        reference_mem,
+        reference_regs: reference_regs.as_deref(),
+        policy: &policy,
+    };
+
+    // Dynamic work handout, static (case-index-ordered) result placement:
+    // the merged report is identical for every jobs value.
+    let runner = ParallelRunner::new(cfg.jobs);
+    let (results, shards) = runner.run_sharded(
+        plan.faults.len(),
+        MetricsRegistry::new,
+        |i, shard: &mut MetricsRegistry| {
+            let rec = run_fault_case(&ctx, i, plan.faults[i]);
+            record_case_metrics(shard, &rec);
+            let line = cfg.progress.then(|| case_log_line(&rec));
+            (rec, line)
+        },
+    );
+
+    let mut metrics = MetricsRegistry::new();
+    for shard in &shards {
+        metrics.merge(shard);
+    }
+    metrics.publish_hist_digests();
+
+    let mut cases = Vec::with_capacity(results.len());
+    let mut case_log = String::new();
+    for (rec, line) in results {
+        if let Some(line) = line {
+            case_log.push_str(&line);
+            case_log.push('\n');
+        }
+        cases.push(rec);
     }
 
     Ok(CampaignReport {
@@ -737,6 +881,8 @@ where
         num_cores,
         cases,
         baseline_series,
+        metrics,
+        case_log,
     })
 }
 
@@ -819,6 +965,90 @@ mod tests {
         assert_eq!(a.csv(), b.csv());
         let c = campaign(15, FaultKindSet::all(), 43);
         assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    /// The tentpole guarantee at unit scale: the full report — cases,
+    /// CSV, content hash, merged metrics, ordered case log — is
+    /// byte-identical for every jobs value.
+    #[test]
+    fn campaign_is_jobs_invariant() {
+        let p = kernel(2, 60);
+        let m = MachineConfig::with_cores(2);
+        let base = CampaignConfig {
+            seed: 42,
+            count: 20,
+            kinds: FaultKindSet::all(),
+            num_checkpoints: 5,
+            progress: true,
+            ..CampaignConfig::default()
+        };
+        let seq = run_campaign(&p, m, &base, || NoOmission).expect("campaign runs");
+        for jobs in [2usize, 4, 8] {
+            let cfg = CampaignConfig {
+                jobs,
+                ..base.clone()
+            };
+            let par = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+            assert_eq!(seq, par, "jobs={jobs}");
+            assert_eq!(seq.content_hash(), par.content_hash(), "jobs={jobs}");
+            assert_eq!(seq.csv(), par.csv(), "jobs={jobs}");
+            assert_eq!(seq.case_log, par.case_log, "jobs={jobs}");
+            assert_eq!(seq.metrics, par.metrics, "jobs={jobs}");
+        }
+    }
+
+    /// The shard-merged registry agrees with the report's own aggregates
+    /// and carries published histogram digests.
+    #[test]
+    fn campaign_metrics_match_report_aggregates() {
+        let r = campaign(25, FaultKindSet::recoverable(), 7);
+        assert_eq!(r.metrics.get("campaign.cases"), Some(25));
+        assert_eq!(r.metrics.get("campaign.recovered"), Some(r.recovered()));
+        assert_eq!(
+            r.metrics.get("campaign.recoveries"),
+            Some(r.cases.iter().map(|c| c.recoveries).sum())
+        );
+        assert_eq!(
+            r.metrics.get("campaign.restored_records"),
+            Some(r.restored_records())
+        );
+        let h = r.metrics.hist("campaign.case.cycles").expect("cycles hist");
+        assert_eq!(h.count(), 25);
+        assert!(r.metrics.get("campaign.case.cycles.p50").is_some());
+    }
+
+    /// Progress logging emits exactly one line per case, in case order,
+    /// and stays out of the content hash.
+    #[test]
+    fn case_log_is_ordered_and_hash_neutral() {
+        let p = kernel(2, 60);
+        let m = MachineConfig::with_cores(2);
+        let cfg = CampaignConfig {
+            seed: 11,
+            count: 10,
+            kinds: FaultKindSet::recoverable(),
+            num_checkpoints: 5,
+            progress: true,
+            jobs: 4,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+        let lines: Vec<&str> = r.case_log.lines().collect();
+        assert_eq!(lines.len(), 10);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("case {i:04} ")),
+                "line {i}: {line}"
+            );
+        }
+        let quiet = CampaignConfig {
+            progress: false,
+            jobs: 1,
+            ..cfg
+        };
+        let q = run_campaign(&p, m, &quiet, || NoOmission).expect("campaign runs");
+        assert!(q.case_log.is_empty());
+        assert_eq!(q.content_hash(), r.content_hash());
     }
 
     #[test]

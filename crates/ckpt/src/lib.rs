@@ -34,6 +34,7 @@ pub mod errors;
 pub mod frequency;
 mod inject;
 mod ledger;
+pub mod parallel;
 mod policy;
 mod report;
 mod schedule;
@@ -45,6 +46,7 @@ pub use inject::{
     run_campaign, CampaignConfig, CampaignError, CampaignReport, CaseOutcome, FaultCaseRecord,
 };
 pub use ledger::{DecisionLedger, OmitReason, ReplayCost, NUM_REASONS, RANGE_BYTES};
+pub use parallel::{available_jobs, ParallelRunner, JOBS_ENV};
 pub use policy::{NoOmission, OmissionPolicy, Recomputed};
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};

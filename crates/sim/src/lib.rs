@@ -45,3 +45,35 @@ pub use stats::SimStats;
 /// Scheduling ticks per core cycle (one tick is one issue slot of the
 /// 4-issue core).
 pub const TICKS_PER_CYCLE: u64 = 4;
+
+/// Thread-safety audit for the parallel campaign runner (`acr-ckpt`'s
+/// `parallel` module). Everything a worker thread *receives* — programs,
+/// configs, planned faults, census results, snapshots, stats — must be
+/// `Send + Sync`; these assertions turn that contract into a compile
+/// error if a future change (say, an `Rc` in a config) silently breaks
+/// it.
+///
+/// [`Machine`] is deliberately **not** on the list: it holds the
+/// `Rc`-based trace sink (`acr_trace::SharedSink`) and is therefore
+/// `!Send` by design. Workers must construct their own `Machine` inside
+/// the worker closure — the compiler enforces that a machine can never
+/// migrate between threads, which is exactly the isolation the
+/// deterministic sharded campaign relies on.
+#[allow(dead_code)]
+fn _send_sync_audit() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<acr_isa::Program>();
+    assert_send_sync::<MachineConfig>();
+    assert_send_sync::<Fault>();
+    assert_send_sync::<FaultKind>();
+    assert_send_sync::<FaultKindSet>();
+    assert_send_sync::<FaultPlan>();
+    assert_send_sync::<FaultPlanConfig>();
+    assert_send_sync::<RecoveryFault>();
+    assert_send_sync::<RecoveryFaultKind>();
+    assert_send_sync::<StoreCensus>();
+    assert_send_sync::<CoreSnapshot>();
+    assert_send_sync::<SimStats>();
+    assert_send_sync::<SimError>();
+    assert_send_sync::<PcProfile>();
+}

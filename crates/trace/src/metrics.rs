@@ -89,6 +89,26 @@ impl MetricsRegistry {
         self.hists.iter().map(|(k, h)| (k.as_str(), h))
     }
 
+    /// Folds `other` into `self` loss-freely: counters add key-by-key and
+    /// histograms merge bucket-by-bucket ([`Histogram::merge`]), so
+    /// per-shard registries built by parallel workers combine into exactly
+    /// the registry one sequential worker would have built. Merging is
+    /// associative and commutative, which makes the combined registry
+    /// independent of worker count and scheduling — the property the
+    /// cross-jobs equivalence tests pin.
+    ///
+    /// Counter merge uses *add* semantics for every key; gauge-style keys
+    /// (set once per run) belong in per-run registries, not in shard
+    /// accumulators that get merged.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+        for (k, h) in other.hists() {
+            self.hist_mut(k).merge(h);
+        }
+    }
+
     /// Projects every registered histogram into scalar counters —
     /// `<key>.count`, `<key>.p50`, `<key>.p90`, `<key>.p99`, `<key>.max` —
     /// so digests ride along in [`Sample`] snapshots and JSONL/Chrome
@@ -258,6 +278,36 @@ mod tests {
         let keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, ["a.count", "b.gauge"], "lexicographic order");
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_loss_free_and_commutative() {
+        let mut a = MetricsRegistry::new();
+        a.add("c.x", 3);
+        a.record_hist("h", 5);
+        a.record_hist("h", 500);
+        let mut b = MetricsRegistry::new();
+        b.add("c.x", 4);
+        b.add("c.y", 1);
+        b.record_hist("h", 7);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.get("c.x"), Some(7));
+        assert_eq!(ab.get("c.y"), Some(1));
+        assert_eq!(ab.hist("h").expect("hist").count(), 3);
+
+        // Shard-merge equals recording everything into one registry.
+        let mut one = MetricsRegistry::new();
+        one.add("c.x", 7);
+        one.add("c.y", 1);
+        for v in [5u64, 500, 7] {
+            one.record_hist("h", v);
+        }
+        assert_eq!(ab, one, "merge must be loss-free");
     }
 
     #[test]

@@ -14,11 +14,13 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use acr::{Experiment, ExperimentSpec};
+use acr::{
+    run_campaign_sweep, run_faulted_sweep, CampaignSweepItem, ExperimentSpec, FaultedSweepItem,
+};
 use acr_ckpt::{CampaignConfig, CaseOutcome, OmitReason, Scheme};
 use acr_mem::CoreId;
 use acr_sim::{Fault, FaultKind, FaultKindSet};
-use acr_trace::{chrome_trace_json, SharedSink, TraceEvent, TRACK_ENGINE};
+use acr_trace::{chrome_trace_json, TraceEvent, TRACK_ENGINE};
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -59,9 +61,19 @@ INJECT OPTIONS:
     --generations N   checkpoint generations retained as rollback
                       fallbacks (default 1; at least 2 with
                       --recovery-faults)
+    --jobs N          worker threads sharding the campaign (0 = auto:
+                      ACR_JOBS env, else available parallelism; default
+                      auto). Output is byte-identical for every value
+    --progress        print one line per fault case; lines are buffered
+                      per shard and flushed in case order, so the output
+                      is also jobs-invariant
 
 TRACE OPTIONS:
-    --workload W      workload to trace (default cg)
+    --workload W      workload(s) to trace, comma-separated (default cg);
+                      with several, each output file gains a .<name>
+                      suffix before its extension
+    --jobs N          worker threads across workloads (0 = auto: ACR_JOBS
+                      env, else available parallelism; default auto)
     --out FILE        Chrome trace_event JSON output (default run.trace.json)
     --metrics-out F   also write the metrics samples to F as JSONL
     --sample-interval N
@@ -75,7 +87,11 @@ TRACE OPTIONS:
     --detail FLAG     on | off — per-store/assoc/miss instants (default off)
 
 PROFILE OPTIONS:
-    --workload W      workload to profile (default cg)
+    --workload W      workload(s) to profile, comma-separated (default
+                      cg); with several, each output file gains a .<name>
+                      suffix before its extension
+    --jobs N          worker threads across workloads (0 = auto: ACR_JOBS
+                      env, else available parallelism; default auto)
     --seed N          fault-placement seed (default 42)
     --faults N        recoverable register faults to inject (default 1)
     --threads N       cores == threads (default 2)
@@ -112,6 +128,8 @@ struct InjectArgs {
     sample_interval: u64,
     recovery_faults: bool,
     generations: u32,
+    jobs: usize,
+    progress: bool,
 }
 
 impl Default for InjectArgs {
@@ -132,6 +150,8 @@ impl Default for InjectArgs {
             sample_interval: 0,
             recovery_faults: false,
             generations: 1,
+            jobs: 0,
+            progress: false,
         }
     }
 }
@@ -144,6 +164,11 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
         // Valueless flags first — everything else takes a value.
         if flag == "--recovery-faults" {
             out.recovery_faults = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--progress" {
+            out.progress = true;
             i += 1;
             continue;
         }
@@ -214,6 +239,7 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
                     return Err("--generations must be positive".into());
                 }
             }
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -248,40 +274,60 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     let mut combined_hash = 0xcbf2_9ce4_8422_2325u64;
     let mut metrics_jsonl = String::new();
 
-    for (i, &bench) in a.workloads.iter().enumerate() {
-        let count = base_count + u32::from((i as u32) < remainder);
-        if count == 0 {
-            continue;
-        }
-        let program = generate(
-            bench,
-            &WorkloadConfig::default()
-                .with_threads(a.threads)
-                .with_scale(a.scale),
-        );
-        let spec = ExperimentSpec::default()
+    // One sweep item per workload; the sweep shards --jobs workers over
+    // workloads first and hands any surplus down as per-case campaign
+    // shards. Every byte below is identical for every jobs value.
+    let items: Vec<CampaignSweepItem> = a
+        .workloads
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &bench)| {
+            let count = base_count + u32::from((i as u32) < remainder);
+            if count == 0 {
+                return None;
+            }
+            Some(CampaignSweepItem {
+                name: bench.name().to_owned(),
+                program: generate(
+                    bench,
+                    &WorkloadConfig::default()
+                        .with_threads(a.threads)
+                        .with_scale(a.scale),
+                ),
+                campaign: CampaignConfig {
+                    seed: a.seed.wrapping_add(i as u64),
+                    count,
+                    kinds: a.kinds,
+                    num_checkpoints: a.checkpoints,
+                    detection_latency_frac: a.latency,
+                    scheme: a.scheme,
+                    sample_interval: a.sample_interval,
+                    recovery_faults: a.recovery_faults,
+                    generations: a.generations,
+                    progress: a.progress,
+                    ..CampaignConfig::default()
+                },
+                amnesic: a.amnesic,
+            })
+        })
+        .collect();
+
+    let outcomes = run_campaign_sweep(&items, a.jobs, |item| {
+        let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+        ExperimentSpec::default()
             .with_cores(a.threads)
-            .with_threshold(bench.default_threshold());
-        let mut exp =
-            Experiment::new(program, spec).map_err(|e| format!("{}: {e}", bench.name()))?;
-        let cfg = CampaignConfig {
-            seed: a.seed.wrapping_add(i as u64),
-            count,
-            kinds: a.kinds,
-            num_checkpoints: a.checkpoints,
-            detection_latency_frac: a.latency,
-            scheme: a.scheme,
-            sample_interval: a.sample_interval,
-            recovery_faults: a.recovery_faults,
-            generations: a.generations,
-            ..CampaignConfig::default()
-        };
-        let run = exp
-            .run_fault_campaign(&cfg, a.amnesic)
-            .map_err(|e| format!("{}: {e}", bench.name()))?;
+            .with_threshold(bench.default_threshold())
+    });
+
+    for o in outcomes {
+        let name = o.name;
+        let run = o.run.map_err(|e| format!("{name}: {e}"))?;
         let r = &run.report;
 
-        println!("== {} ({}) ==", bench.name(), run.label);
+        println!("== {} ({}) ==", name, run.label);
+        if a.progress {
+            print!("{}", r.case_log);
+        }
         print!("{}", r.summary());
         println!(
             "  recovery energy {:.6e} J over {:.6e} s",
@@ -302,7 +348,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
             );
         }
         if a.metrics_out.is_some() {
-            metrics_jsonl.push_str(&r.baseline_series.to_jsonl(&[("workload", bench.name())]));
+            metrics_jsonl.push_str(&r.baseline_series.to_jsonl(&[("workload", &name)]));
         }
         injected += r.injected();
         detected += r.detected();
@@ -321,7 +367,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         }
 
         if let Some(dir) = &a.csv_dir {
-            let path = format!("{dir}/{}.csv", bench.name());
+            let path = format!("{dir}/{name}.csv");
             std::fs::write(&path, r.csv()).map_err(|e| format!("{path}: {e}"))?;
             println!("  cases written to {path}");
         }
@@ -359,7 +405,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
 }
 
 struct TraceArgs {
-    workload: Benchmark,
+    workloads: Vec<Benchmark>,
     out: String,
     metrics_out: Option<String>,
     sample_interval: u64,
@@ -370,12 +416,13 @@ struct TraceArgs {
     checkpoints: u32,
     scheme: Scheme,
     detail: bool,
+    jobs: usize,
 }
 
 impl Default for TraceArgs {
     fn default() -> Self {
         TraceArgs {
-            workload: Benchmark::Cg,
+            workloads: vec![Benchmark::Cg],
             out: "run.trace.json".to_owned(),
             metrics_out: None,
             sample_interval: 5000,
@@ -386,8 +433,21 @@ impl Default for TraceArgs {
             checkpoints: 12,
             scheme: Scheme::GlobalCoordinated,
             detail: false,
+            jobs: 0,
         }
     }
+}
+
+/// Parses a comma-separated, non-empty workload list.
+fn parse_workloads(value: &str) -> Result<Vec<Benchmark>, String> {
+    let list: Vec<Benchmark> = value
+        .split(',')
+        .map(|n| Benchmark::from_name(n.trim()).ok_or_else(|| format!("unknown workload `{n}`")))
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err("--workload must name at least one workload".into());
+    }
+    Ok(list)
 }
 
 fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
@@ -399,10 +459,7 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
-            "--workload" => {
-                out.workload = Benchmark::from_name(value.trim())
-                    .ok_or_else(|| format!("unknown workload `{value}`"))?;
-            }
+            "--workload" => out.workloads = parse_workloads(value)?,
             "--out" => out.out = value.clone(),
             "--metrics-out" => out.metrics_out = Some(value.clone()),
             "--sample-interval" => {
@@ -444,11 +501,25 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
                     other => return Err(format!("--detail takes on|off, got `{other}`")),
                 };
             }
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
     }
     Ok(out)
+}
+
+/// Inserts `.{name}` before the final extension (`run.trace.json` →
+/// `run.trace.cg.json`; extensionless paths get `.{name}` appended) —
+/// how multi-workload trace/profile runs keep one output file per
+/// workload.
+fn suffixed(path: &str, name: &str) -> String {
+    match path.rfind('.') {
+        Some(i) if i > 0 && !path[i..].contains('/') => {
+            format!("{}.{name}{}", &path[..i], &path[i..])
+        }
+        _ => format!("{path}.{name}"),
+    }
 }
 
 /// Places `count` guaranteed-recoverable register faults deterministically
@@ -470,71 +541,92 @@ fn planned_faults(seed: u64, count: u32, total: u64, threads: u32) -> Vec<Fault>
 
 fn trace(args: &[String]) -> Result<ExitCode, String> {
     let a = parse_trace(args)?;
-    let program = generate(
-        a.workload,
-        &WorkloadConfig::default()
-            .with_threads(a.threads)
-            .with_scale(a.scale),
+    let multi = a.workloads.len() > 1;
+    let items: Vec<FaultedSweepItem> = a
+        .workloads
+        .iter()
+        .map(|&bench| FaultedSweepItem {
+            name: bench.name().to_owned(),
+            program: generate(
+                bench,
+                &WorkloadConfig::default()
+                    .with_threads(a.threads)
+                    .with_scale(a.scale),
+            ),
+        })
+        .collect();
+    let outcomes = run_faulted_sweep(
+        &items,
+        a.jobs,
+        Some(a.detail),
+        |item| {
+            let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+            ExperimentSpec::default()
+                .with_cores(a.threads)
+                .with_checkpoints(a.checkpoints)
+                .with_threshold(bench.default_threshold())
+                .with_scheme(a.scheme)
+                .with_sample_interval(a.sample_interval)
+        },
+        |_, total| planned_faults(a.seed, a.faults, total, a.threads),
     );
-    let (sink, events) = SharedSink::memory();
-    let spec = ExperimentSpec::default()
-        .with_cores(a.threads)
-        .with_checkpoints(a.checkpoints)
-        .with_threshold(a.workload.default_threshold())
-        .with_scheme(a.scheme)
-        .with_trace(sink.with_detail(a.detail))
-        .with_sample_interval(a.sample_interval);
-    let mut exp =
-        Experiment::new(program, spec).map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let total = exp
-        .total_work()
-        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let faults = planned_faults(a.seed, a.faults, total, a.threads);
-    let result = exp
-        .run_reckpt_faulted(faults)
-        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let report = result.report.as_ref().expect("engine runs carry a report");
 
-    let recorded = events.borrow().events().to_vec();
-    let json = chrome_trace_json(&recorded, Some(&report.series));
-    std::fs::write(&a.out, &json).map_err(|e| format!("{}: {e}", a.out))?;
+    for o in outcomes {
+        let name = o.name;
+        let run = o.run.map_err(|e| format!("{name}: {e}"))?;
+        let result = &run.result;
+        let report = result.report.as_ref().expect("engine runs carry a report");
 
-    println!(
-        "traced {} ({}): {} cycles, {} checkpoints, {} faults injected, {} recoveries",
-        a.workload.name(),
-        result.label,
-        result.cycles,
-        report.checkpoints_taken,
-        report.faults_injected,
-        report.recoveries.len(),
-    );
-    for (i, rec) in report.recoveries.iter().enumerate() {
-        let landed = report.fault_landing_cycles.get(i).copied().unwrap_or(0);
+        let out_path = if multi {
+            suffixed(&a.out, &name)
+        } else {
+            a.out.clone()
+        };
+        let json = chrome_trace_json(&run.events, Some(&report.series));
+        std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+
         println!(
-            "  recovery {i}: fault landed at cycle {landed}, detected at cycle {}, \
-             stalled {} cycles ({} values recomputed by Slice replay)",
-            rec.detected_at_cycles, rec.stall_cycles, rec.recomputed_values
+            "traced {} ({}): {} cycles, {} checkpoints, {} faults injected, {} recoveries",
+            name,
+            result.label,
+            result.cycles,
+            report.checkpoints_taken,
+            report.faults_injected,
+            report.recoveries.len(),
         );
-    }
-    println!(
-        "  {} trace events + {} metric samples (every {} cycles) -> {}",
-        recorded.len(),
-        report.series.samples().len(),
-        a.sample_interval,
-        a.out
-    );
-    if let Some(path) = &a.metrics_out {
-        let jsonl = report
-            .series
-            .to_jsonl(&[("workload", a.workload.name()), ("run", "reckpt_faulted")]);
-        std::fs::write(path, jsonl).map_err(|e| format!("{path}: {e}"))?;
-        println!("  metrics samples -> {path}");
+        for (i, rec) in report.recoveries.iter().enumerate() {
+            let landed = report.fault_landing_cycles.get(i).copied().unwrap_or(0);
+            println!(
+                "  recovery {i}: fault landed at cycle {landed}, detected at cycle {}, \
+                 stalled {} cycles ({} values recomputed by Slice replay)",
+                rec.detected_at_cycles, rec.stall_cycles, rec.recomputed_values
+            );
+        }
+        println!(
+            "  {} trace events + {} metric samples (every {} cycles) -> {}",
+            run.events.len(),
+            report.series.samples().len(),
+            a.sample_interval,
+            out_path
+        );
+        if let Some(path) = &a.metrics_out {
+            let path = if multi {
+                suffixed(path, &name)
+            } else {
+                path.clone()
+            };
+            let jsonl = report
+                .series
+                .to_jsonl(&[("workload", &name), ("run", "reckpt_faulted")]);
+            std::fs::write(&path, jsonl).map_err(|e| format!("{path}: {e}"))?;
+            println!("  metrics samples -> {path}");
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
 
 struct ProfileArgs {
-    workload: Benchmark,
+    workloads: Vec<Benchmark>,
     seed: u64,
     faults: u32,
     threads: u32,
@@ -545,12 +637,13 @@ struct ProfileArgs {
     ledger_out: String,
     trace_out: Option<String>,
     top: usize,
+    jobs: usize,
 }
 
 impl Default for ProfileArgs {
     fn default() -> Self {
         ProfileArgs {
-            workload: Benchmark::Cg,
+            workloads: vec![Benchmark::Cg],
             seed: 42,
             faults: 1,
             threads: 2,
@@ -561,6 +654,7 @@ impl Default for ProfileArgs {
             ledger_out: "run.ledger.txt".to_owned(),
             trace_out: None,
             top: 10,
+            jobs: 0,
         }
     }
 }
@@ -574,10 +668,7 @@ fn parse_profile(args: &[String]) -> Result<ProfileArgs, String> {
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag {
-            "--workload" => {
-                out.workload = Benchmark::from_name(value.trim())
-                    .ok_or_else(|| format!("unknown workload `{value}`"))?;
-            }
+            "--workload" => out.workloads = parse_workloads(value)?,
             "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--faults" => {
                 out.faults = value.parse().map_err(|e| format!("--faults: {e}"))?;
@@ -606,6 +697,7 @@ fn parse_profile(args: &[String]) -> Result<ProfileArgs, String> {
             "--ledger-out" => out.ledger_out = value.clone(),
             "--trace-out" => out.trace_out = Some(value.clone()),
             "--top" => out.top = value.parse().map_err(|e| format!("--top: {e}"))?,
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -700,115 +792,146 @@ fn ledger_report(
 
 fn profile(args: &[String]) -> Result<ExitCode, String> {
     let a = parse_profile(args)?;
-    let program = generate(
-        a.workload,
-        &WorkloadConfig::default()
-            .with_threads(a.threads)
-            .with_scale(a.scale),
-    );
-    let (sink, events) = SharedSink::memory();
-    let mut spec = ExperimentSpec::default()
-        .with_cores(a.threads)
-        .with_checkpoints(a.checkpoints)
-        .with_threshold(a.workload.default_threshold())
-        .with_scheme(a.scheme)
-        .with_profile(true);
-    if a.trace_out.is_some() {
-        spec = spec.with_trace(sink).with_sample_interval(5000);
-    }
-    let mut exp =
-        Experiment::new(program, spec).map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let total = exp
-        .total_work()
-        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let faults = planned_faults(a.seed, a.faults, total, a.threads);
-    let result = exp
-        .run_reckpt_faulted(faults)
-        .map_err(|e| format!("{}: {e}", a.workload.name()))?;
-    let prof = result.profile.as_ref().expect("profiling was enabled");
-    let ledger = result.ledger.as_ref().expect("profiling was enabled");
-    let (logged, omitted) = result.log_totals.expect("profiling was enabled");
-
-    // Conservation: the ledger classified every first-update decision,
-    // and its logged/omitted split matches the log controller's word
-    // totals. A violation is an attribution bug, not a user error.
-    assert_eq!(
-        ledger.total_decisions(),
-        logged + omitted,
-        "ledger decisions must equal words logged + omitted"
-    );
-    assert_eq!(ledger.total_omitted(), omitted);
-
-    let energy = exp.spec().energy;
-    let (iprog, _) = exp.instrumented();
-    let flame = collapsed_stacks(a.workload.name(), iprog, prof);
-    std::fs::write(&a.flame_out, &flame).map_err(|e| format!("{}: {e}", a.flame_out))?;
-    let ledger_txt = ledger_report(a.workload.name(), a.seed, ledger, &energy);
-    std::fs::write(&a.ledger_out, &ledger_txt).map_err(|e| format!("{}: {e}", a.ledger_out))?;
-
-    println!(
-        "profiled {} ({}): {} cycles, {} attribution sites, {} retires",
-        a.workload.name(),
-        result.label,
-        result.cycles,
-        prof.len(),
-        prof.total_retires(),
-    );
-    let (p50, p90, p99) = prof.tick_histogram().digest();
-    println!("  retire ticks p50 {p50} p90 {p90} p99 {p99}");
-    println!(
-        "  decisions {}: {} omitted, {} logged",
-        ledger.total_decisions(),
-        omitted,
-        logged
+    let multi = a.workloads.len() > 1;
+    let items: Vec<FaultedSweepItem> = a
+        .workloads
+        .iter()
+        .map(|&bench| FaultedSweepItem {
+            name: bench.name().to_owned(),
+            program: generate(
+                bench,
+                &WorkloadConfig::default()
+                    .with_threads(a.threads)
+                    .with_scale(a.scale),
+            ),
+        })
+        .collect();
+    let tracing = a.trace_out.is_some();
+    let outcomes = run_faulted_sweep(
+        &items,
+        a.jobs,
+        tracing.then_some(false),
+        |item| {
+            let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+            let spec = ExperimentSpec::default()
+                .with_cores(a.threads)
+                .with_checkpoints(a.checkpoints)
+                .with_threshold(bench.default_threshold())
+                .with_scheme(a.scheme)
+                .with_profile(true);
+            if tracing {
+                spec.with_sample_interval(5000)
+            } else {
+                spec
+            }
+        },
+        |_, total| planned_faults(a.seed, a.faults, total, a.threads),
     );
 
-    // Hottest sites by attributed ticks (ties broken by site order).
-    let mut sites: Vec<_> = prof.iter().collect();
-    sites.sort_by(|a, b| b.1.ticks.cmp(&a.1.ticks).then(a.0.cmp(b.0)));
-    println!(
-        "  {:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
-        "core", "pc", "region", "retires", "ticks", "mem", "stall"
-    );
-    for ((core, pc), c) in sites.into_iter().take(a.top) {
-        println!(
-            "  {core:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
-            format!("0x{pc:x}"),
-            iprog.label_at(*core, *pc).unwrap_or("code"),
-            c.retires,
-            c.ticks,
-            c.mem_ticks,
-            c.stall_ticks
+    let energy = acr_energy::EnergyModel::default();
+    for o in outcomes {
+        let name = o.name;
+        let run = o.run.map_err(|e| format!("{name}: {e}"))?;
+        let result = &run.result;
+        let iprog = &run.instrumented;
+        let prof = result.profile.as_ref().expect("profiling was enabled");
+        let ledger = result.ledger.as_ref().expect("profiling was enabled");
+        let (logged, omitted) = result.log_totals.expect("profiling was enabled");
+
+        // Conservation: the ledger classified every first-update decision,
+        // and its logged/omitted split matches the log controller's word
+        // totals. A violation is an attribution bug, not a user error.
+        assert_eq!(
+            ledger.total_decisions(),
+            logged + omitted,
+            "ledger decisions must equal words logged + omitted"
         );
-    }
-    println!("  flamegraph -> {}", a.flame_out);
-    println!("  ledger -> {}", a.ledger_out);
+        assert_eq!(ledger.total_omitted(), omitted);
 
-    if let Some(path) = &a.trace_out {
-        let report = result.report.as_ref().expect("engine runs carry a report");
-        let mut recorded = events.borrow().events().to_vec();
-        // Ledger reason totals as one counter track per reason, stamped
-        // at the end of the run, plus the retire-latency digest.
-        for reason in OmitReason::ALL {
-            recorded.push(
-                TraceEvent::counter(reason.code(), "ledger", TRACK_ENGINE, result.cycles)
-                    .with_arg("words", ledger.total(reason)),
+        let flame_out = if multi {
+            suffixed(&a.flame_out, &name)
+        } else {
+            a.flame_out.clone()
+        };
+        let ledger_out = if multi {
+            suffixed(&a.ledger_out, &name)
+        } else {
+            a.ledger_out.clone()
+        };
+        let flame = collapsed_stacks(&name, iprog, prof);
+        std::fs::write(&flame_out, &flame).map_err(|e| format!("{flame_out}: {e}"))?;
+        let ledger_txt = ledger_report(&name, a.seed, ledger, &energy);
+        std::fs::write(&ledger_out, &ledger_txt).map_err(|e| format!("{ledger_out}: {e}"))?;
+
+        println!(
+            "profiled {} ({}): {} cycles, {} attribution sites, {} retires",
+            name,
+            result.label,
+            result.cycles,
+            prof.len(),
+            prof.total_retires(),
+        );
+        let (p50, p90, p99) = prof.tick_histogram().digest();
+        println!("  retire ticks p50 {p50} p90 {p90} p99 {p99}");
+        println!(
+            "  decisions {}: {} omitted, {} logged",
+            ledger.total_decisions(),
+            omitted,
+            logged
+        );
+
+        // Hottest sites by attributed ticks (ties broken by site order).
+        let mut sites: Vec<_> = prof.iter().collect();
+        sites.sort_by(|a, b| b.1.ticks.cmp(&a.1.ticks).then(a.0.cmp(b.0)));
+        println!(
+            "  {:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
+            "core", "pc", "region", "retires", "ticks", "mem", "stall"
+        );
+        for ((core, pc), c) in sites.into_iter().take(a.top) {
+            println!(
+                "  {core:<5} {:<10} {:<16} {:>9} {:>9} {:>8} {:>8}",
+                format!("0x{pc:x}"),
+                iprog.label_at(*core, *pc).unwrap_or("code"),
+                c.retires,
+                c.ticks,
+                c.mem_ticks,
+                c.stall_ticks
             );
         }
-        recorded.push(
-            TraceEvent::counter(
-                "profile.retire.ticks",
-                "profile",
-                TRACK_ENGINE,
-                result.cycles,
-            )
-            .with_arg("p50", p50)
-            .with_arg("p90", p90)
-            .with_arg("p99", p99),
-        );
-        let json = chrome_trace_json(&recorded, Some(&report.series));
-        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
-        println!("  trace -> {path}");
+        println!("  flamegraph -> {flame_out}");
+        println!("  ledger -> {ledger_out}");
+
+        if let Some(path) = &a.trace_out {
+            let path = if multi {
+                suffixed(path, &name)
+            } else {
+                path.clone()
+            };
+            let report = result.report.as_ref().expect("engine runs carry a report");
+            let mut recorded = run.events.clone();
+            // Ledger reason totals as one counter track per reason, stamped
+            // at the end of the run, plus the retire-latency digest.
+            for reason in OmitReason::ALL {
+                recorded.push(
+                    TraceEvent::counter(reason.code(), "ledger", TRACK_ENGINE, result.cycles)
+                        .with_arg("words", ledger.total(reason)),
+                );
+            }
+            recorded.push(
+                TraceEvent::counter(
+                    "profile.retire.ticks",
+                    "profile",
+                    TRACK_ENGINE,
+                    result.cycles,
+                )
+                .with_arg("p50", p50)
+                .with_arg("p90", p90)
+                .with_arg("p99", p99),
+            );
+            let json = chrome_trace_json(&recorded, Some(&report.series));
+            std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+            println!("  trace -> {path}");
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

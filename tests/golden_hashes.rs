@@ -1,0 +1,125 @@
+//! Golden campaign content hashes.
+//!
+//! These tests replicate `acr_cli inject`'s exact campaign construction —
+//! workload list, per-workload fault split, seed offsets, spec and
+//! campaign defaults, and the FNV-1a fold of per-workload content hashes
+//! into the combined hash — and pin the resulting values. The pins serve
+//! two masters:
+//!
+//! * **Reproducibility regression**: any change to fault planning, the
+//!   timing model, recovery, or report hashing shows up here as a hash
+//!   mismatch instead of silently shifting every published number.
+//! * **Cross-jobs equivalence**: the campaigns run with `jobs > 1`, so a
+//!   merge-order bug in the parallel runner would change the hash away
+//!   from the value pinned by the (sequential) seed runs.
+//!
+//! The 1000-fault pins match `acr_cli inject --seed 42 --faults 1000`
+//! (plus `--recovery-faults`) and EXPERIMENTS.md, but a debug-profile run
+//! costs minutes, so they ride only in release test runs
+//! (`cargo test --release`); CI also checks them through the CLI itself.
+
+use acr::{run_campaign_sweep, CampaignSweepItem, ExperimentSpec};
+use acr_ckpt::CampaignConfig;
+use acr_sim::FaultKindSet;
+use acr_workloads::{generate, Benchmark, WorkloadConfig};
+
+const THREADS: u32 = 4;
+const SCALE: f64 = 0.05;
+const BENCHES: [Benchmark; 3] = [Benchmark::Is, Benchmark::Cg, Benchmark::Mg];
+
+/// Mirrors `acr_cli inject`: `faults` split evenly across the workloads
+/// (remainder to the first ones), per-workload seed = `seed + index`.
+fn items(seed: u64, faults: u32, recovery_faults: bool) -> Vec<CampaignSweepItem> {
+    let n = BENCHES.len() as u32;
+    let base = faults / n;
+    let rem = faults % n;
+    BENCHES
+        .iter()
+        .enumerate()
+        .map(|(i, &bench)| CampaignSweepItem {
+            name: bench.name().to_owned(),
+            program: generate(
+                bench,
+                &WorkloadConfig::default()
+                    .with_threads(THREADS)
+                    .with_scale(SCALE),
+            ),
+            campaign: CampaignConfig {
+                seed: seed.wrapping_add(i as u64),
+                count: base + u32::from((i as u32) < rem),
+                kinds: FaultKindSet::recoverable(),
+                recovery_faults,
+                ..CampaignConfig::default()
+            },
+            amnesic: true,
+        })
+        .collect()
+}
+
+/// The CLI's combined hash: FNV-1a over the little-endian bytes of each
+/// workload's content hash, in workload order.
+fn combined(hashes: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for hash in hashes {
+        for b in hash.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs the replicated inject campaign and returns per-workload content
+/// hashes, using a parallel jobs value so the golden pins also exercise
+/// the sharded merge path.
+fn content_hashes(seed: u64, faults: u32, recovery_faults: bool, jobs: usize) -> Vec<u64> {
+    let items = items(seed, faults, recovery_faults);
+    run_campaign_sweep(&items, jobs, |item| {
+        let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+        ExperimentSpec::default()
+            .with_cores(THREADS)
+            .with_threshold(bench.default_threshold())
+    })
+    .into_iter()
+    .map(|o| o.run.expect("campaign runs").report.content_hash())
+    .collect()
+}
+
+/// `inject --seed 42 --faults 200`: cheap enough for every profile.
+#[test]
+fn golden_hash_200_faults() {
+    let hashes = content_hashes(42, 200, false, 4);
+    assert_eq!(
+        hashes,
+        [0x06521c827f174fec, 0xbece6c8dc712d4d7, 0x952051189f0f9d35],
+        "per-workload content hashes moved"
+    );
+    assert_eq!(combined(&hashes), 0xbc40ca2ec6d2d9bd, "combined hash moved");
+}
+
+/// `inject --seed 42 --faults 1000` — the hash EXPERIMENTS.md publishes.
+#[cfg(not(debug_assertions))]
+#[test]
+fn golden_hash_1000_faults() {
+    let hashes = content_hashes(42, 1000, false, 4);
+    assert_eq!(
+        hashes,
+        [0x81b27c1de07d532a, 0xb0b066289f8a1355, 0xdfc7df89a8fb09fb],
+        "per-workload content hashes moved"
+    );
+    assert_eq!(combined(&hashes), 0x0e73a8b36bdbdb2f, "combined hash moved");
+}
+
+/// `inject --seed 42 --faults 1000 --recovery-faults`: the nested-fault
+/// escalation data extends the hash; pin that too.
+#[cfg(not(debug_assertions))]
+#[test]
+fn golden_hash_1000_faults_with_recovery_faults() {
+    let hashes = content_hashes(42, 1000, true, 4);
+    assert_eq!(
+        hashes,
+        [0xe9627d0decaffc76, 0x4aa17e0ee53bbe4f, 0x7c9e13d0005fd6c9],
+        "per-workload content hashes moved"
+    );
+    assert_eq!(combined(&hashes), 0x3911050a1804b4e6, "combined hash moved");
+}
