@@ -2,10 +2,9 @@
 //! at the paper's default configuration, with wall-clock timing. Not a
 //! paper figure — used to tune workload volumes (see DESIGN.md).
 
-use std::time::Instant;
-
 use acr_bench::{experiment_for, pct, DEFAULT_THREADS};
 use acr_ckpt::Scheme;
+use acr_trace::Stopwatch;
 use acr_workloads::Benchmark;
 
 fn main() {
@@ -27,7 +26,7 @@ fn main() {
         "wall_s"
     );
     for b in Benchmark::ALL {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut exp = experiment_for(b, DEFAULT_THREADS, scale, Scheme::GlobalCoordinated)
             .expect("valid workload");
         let no = exp.run_no_ckpt().expect("run");
@@ -51,7 +50,7 @@ fn main() {
             pct(rep.overall_reduction_pct()),
             pct(rep.max_interval_reduction_pct()),
             pct(edp_red),
-            t0.elapsed().as_secs_f64(),
+            t0.elapsed_secs(),
         );
     }
 }

@@ -1,12 +1,12 @@
 //! Internal: thread scaling preview.
 use acr_bench::experiment_for;
 use acr_ckpt::Scheme;
+use acr_trace::Stopwatch;
 use acr_workloads::Benchmark;
-use std::time::Instant;
 
 fn main() {
     for threads in [8u32, 16, 32] {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut ohs = vec![];
         for b in [Benchmark::Is, Benchmark::Mg, Benchmark::Ft] {
             let mut e = experiment_for(b, threads, 1.0, Scheme::GlobalCoordinated).unwrap();
@@ -24,7 +24,7 @@ fn main() {
             "threads {}: {} ({:.1}s)",
             threads,
             ohs.join(" | "),
-            t0.elapsed().as_secs_f64()
+            t0.elapsed_secs()
         );
     }
 }

@@ -14,18 +14,23 @@
 //! execution per benchmark and writes the interval metrics samples to
 //! FILE as JSONL (tagged per workload); `--sample-interval N` sets the
 //! sampling period in cycles (default 5000).
+//!
+//! `--manifest-out FILE` writes a run manifest: one content hash per
+//! figure/table task (over its report text) plus per-task host timings
+//! under `host.phase.<task>.ns` — comparable with `acr_cli diff`.
 use std::process::ExitCode;
-use std::time::Instant;
 
 use acr_bench::figures;
 use acr_bench::{experiment_for, DEFAULT_SCALE, DEFAULT_THREADS};
 use acr_ckpt::{ParallelRunner, Scheme};
+use acr_trace::{Fnv1a, HostPerf, Manifest, Stopwatch};
 use acr_workloads::Benchmark;
 
 struct Args {
     metrics_out: Option<String>,
     sample_interval: u64,
     jobs: usize,
+    manifest_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         sample_interval: 5000,
         jobs: 0,
+        manifest_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--manifest-out" => out.manifest_out = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -89,52 +96,77 @@ fn sampled_metrics(sample_interval: u64) -> Result<String, String> {
 /// One independent unit of figure/table work: returns its reports in
 /// print order. Figures that share an expensive sweep (Fig. 6–9 all read
 /// `main_sweep`) are bundled into one task so the sweep still runs once.
-type FigureTask = Box<dyn Fn() -> Result<Vec<String>, String> + Sync>;
+/// The name labels the task's manifest hash and host phase timer.
+type FigureTask = (
+    &'static str,
+    Box<dyn Fn() -> Result<Vec<String>, String> + Sync>,
+);
 
 fn figure_tasks() -> Vec<FigureTask> {
     vec![
-        Box::new(|| Ok(vec![figures::fig01_report()])),
-        Box::new(|| Ok(vec![figures::table1_report()])),
-        Box::new(|| {
-            let rows = figures::main_sweep(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map_err(|e| format!("sweep: {e}"))?;
-            Ok(vec![
-                figures::fig06_report(&rows),
-                figures::fig07_report(&rows),
-                figures::fig08_report(&rows),
-                figures::fig09_report(&rows),
-            ])
-        }),
-        Box::new(|| {
-            figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("table2: {e}"))
-        }),
-        Box::new(|| {
-            figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("fig10: {e}"))
-        }),
-        Box::new(|| {
-            figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("fig11: {e}"))
-        }),
-        Box::new(|| {
-            figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("fig12: {e}"))
-        }),
-        Box::new(|| {
-            figures::scalability_report(DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("scalability: {e}"))
-        }),
-        Box::new(|| {
-            figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE)
-                .map(|r| vec![r])
-                .map_err(|e| format!("fig13: {e}"))
-        }),
+        ("fig01", Box::new(|| Ok(vec![figures::fig01_report()]))),
+        ("table1", Box::new(|| Ok(vec![figures::table1_report()]))),
+        (
+            "figs06-09",
+            Box::new(|| {
+                let rows = figures::main_sweep(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map_err(|e| format!("sweep: {e}"))?;
+                Ok(vec![
+                    figures::fig06_report(&rows),
+                    figures::fig07_report(&rows),
+                    figures::fig08_report(&rows),
+                    figures::fig09_report(&rows),
+                ])
+            }),
+        ),
+        (
+            "table2",
+            Box::new(|| {
+                figures::table2_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("table2: {e}"))
+            }),
+        ),
+        (
+            "fig10",
+            Box::new(|| {
+                figures::fig10_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("fig10: {e}"))
+            }),
+        ),
+        (
+            "fig11",
+            Box::new(|| {
+                figures::fig11_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("fig11: {e}"))
+            }),
+        ),
+        (
+            "fig12",
+            Box::new(|| {
+                figures::fig12_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("fig12: {e}"))
+            }),
+        ),
+        (
+            "scalability",
+            Box::new(|| {
+                figures::scalability_report(DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("scalability: {e}"))
+            }),
+        ),
+        (
+            "fig13",
+            Box::new(|| {
+                figures::fig13_report(DEFAULT_THREADS, DEFAULT_SCALE)
+                    .map(|r| vec![r])
+                    .map_err(|e| format!("fig13: {e}"))
+            }),
+        ),
     ]
 }
 
@@ -146,10 +178,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let t0 = Instant::now();
+    let mut host = HostPerf::start();
     let tasks = figure_tasks();
-    let chunks = ParallelRunner::new(args.jobs).run_ordered(tasks.len(), |i| tasks[i]());
-    for chunk in chunks {
+    // Each worker times its own task; the per-task wall times come back
+    // with the reports, so host.phase.* is accurate under any --jobs.
+    let chunks = host.time("figures", || {
+        ParallelRunner::new(args.jobs).run_ordered(tasks.len(), |i| {
+            let sw = Stopwatch::start();
+            let out = tasks[i].1();
+            (out, sw.elapsed_ns())
+        })
+    });
+    let mut sim_hashes: Vec<(String, u64)> = Vec::new();
+    let mut digest = Fnv1a::new();
+    for ((name, _), (chunk, task_ns)) in tasks.iter().zip(chunks) {
         let reports = match chunk {
             Ok(reports) => reports,
             Err(msg) => {
@@ -157,30 +199,69 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        host.add_phase_ns(name, task_ns);
+        let mut h = Fnv1a::new();
         for report in reports {
+            h.write(report.as_bytes());
+            digest.write(report.as_bytes());
             print!("{report}");
             println!();
         }
+        sim_hashes.push(((*name).to_owned(), h.finish()));
     }
     if let Some(path) = args.metrics_out {
-        match sampled_metrics(args.sample_interval) {
-            Ok(jsonl) => {
-                if let Err(e) = std::fs::write(&path, jsonl) {
-                    eprintln!("error: {path}: {e}");
-                    return ExitCode::from(2);
-                }
-                println!(
-                    "metrics samples (every {} cycles) -> {path}",
-                    args.sample_interval
-                );
-                println!();
-            }
+        let jsonl = match host.time("metrics", || sampled_metrics(args.sample_interval)) {
+            Ok(jsonl) => jsonl,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 return ExitCode::from(2);
             }
+        };
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
         }
+        println!(
+            "metrics samples (every {} cycles) -> {path}",
+            args.sample_interval
+        );
+        println!();
     }
-    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(path) = &args.manifest_out {
+        sim_hashes.push(("combined".to_owned(), {
+            let mut h = Fnv1a::new();
+            for (_, v) in &sim_hashes {
+                h.write_u64(*v);
+            }
+            h.finish()
+        }));
+        host.record_jobs(
+            args.jobs as u64,
+            ParallelRunner::new(args.jobs).jobs() as u64,
+            &[],
+        );
+        let m = Manifest {
+            command: "repro_all".to_owned(),
+            config: vec![
+                ("threads".to_owned(), DEFAULT_THREADS.to_string()),
+                ("scale".to_owned(), DEFAULT_SCALE.to_string()),
+                (
+                    "sample_interval".to_owned(),
+                    args.sample_interval.to_string(),
+                ),
+            ],
+            sim_hashes,
+            metrics_digest: digest.finish(),
+            host: host.finish(),
+            bench: None,
+        };
+        if let Err(e) = std::fs::write(path, m.to_json()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("manifest -> {path}");
+        println!();
+    }
+    println!("total wall time: {:.1}s", host.wall_ns() as f64 / 1e9);
     ExitCode::SUCCESS
 }

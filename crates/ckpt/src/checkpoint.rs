@@ -1,6 +1,7 @@
 //! Retained checkpoint records.
 
 use acr_sim::CoreSnapshot;
+use acr_trace::Fnv1a;
 
 /// One established checkpoint: the state needed to restore execution to
 /// the instant the checkpoint was taken. The initial program state is
@@ -36,24 +37,18 @@ impl CheckpointRecord {
     /// architectural snapshot. The shadow memory is oracle-only state and
     /// deliberately excluded.
     pub fn compute_check(begins_epoch: u64, progress: u64, arch: &[CoreSnapshot]) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut mix = |word: u64| {
-            for b in word.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0100_0000_01b3);
-            }
-        };
-        mix(begins_epoch);
-        mix(progress);
+        let mut h = Fnv1a::new();
+        h.write_u64(begins_epoch);
+        h.write_u64(progress);
         for snap in arch {
             for &r in &snap.regs {
-                mix(r);
+                h.write_u64(r);
             }
-            mix(u64::from(snap.pc));
-            mix(u64::from(snap.halted) | u64::from(snap.at_barrier) << 1);
-            mix(snap.retired);
+            h.write_u64(u64::from(snap.pc));
+            h.write_u64(u64::from(snap.halted) | u64::from(snap.at_barrier) << 1);
+            h.write_u64(snap.retired);
         }
-        h
+        h.finish()
     }
 
     /// Seals the commit: stamps the checksum over the current content.

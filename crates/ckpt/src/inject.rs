@@ -31,7 +31,7 @@ use acr_sim::{
     RecoveryFault, RecoveryFaultKind, SimError, StoreCensus,
 };
 
-use acr_trace::{MetricsRegistry, TimeSeries};
+use acr_trace::{Fnv1a, MetricsRegistry, TimeSeries, WorkerLoad};
 
 use crate::engine::{BerConfig, BerEngine, ResilienceConfig, Scheme};
 use crate::errors::CkptError;
@@ -429,17 +429,16 @@ impl CampaignReport {
     /// pins).
     pub fn content_hash(&self) -> u64 {
         let head = format!("{},{},{}\n", self.seed, self.total_progress, self.num_cores);
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
         let esc = if self.has_recovery_faults() {
             self.escalation_csv()
         } else {
             String::new()
         };
-        for b in head.bytes().chain(self.csv().bytes()).chain(esc.bytes()) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0100_0000_01b3);
-        }
-        h
+        let mut h = Fnv1a::new();
+        h.write(head.as_bytes());
+        h.write(self.csv().as_bytes());
+        h.write(esc.as_bytes());
+        h.finish()
     }
 
     /// Cases and convergences for one fault-kind label.
@@ -728,6 +727,31 @@ where
     P: OmissionPolicy,
     F: Fn() -> P + Sync,
 {
+    run_campaign_loads(program, machine, cfg, policy).map(|(report, _loads)| report)
+}
+
+/// Like [`run_campaign`], but additionally returns each worker's
+/// host-side load (busy wall time and cases executed, from
+/// [`ParallelRunner::run_sharded_loads`]).
+///
+/// The loads are returned *next to* the report, never inside it: a
+/// [`CampaignReport`] compares byte-identically across jobs values while
+/// worker loads, by nature, do not. Callers feed them to the `host.jobs.*`
+/// section of run manifests.
+///
+/// # Errors
+///
+/// Identical to [`run_campaign`].
+pub fn run_campaign_loads<P, F>(
+    program: &Program,
+    machine: MachineConfig,
+    cfg: &CampaignConfig,
+    policy: F,
+) -> Result<(CampaignReport, Vec<WorkerLoad>), CampaignError>
+where
+    P: OmissionPolicy,
+    F: Fn() -> P + Sync,
+{
     // Malformed configurations get typed errors before any work runs.
     if cfg.count == 0 {
         return Err(CkptError::EmptyCampaign.into());
@@ -848,7 +872,7 @@ where
     // Dynamic work handout, static (case-index-ordered) result placement:
     // the merged report is identical for every jobs value.
     let runner = ParallelRunner::new(cfg.jobs);
-    let (results, shards) = runner.run_sharded(
+    let (results, shards, loads) = runner.run_sharded_loads(
         plan.faults.len(),
         MetricsRegistry::new,
         |i, shard: &mut MetricsRegistry| {
@@ -875,15 +899,18 @@ where
         cases.push(rec);
     }
 
-    Ok(CampaignReport {
-        seed: cfg.seed,
-        total_progress: total,
-        num_cores,
-        cases,
-        baseline_series,
-        metrics,
-        case_log,
-    })
+    Ok((
+        CampaignReport {
+            seed: cfg.seed,
+            total_progress: total,
+            num_cores,
+            cases,
+            baseline_series,
+            metrics,
+            case_log,
+        },
+        loads,
+    ))
 }
 
 #[cfg(test)]

@@ -29,6 +29,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use acr_trace::{Stopwatch, WorkerLoad};
+
 /// Environment variable overriding the default worker count (`0` or a
 /// non-numeric value fall back to the detected parallelism).
 pub const JOBS_ENV: &str = "ACR_JOBS";
@@ -97,42 +99,81 @@ impl ParallelRunner {
         I: Fn() -> S + Sync,
         F: Fn(usize, &mut S) -> R + Sync,
     {
+        let (results, shards, _loads) = self.run_sharded_loads(n, init, f);
+        (results, shards)
+    }
+
+    /// Like [`ParallelRunner::run_sharded`], but additionally reports each
+    /// worker's host-side load ([`WorkerLoad`]): wall time spent inside
+    /// work items and the number of items the dynamic handout gave it.
+    ///
+    /// The loads are observability only — which cases land on which worker
+    /// depends on scheduling, so they are *not* jobs-invariant and must
+    /// never flow into content hashes or compared reports. They feed the
+    /// `host.jobs.*` section of run manifests.
+    pub fn run_sharded_loads<R, S, I, F>(
+        &self,
+        n: usize,
+        init: I,
+        f: F,
+    ) -> (Vec<R>, Vec<S>, Vec<WorkerLoad>)
+    where
+        R: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
         let workers = self.jobs.min(n.max(1));
         if workers <= 1 {
             let mut shard = init();
-            let results = (0..n).map(|i| f(i, &mut shard)).collect();
-            return (results, vec![shard]);
+            let mut load = WorkerLoad::default();
+            let results = (0..n)
+                .map(|i| {
+                    let sw = Stopwatch::start();
+                    let r = f(i, &mut shard);
+                    load.busy_ns += sw.elapsed_ns();
+                    load.items += 1;
+                    r
+                })
+                .collect();
+            return (results, vec![shard], vec![load]);
         }
 
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let mut shards: Vec<S> = Vec::with_capacity(workers);
+        let mut loads: Vec<WorkerLoad> = Vec::with_capacity(workers);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut shard = init();
+                        let mut load = WorkerLoad::default();
                         let mut done: Vec<(usize, R)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
+                            let sw = Stopwatch::start();
                             done.push((i, f(i, &mut shard)));
+                            load.busy_ns += sw.elapsed_ns();
+                            load.items += 1;
                         }
-                        (done, shard)
+                        (done, shard, load)
                     })
                 })
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok((done, shard)) => {
+                    Ok((done, shard, load)) => {
                         for (i, r) in done {
                             slots[i] = Some(r);
                         }
                         shards.push(shard);
+                        loads.push(load);
                     }
                     Err(panic) => std::panic::resume_unwind(panic),
                 }
@@ -143,7 +184,7 @@ impl ParallelRunner {
             .into_iter()
             .map(|s| s.expect("every index 0..n was claimed by exactly one worker"))
             .collect();
-        (results, shards)
+        (results, shards, loads)
     }
 }
 
@@ -189,6 +230,21 @@ mod tests {
             assert_eq!(results, (0..50).collect::<Vec<_>>(), "jobs={jobs}");
             assert_eq!(shards.iter().sum::<u64>(), 50, "jobs={jobs}");
             assert_eq!(shards.len(), jobs.min(50), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn loads_account_for_every_item_without_touching_results() {
+        for jobs in [1, 4] {
+            let (results, _shards, loads) =
+                ParallelRunner::new(jobs).run_sharded_loads(30, || (), |i, ()| i as u64 * 2);
+            assert_eq!(results, (0..30).map(|i| i * 2).collect::<Vec<u64>>());
+            assert_eq!(loads.len(), jobs.min(30), "one load per worker");
+            assert_eq!(
+                loads.iter().map(|l| l.items).sum::<u64>(),
+                30,
+                "jobs={jobs}: every item charged to exactly one worker"
+            );
         }
     }
 

@@ -3,15 +3,16 @@
 use std::fmt;
 
 use acr_ckpt::{
-    run_campaign, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError, CampaignReport,
-    DecisionLedger, ErrorSchedule, NoOmission, ResilienceConfig, Scheme, SecondaryStorage,
+    run_campaign_loads, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError,
+    CampaignReport, DecisionLedger, ErrorSchedule, NoOmission, ResilienceConfig, Scheme,
+    SecondaryStorage,
 };
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
 use acr_mem::MemStats;
 use acr_sim::{Fault, Machine, MachineConfig, NoHooks, PcProfile, SimError, SimStats};
 use acr_slicer::{instrument, SliceStats, SlicerConfig};
-use acr_trace::SharedSink;
+use acr_trace::{SharedSink, WorkerLoad};
 
 use crate::addr_map::AddrMapConfig;
 use crate::policy::AcrPolicy;
@@ -269,6 +270,11 @@ pub struct CampaignRunResult {
     pub recovery_energy_joules: f64,
     /// Wall time of the recovery stalls at the configured frequency (s).
     pub recovery_seconds: f64,
+    /// Host-side per-worker loads from the campaign's parallel runner
+    /// (busy wall time, cases executed). Observability only — deliberately
+    /// *outside* [`CampaignRunResult::report`], which stays byte-identical
+    /// across jobs values. Feeds `host.jobs.*` in run manifests.
+    pub host_loads: Vec<WorkerLoad>,
 }
 
 /// Runs the paper's configurations over one workload program, caching the
@@ -537,7 +543,7 @@ impl Experiment {
         amnesic: bool,
     ) -> Result<CampaignRunResult, ExperimentError> {
         let machine = self.spec.machine;
-        let (label, report) = if amnesic {
+        let (label, (report, host_loads)) = if amnesic {
             let addrmap = self.spec.addrmap;
             let scratchpad = self.spec.scratchpad;
             let (program, _) = {
@@ -551,7 +557,7 @@ impl Experiment {
             } else {
                 cfg.generations.max(1)
             };
-            let report = run_campaign(&program, machine, cfg, || {
+            let report = run_campaign_loads(&program, machine, cfg, || {
                 AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
                     .with_scratchpad(scratchpad)
                     .with_generations(generations)
@@ -560,7 +566,7 @@ impl Experiment {
         } else {
             (
                 "Inject_Ckpt",
-                run_campaign(&self.raw, machine, cfg, || NoOmission)?,
+                run_campaign_loads(&self.raw, machine, cfg, || NoOmission)?,
             )
         };
         // Energy attributable to recovery alone: log reads, restore
@@ -580,6 +586,7 @@ impl Experiment {
             recovery_energy_joules,
             recovery_seconds: machine.cycles_to_seconds(report.recovery_stall_cycles()),
             report,
+            host_loads,
         })
     }
 

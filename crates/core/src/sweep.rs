@@ -17,7 +17,7 @@
 use acr_ckpt::{CampaignConfig, ParallelRunner};
 use acr_isa::Program;
 use acr_sim::Fault;
-use acr_trace::{SharedSink, TraceEvent};
+use acr_trace::{SharedSink, Stopwatch, TraceEvent};
 
 use crate::experiment::{
     CampaignRunResult, Experiment, ExperimentError, ExperimentSpec, RunResult,
@@ -46,6 +46,10 @@ pub struct CampaignSweepOutcome {
     /// The campaign result, or why this item failed (other items still
     /// run — a sweep never drops results behind an early failure).
     pub run: Result<CampaignRunResult, ExperimentError>,
+    /// Host wall time this item took, in nanoseconds. Observability only
+    /// (feeds `host.phase.<name>.ns` in run manifests); never part of the
+    /// compared report.
+    pub host_ns: u64,
 }
 
 /// Runs one fault campaign per item, sharding `jobs` worker threads
@@ -67,6 +71,7 @@ where
     let inner = (budget / outer).max(1);
     ParallelRunner::new(outer).run_ordered(items.len(), |i| {
         let item = &items[i];
+        let sw = Stopwatch::start();
         let run = Experiment::new(item.program.clone(), spec_for(item)).and_then(|mut exp| {
             let mut cfg = item.campaign.clone();
             cfg.jobs = inner;
@@ -75,6 +80,7 @@ where
         CampaignSweepOutcome {
             name: item.name.clone(),
             run,
+            host_ns: sw.elapsed_ns(),
         }
     })
 }
@@ -110,6 +116,9 @@ pub struct FaultedSweepOutcome {
     pub name: String,
     /// The run, or why this item failed.
     pub run: Result<FaultedRun, ExperimentError>,
+    /// Host wall time this item took, in nanoseconds (observability
+    /// only; see [`CampaignSweepOutcome::host_ns`]).
+    pub host_ns: u64,
 }
 
 /// Runs [`Experiment::run_reckpt_faulted`] once per item across `jobs`
@@ -132,6 +141,7 @@ where
 {
     ParallelRunner::new(jobs).run_ordered(items.len(), |i| {
         let item = &items[i];
+        let sw = Stopwatch::start();
         let run: Result<FaultedRun, ExperimentError> = (|| {
             let mut spec = spec_for(item);
             let recorder = trace_detail.map(|detail| {
@@ -155,6 +165,7 @@ where
         FaultedSweepOutcome {
             name: item.name.clone(),
             run,
+            host_ns: sw.elapsed_ns(),
         }
     })
 }

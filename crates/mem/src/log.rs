@@ -16,6 +16,8 @@
 
 use std::collections::VecDeque;
 
+use acr_trace::Fnv1a;
+
 use crate::addr::WordAddr;
 
 /// Bytes per log record: 8 B address + 8 B old value.
@@ -27,18 +29,11 @@ pub const LOG_RECORD_BYTES: u64 = 16;
 /// checksum is observational — it models ECC/CRC the memory controller
 /// would compute in-line and adds no simulated cost.
 pub fn record_check(addr: WordAddr, old_value: u64, core: u32) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in addr
-        .byte()
-        .to_le_bytes()
-        .into_iter()
-        .chain(old_value.to_le_bytes())
-        .chain(core.to_le_bytes())
-    {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
+    let mut h = Fnv1a::new();
+    h.write_u64(addr.byte());
+    h.write_u64(old_value);
+    h.write(&core.to_le_bytes());
+    h.finish()
 }
 
 /// An old-value record: `addr` held `old_value` at the start of the

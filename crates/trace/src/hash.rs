@@ -1,0 +1,101 @@
+//! Shared FNV-1a (64-bit) hashing.
+//!
+//! Every content hash in the workspace — campaign report hashes, log-record
+//! and checkpoint integrity checksums, the CLI's combined hash, metrics
+//! digests — is the same FNV-1a fold over little-endian bytes. The
+//! algorithm used to be duplicated at each site; this module is the single
+//! definition, and the golden-hash tests (`tests/golden_hashes.rs`) pin
+//! that consolidating it changed no produced value.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher.
+///
+/// ```
+/// use acr_trace::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"acr");
+/// assert_eq!(h.finish(), acr_trace::fnv1a(b"acr"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Folds one byte.
+    #[inline]
+    pub fn write_byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Folds a `u64` as its little-endian bytes — the convention every
+    /// checksum in the workspace uses for word-sized data.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"split");
+        h.write(b" input");
+        assert_eq!(h.finish(), fnv1a(b"split input"));
+    }
+
+    #[test]
+    fn write_u64_is_le_byte_fold() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

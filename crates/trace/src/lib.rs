@@ -13,6 +13,14 @@
 //! produce byte-identical trace and metrics exports. Exporters therefore
 //! use only [`u64`] metric values and `BTreeMap`-ordered keys.
 //!
+//! The one deliberate exception is the host-performance module
+//! ([`Stopwatch`], [`HostPerf`], [`WorkerLoad`]): it measures how fast the
+//! simulator itself runs on the host, publishes under `host.*` keys only,
+//! and its numbers never enter content hashes or sim-deterministic
+//! exports. Run manifests ([`Manifest`]) carry both worlds side by side —
+//! byte-exact sim sections, tolerance-banded host sections — and
+//! [`diff_manifests`] compares them accordingly.
+//!
 //! ## Zero cost when disabled
 //!
 //! The default [`SharedSink::disabled`] records nothing and every emission
@@ -49,14 +57,22 @@
 
 mod chrome;
 mod event;
+mod hash;
 mod hist;
 mod json;
+mod manifest;
 mod metrics;
+mod perf;
 
 pub use chrome::chrome_trace_json;
 pub use event::{
     EventKind, MemorySink, SharedSink, TraceEvent, TraceSink, MAX_ARGS, TRACK_ENGINE, TRACK_MEM,
 };
+pub use hash::{fnv1a, Fnv1a, FNV_OFFSET, FNV_PRIME};
 pub use hist::{Histogram, NUM_BUCKETS, SUB_BITS};
 pub use json::{parse_json, validate_chrome_trace, ChromeSummary, Json};
+pub use manifest::{
+    diff_manifests, median, BenchStats, DiffOptions, DiffReport, Manifest, MANIFEST_SCHEMA,
+};
 pub use metrics::{MetricsRegistry, Sample, Sampler, TimeSeries};
+pub use perf::{merge_loads, peak_rss_bytes, per_second, HostPerf, Stopwatch, WorkerLoad};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::chrome::push_json_string;
+use crate::hash::Fnv1a;
 use crate::hist::Histogram;
 
 /// A flat registry of named `u64` counters/gauges behind hierarchical
@@ -107,6 +108,31 @@ impl MetricsRegistry {
         for (k, h) in other.hists() {
             self.hist_mut(k).merge(h);
         }
+    }
+
+    /// An FNV-1a digest of the whole registry: every counter key/value in
+    /// lexicographic order, then every histogram key with its count,
+    /// p50/p90/p99 and max. Two registries digest equal iff they would
+    /// export equal — the compact fingerprint run manifests carry so
+    /// `acr_cli diff` can compare full metric state without embedding it.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for (k, v) in self.iter() {
+            h.write(k.as_bytes());
+            h.write_byte(b'=');
+            h.write_u64(v);
+        }
+        for (k, hist) in self.hists() {
+            h.write(k.as_bytes());
+            h.write_byte(b'#');
+            h.write_u64(hist.count());
+            let (p50, p90, p99) = hist.digest();
+            h.write_u64(p50);
+            h.write_u64(p90);
+            h.write_u64(p99);
+            h.write_u64(hist.max());
+        }
+        h.finish()
     }
 
     /// Projects every registered histogram into scalar counters —
@@ -308,6 +334,88 @@ mod tests {
             one.record_hist("h", v);
         }
         assert_eq!(ab, one, "merge must be loss-free");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut full = MetricsRegistry::new();
+        full.add("c.x", 3);
+        full.record_hist("h", 9);
+        let before = full.clone();
+
+        // Empty into full: no change.
+        full.merge(&MetricsRegistry::new());
+        assert_eq!(full, before);
+
+        // Full into empty: exact copy.
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        // Empty into empty: still empty.
+        let mut e = MetricsRegistry::new();
+        e.merge(&MetricsRegistry::new());
+        assert!(e.is_empty());
+        assert_eq!(e.hists().count(), 0);
+    }
+
+    #[test]
+    fn merge_of_disjoint_key_sets_is_a_union() {
+        let mut a = MetricsRegistry::new();
+        a.add("a.only", 1);
+        a.record_hist("hist.a", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("b.only", 2);
+        b.record_hist("hist.b", 20);
+
+        a.merge(&b);
+        assert_eq!(a.get("a.only"), Some(1));
+        assert_eq!(a.get("b.only"), Some(2));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.hist("hist.a").expect("kept").count(), 1);
+        assert_eq!(a.hist("hist.b").expect("imported").count(), 1);
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a.only", "b.only"], "union stays sorted");
+    }
+
+    #[test]
+    fn merge_of_histogram_only_registries() {
+        let mut a = MetricsRegistry::new();
+        a.record_hist("lat", 5);
+        let mut b = MetricsRegistry::new();
+        b.record_hist("lat", 50);
+        b.record_hist("lat", 500);
+
+        a.merge(&b);
+        assert!(a.is_empty(), "no scalar keys may appear from a hist merge");
+        let h = a.hist("lat").expect("merged");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 500);
+    }
+
+    #[test]
+    fn digest_tracks_full_registry_state() {
+        let mut a = MetricsRegistry::new();
+        a.add("c.x", 3);
+        a.record_hist("h", 9);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+
+        // A counter change moves the digest.
+        b.add("c.x", 1);
+        assert_ne!(a.digest(), b.digest());
+
+        // A histogram-only change moves the digest too.
+        let mut c = a.clone();
+        c.record_hist("h", 9);
+        assert_ne!(a.digest(), c.digest());
+
+        // Empty registries digest equal (and stable).
+        assert_eq!(
+            MetricsRegistry::new().digest(),
+            MetricsRegistry::new().digest()
+        );
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! attribution profiler and the omission-decision ledger attached and
 //! exports a collapsed-stack flamegraph (speedscope / inferno) plus a
 //! ledger text report — byte-identical for a given seed.
+//!
+//! Host-performance observability rides alongside: `inject`/`trace`/
+//! `profile` emit a machine-readable run manifest behind `--manifest-out`
+//! (sim-deterministic hashes + host timings), `bench` times the reference
+//! campaign over warmup + N repetitions into `BENCH_<name>.json`, and
+//! `diff` compares two manifests — byte-exact on the sim section,
+//! tolerance-band on host timings — exiting nonzero on a regression.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -17,10 +24,13 @@ use std::process::ExitCode;
 use acr::{
     run_campaign_sweep, run_faulted_sweep, CampaignSweepItem, ExperimentSpec, FaultedSweepItem,
 };
-use acr_ckpt::{CampaignConfig, CaseOutcome, OmitReason, Scheme};
+use acr_ckpt::{CampaignConfig, CaseOutcome, OmitReason, ParallelRunner, Scheme};
 use acr_mem::CoreId;
 use acr_sim::{Fault, FaultKind, FaultKindSet};
-use acr_trace::{chrome_trace_json, TraceEvent, TRACK_ENGINE};
+use acr_trace::{
+    chrome_trace_json, diff_manifests, fnv1a, merge_loads, BenchStats, DiffOptions, Fnv1a,
+    HostPerf, Manifest, MetricsRegistry, Stopwatch, TraceEvent, WorkerLoad, TRACK_ENGINE,
+};
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -32,6 +42,14 @@ USAGE:
     acr_cli profile [OPTIONS]    attribution-profile one ACR run: per-PC cycle
                                  accounting, omission-decision ledger,
                                  flamegraph export
+    acr_cli bench [OPTIONS]      time the reference campaign over warmup +
+                                 N repetitions; write a BENCH_<name>.json
+                                 manifest with median/MAD/min host stats
+    acr_cli diff BASE CAND [OPTIONS]
+                                 compare two run manifests: byte-exact on
+                                 sim hashes and the metrics digest,
+                                 tolerance-band on host timings; exit 1 on
+                                 any regression
     acr_cli workloads            list the bundled workloads
     acr_cli help                 show this message
 
@@ -67,6 +85,10 @@ INJECT OPTIONS:
     --progress        print one line per fault case; lines are buffered
                       per shard and flushed in case order, so the output
                       is also jobs-invariant
+    --manifest-out F  write a run manifest (JSON): config, per-workload
+                      content hashes + combined, metrics digest, host
+                      timings under host.* — the sim section is identical
+                      for every --jobs value
 
 TRACE OPTIONS:
     --workload W      workload(s) to trace, comma-separated (default cg);
@@ -85,6 +107,8 @@ TRACE OPTIONS:
     --checkpoints N   checkpoints per nominal run (default 12)
     --scheme S        global | local (default global)
     --detail FLAG     on | off — per-store/assoc/miss instants (default off)
+    --manifest-out F  write a run manifest (JSON): config, per-workload
+                      trace-artifact hashes, metrics digest, host timings
 
 PROFILE OPTIONS:
     --workload W      workload(s) to profile, comma-separated (default
@@ -105,11 +129,32 @@ PROFILE OPTIONS:
     --trace-out F     also write a Chrome trace with the profile and
                       ledger counter tracks appended
     --top N           hottest attribution sites to print (default 10)
+    --manifest-out F  write a run manifest (JSON): config, flamegraph and
+                      ledger artifact hashes, host timings
+
+BENCH OPTIONS (plus every INJECT option; --faults defaults to 200 — the
+reference campaign whose hashes the golden tests pin):
+    --name NAME       benchmark name; output defaults to BENCH_<name>.json
+                      (default ref)
+    --reps N          timed repetitions (default 5)
+    --warmup N        untimed warmup repetitions (default 1)
+    --out FILE        output path override
+
+DIFF OPTIONS:
+    --tolerance-pct F allowed host-timing growth before the candidate
+                      counts as a regression (default 20)
+    --host-gate FLAG  on | off — whether a host-timing regression fails
+                      the diff (default on; CI uses off, where shared
+                      runners make wall time report-only). Sim mismatches
+                      always fail regardless
 
 Every quantity the campaign reports is derived from the seeded plan and
 the deterministic simulator — two invocations with the same options
 produce byte-identical output (the content hash makes that checkable,
-and `cmp` on two same-seed trace files does too).
+and `cmp` on two same-seed trace files does too). Manifests keep the two
+worlds apart: the sim section is byte-identical across machines and
+--jobs values, the host.* section is honest wall-clock and only ever
+compared with a tolerance band.
 ";
 
 struct InjectArgs {
@@ -130,6 +175,7 @@ struct InjectArgs {
     generations: u32,
     jobs: usize,
     progress: bool,
+    manifest_out: Option<String>,
 }
 
 impl Default for InjectArgs {
@@ -152,6 +198,7 @@ impl Default for InjectArgs {
             generations: 1,
             jobs: 0,
             progress: false,
+            manifest_out: None,
         }
     }
 }
@@ -240,6 +287,7 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
                 }
             }
             "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--manifest-out" => out.manifest_out = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -250,35 +298,63 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
     Ok(out)
 }
 
-fn inject(args: &[String]) -> Result<ExitCode, String> {
-    let a = parse_inject(args)?;
-    if let Some(dir) = &a.csv_dir {
-        std::fs::create_dir_all(dir).map_err(|e| format!("--csv {dir}: {e}"))?;
+/// The sim-relevant configuration of an inject-style campaign as ordered
+/// manifest pairs. Execution knobs that must not change results (`--jobs`,
+/// `--progress`, output paths) are deliberately excluded so the manifest's
+/// gated section stays identical across them.
+fn inject_config(a: &InjectArgs) -> Vec<(String, String)> {
+    let workloads: Vec<&str> = a.workloads.iter().map(|b| b.name()).collect();
+    let mut kinds = Vec::new();
+    if a.kinds.reg {
+        kinds.push("reg");
     }
+    if a.kinds.pc {
+        kinds.push("pc");
+    }
+    if a.kinds.mem {
+        kinds.push("mem");
+    }
+    if a.kinds.crash {
+        kinds.push("crash");
+    }
+    [
+        ("seed", a.seed.to_string()),
+        ("faults", a.faults.to_string()),
+        ("workloads", workloads.join(",")),
+        ("threads", a.threads.to_string()),
+        ("scale", a.scale.to_string()),
+        ("checkpoints", a.checkpoints.to_string()),
+        ("latency", a.latency.to_string()),
+        ("kinds", kinds.join(",")),
+        (
+            "policy",
+            (if a.amnesic { "acr" } else { "baseline" }).to_string(),
+        ),
+        ("scheme", scheme_str(a.scheme).to_string()),
+        ("recovery_faults", a.recovery_faults.to_string()),
+        ("generations", a.generations.to_string()),
+        ("sample_interval", a.sample_interval.to_string()),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
 
+fn scheme_str(s: Scheme) -> &'static str {
+    match s {
+        Scheme::GlobalCoordinated => "global",
+        Scheme::LocalCoordinated => "local",
+    }
+}
+
+/// Builds the per-workload sweep items of an inject-style campaign:
+/// `--faults` split evenly across the workloads (remainder to the first
+/// ones), per-workload seed = `--seed + index`.
+fn campaign_items(a: &InjectArgs) -> Vec<CampaignSweepItem> {
     let n = a.workloads.len() as u32;
     let base_count = a.faults / n;
     let remainder = a.faults % n;
-
-    let mut injected = 0u64;
-    let mut detected = 0u64;
-    let mut recovered = 0u64;
-    let mut diverged = 0u64;
-    let mut aborted = 0u64;
-    let mut divergent_words = 0u64;
-    let mut recovery_cycles = 0u64;
-    let mut recovery_energy = 0.0f64;
-    let mut replay_retries = 0u64;
-    let mut generation_fallbacks = 0u64;
-    let mut degraded_entries = 0u64;
-    let mut combined_hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut metrics_jsonl = String::new();
-
-    // One sweep item per workload; the sweep shards --jobs workers over
-    // workloads first and hands any surplus down as per-case campaign
-    // shards. Every byte below is identical for every jobs value.
-    let items: Vec<CampaignSweepItem> = a
-        .workloads
+    a.workloads
         .iter()
         .enumerate()
         .filter_map(|(i, &bench)| {
@@ -310,19 +386,117 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
                 amnesic: a.amnesic,
             })
         })
-        .collect();
+        .collect()
+}
 
-    let outcomes = run_campaign_sweep(&items, a.jobs, |item| {
-        let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
-        ExperimentSpec::default()
-            .with_cores(a.threads)
-            .with_threshold(bench.default_threshold())
+/// The deterministic outcome of one inject-style sweep, accumulated for
+/// manifests: per-workload content hashes, the merged metrics digest, and
+/// the host-side observability that rides next to them.
+struct SweepDigest {
+    /// `(workload, content_hash)` in workload order.
+    hashes: Vec<(String, u64)>,
+    /// Digest of all workloads' metrics registries merged into one.
+    digest: u64,
+    /// Per-worker loads merged index-wise across workloads.
+    loads: Vec<WorkerLoad>,
+    /// Simulated cycles executed across all fault cases.
+    sim_cycles: u64,
+    /// Retired instructions across all cases (each case re-runs the
+    /// nominal execution, so this is `total_progress x cases` summed).
+    retired: u64,
+}
+
+impl SweepDigest {
+    fn new() -> Self {
+        SweepDigest {
+            hashes: Vec::new(),
+            digest: 0,
+            loads: Vec::new(),
+            sim_cycles: 0,
+            retired: 0,
+        }
+    }
+
+    /// Folds one workload outcome in (workload order = call order).
+    fn fold(&mut self, name: &str, run: &acr::CampaignRunResult, merged: &mut MetricsRegistry) {
+        let r = &run.report;
+        self.hashes.push((name.to_owned(), r.content_hash()));
+        merged.merge(&r.metrics);
+        self.digest = merged.digest();
+        merge_loads(&mut self.loads, &run.host_loads);
+        self.sim_cycles += r
+            .metrics
+            .hist("campaign.case.cycles")
+            .map_or(0, |h| h.sum());
+        self.retired += r.total_progress * r.injected();
+    }
+
+    /// The CLI's combined hash: FNV-1a over the little-endian bytes of
+    /// each workload's content hash, in workload order.
+    fn combined(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for (_, hash) in &self.hashes {
+            h.write_u64(*hash);
+        }
+        h.finish()
+    }
+
+    /// The manifest's sim-hash list: per-workload hashes plus the
+    /// `combined` fold.
+    fn sim_hashes(&self) -> Vec<(String, u64)> {
+        let mut out = self.hashes.clone();
+        out.push(("combined".to_owned(), self.combined()));
+        out
+    }
+}
+
+fn write_manifest(path: &str, m: &Manifest) -> Result<(), String> {
+    std::fs::write(path, m.to_json()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn inject(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_inject(args)?;
+    if let Some(dir) = &a.csv_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--csv {dir}: {e}"))?;
+    }
+
+    let mut injected = 0u64;
+    let mut detected = 0u64;
+    let mut recovered = 0u64;
+    let mut diverged = 0u64;
+    let mut aborted = 0u64;
+    let mut divergent_words = 0u64;
+    let mut recovery_cycles = 0u64;
+    let mut recovery_energy = 0.0f64;
+    let mut replay_retries = 0u64;
+    let mut generation_fallbacks = 0u64;
+    let mut degraded_entries = 0u64;
+    let mut metrics_jsonl = String::new();
+    let mut digest = SweepDigest::new();
+    let mut merged = MetricsRegistry::new();
+    let mut host = HostPerf::start();
+
+    // One sweep item per workload; the sweep shards --jobs workers over
+    // workloads first and hands any surplus down as per-case campaign
+    // shards. Every byte below is identical for every jobs value —
+    // except the host.* manifest section, which is honest wall-clock.
+    let items = campaign_items(&a);
+
+    let outcomes = host.time("sweep", || {
+        run_campaign_sweep(&items, a.jobs, |item| {
+            let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+            ExperimentSpec::default()
+                .with_cores(a.threads)
+                .with_threshold(bench.default_threshold())
+        })
     });
 
     for o in outcomes {
         let name = o.name;
         let run = o.run.map_err(|e| format!("{name}: {e}"))?;
         let r = &run.report;
+        host.add_phase_ns(&name, o.host_ns);
+        digest.fold(&name, &run, &mut merged);
 
         println!("== {} ({}) ==", name, run.label);
         if a.progress {
@@ -361,10 +535,6 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         replay_retries += r.replay_retries();
         generation_fallbacks += r.generation_fallbacks();
         degraded_entries += r.degraded_entries();
-        for b in r.content_hash().to_le_bytes() {
-            combined_hash ^= u64::from(b);
-            combined_hash = combined_hash.wrapping_mul(0x0100_0000_01b3);
-        }
 
         if let Some(dir) = &a.csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -396,7 +566,26 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
             a.sample_interval
         );
     }
-    println!("  combined hash {combined_hash:#018x}");
+    println!("  combined hash {:#018x}", digest.combined());
+    if let Some(path) = &a.manifest_out {
+        let wall = host.wall_ns();
+        host.record_throughput(digest.sim_cycles, digest.retired, wall);
+        host.record_jobs(
+            a.jobs as u64,
+            ParallelRunner::new(a.jobs).jobs() as u64,
+            &digest.loads,
+        );
+        let m = Manifest {
+            command: "inject".to_owned(),
+            config: inject_config(&a),
+            sim_hashes: digest.sim_hashes(),
+            metrics_digest: digest.digest,
+            host: host.finish(),
+            bench: None,
+        };
+        write_manifest(path, &m)?;
+        println!("  manifest -> {path}");
+    }
     Ok(if aborted == 0 {
         ExitCode::SUCCESS
     } else {
@@ -417,6 +606,7 @@ struct TraceArgs {
     scheme: Scheme,
     detail: bool,
     jobs: usize,
+    manifest_out: Option<String>,
 }
 
 impl Default for TraceArgs {
@@ -434,6 +624,7 @@ impl Default for TraceArgs {
             scheme: Scheme::GlobalCoordinated,
             detail: false,
             jobs: 0,
+            manifest_out: None,
         }
     }
 }
@@ -502,11 +693,39 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
                 };
             }
             "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--manifest-out" => out.manifest_out = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
     }
     Ok(out)
+}
+
+/// The sim-relevant configuration of a trace/profile run as ordered
+/// manifest pairs (`--jobs` and output paths excluded; see
+/// [`inject_config`]).
+fn faulted_config(
+    workloads: &[Benchmark],
+    seed: u64,
+    faults: u32,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    scheme: Scheme,
+) -> Vec<(String, String)> {
+    let names: Vec<&str> = workloads.iter().map(|b| b.name()).collect();
+    [
+        ("seed", seed.to_string()),
+        ("faults", faults.to_string()),
+        ("workloads", names.join(",")),
+        ("threads", threads.to_string()),
+        ("scale", scale.to_string()),
+        ("checkpoints", checkpoints.to_string()),
+        ("scheme", scheme_str(scheme).to_string()),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
 }
 
 /// Inserts `.{name}` before the final extension (`run.trace.json` →
@@ -542,6 +761,11 @@ fn planned_faults(seed: u64, count: u32, total: u64, threads: u32) -> Vec<Fault>
 fn trace(args: &[String]) -> Result<ExitCode, String> {
     let a = parse_trace(args)?;
     let multi = a.workloads.len() > 1;
+    let mut host = HostPerf::start();
+    let mut sim_hashes: Vec<(String, u64)> = Vec::new();
+    let mut metrics_digest = Fnv1a::new();
+    let mut sim_cycles = 0u64;
+    let mut retired = 0u64;
     let items: Vec<FaultedSweepItem> = a
         .workloads
         .iter()
@@ -555,27 +779,33 @@ fn trace(args: &[String]) -> Result<ExitCode, String> {
             ),
         })
         .collect();
-    let outcomes = run_faulted_sweep(
-        &items,
-        a.jobs,
-        Some(a.detail),
-        |item| {
-            let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
-            ExperimentSpec::default()
-                .with_cores(a.threads)
-                .with_checkpoints(a.checkpoints)
-                .with_threshold(bench.default_threshold())
-                .with_scheme(a.scheme)
-                .with_sample_interval(a.sample_interval)
-        },
-        |_, total| planned_faults(a.seed, a.faults, total, a.threads),
-    );
+    let outcomes = host.time("sweep", || {
+        run_faulted_sweep(
+            &items,
+            a.jobs,
+            Some(a.detail),
+            |item| {
+                let bench =
+                    Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+                ExperimentSpec::default()
+                    .with_cores(a.threads)
+                    .with_checkpoints(a.checkpoints)
+                    .with_threshold(bench.default_threshold())
+                    .with_scheme(a.scheme)
+                    .with_sample_interval(a.sample_interval)
+            },
+            |_, total| planned_faults(a.seed, a.faults, total, a.threads),
+        )
+    });
 
     for o in outcomes {
         let name = o.name;
         let run = o.run.map_err(|e| format!("{name}: {e}"))?;
         let result = &run.result;
         let report = result.report.as_ref().expect("engine runs carry a report");
+        host.add_phase_ns(&name, o.host_ns);
+        sim_cycles += result.cycles;
+        retired += result.sim.retired;
 
         let out_path = if multi {
             suffixed(&a.out, &name)
@@ -584,6 +814,7 @@ fn trace(args: &[String]) -> Result<ExitCode, String> {
         };
         let json = chrome_trace_json(&run.events, Some(&report.series));
         std::fs::write(&out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+        sim_hashes.push((name.clone(), fnv1a(json.as_bytes())));
 
         println!(
             "traced {} ({}): {} cycles, {} checkpoints, {} faults injected, {} recoveries",
@@ -609,18 +840,49 @@ fn trace(args: &[String]) -> Result<ExitCode, String> {
             a.sample_interval,
             out_path
         );
+        let jsonl = report
+            .series
+            .to_jsonl(&[("workload", &name), ("run", "reckpt_faulted")]);
+        metrics_digest.write(jsonl.as_bytes());
         if let Some(path) = &a.metrics_out {
             let path = if multi {
                 suffixed(path, &name)
             } else {
                 path.clone()
             };
-            let jsonl = report
-                .series
-                .to_jsonl(&[("workload", &name), ("run", "reckpt_faulted")]);
             std::fs::write(&path, jsonl).map_err(|e| format!("{path}: {e}"))?;
             println!("  metrics samples -> {path}");
         }
+    }
+    if let Some(path) = &a.manifest_out {
+        let wall = host.wall_ns();
+        host.record_throughput(sim_cycles, retired, wall);
+        host.record_jobs(
+            a.jobs as u64,
+            ParallelRunner::new(a.jobs).jobs() as u64,
+            &[],
+        );
+        let mut config = faulted_config(
+            &a.workloads,
+            a.seed,
+            a.faults,
+            a.threads,
+            a.scale,
+            a.checkpoints,
+            a.scheme,
+        );
+        config.push(("sample_interval".to_owned(), a.sample_interval.to_string()));
+        config.push(("detail".to_owned(), a.detail.to_string()));
+        let m = Manifest {
+            command: "trace".to_owned(),
+            config,
+            sim_hashes,
+            metrics_digest: metrics_digest.finish(),
+            host: host.finish(),
+            bench: None,
+        };
+        write_manifest(path, &m)?;
+        println!("manifest -> {path}");
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -638,6 +900,7 @@ struct ProfileArgs {
     trace_out: Option<String>,
     top: usize,
     jobs: usize,
+    manifest_out: Option<String>,
 }
 
 impl Default for ProfileArgs {
@@ -655,6 +918,7 @@ impl Default for ProfileArgs {
             trace_out: None,
             top: 10,
             jobs: 0,
+            manifest_out: None,
         }
     }
 }
@@ -698,6 +962,7 @@ fn parse_profile(args: &[String]) -> Result<ProfileArgs, String> {
             "--trace-out" => out.trace_out = Some(value.clone()),
             "--top" => out.top = value.parse().map_err(|e| format!("--top: {e}"))?,
             "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--manifest-out" => out.manifest_out = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -807,26 +1072,34 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
         })
         .collect();
     let tracing = a.trace_out.is_some();
-    let outcomes = run_faulted_sweep(
-        &items,
-        a.jobs,
-        tracing.then_some(false),
-        |item| {
-            let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
-            let spec = ExperimentSpec::default()
-                .with_cores(a.threads)
-                .with_checkpoints(a.checkpoints)
-                .with_threshold(bench.default_threshold())
-                .with_scheme(a.scheme)
-                .with_profile(true);
-            if tracing {
-                spec.with_sample_interval(5000)
-            } else {
-                spec
-            }
-        },
-        |_, total| planned_faults(a.seed, a.faults, total, a.threads),
-    );
+    let mut host = HostPerf::start();
+    let mut sim_hashes: Vec<(String, u64)> = Vec::new();
+    let mut metrics_digest = Fnv1a::new();
+    let mut sim_cycles = 0u64;
+    let mut retired = 0u64;
+    let outcomes = host.time("sweep", || {
+        run_faulted_sweep(
+            &items,
+            a.jobs,
+            tracing.then_some(false),
+            |item| {
+                let bench =
+                    Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+                let spec = ExperimentSpec::default()
+                    .with_cores(a.threads)
+                    .with_checkpoints(a.checkpoints)
+                    .with_threshold(bench.default_threshold())
+                    .with_scheme(a.scheme)
+                    .with_profile(true);
+                if tracing {
+                    spec.with_sample_interval(5000)
+                } else {
+                    spec
+                }
+            },
+            |_, total| planned_faults(a.seed, a.faults, total, a.threads),
+        )
+    });
 
     let energy = acr_energy::EnergyModel::default();
     for o in outcomes {
@@ -862,6 +1135,13 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&flame_out, &flame).map_err(|e| format!("{flame_out}: {e}"))?;
         let ledger_txt = ledger_report(&name, a.seed, ledger, &energy);
         std::fs::write(&ledger_out, &ledger_txt).map_err(|e| format!("{ledger_out}: {e}"))?;
+        host.add_phase_ns(&name, o.host_ns);
+        sim_cycles += result.cycles;
+        retired += result.sim.retired;
+        sim_hashes.push((format!("{name}.flame"), fnv1a(flame.as_bytes())));
+        sim_hashes.push((format!("{name}.ledger"), fnv1a(ledger_txt.as_bytes())));
+        metrics_digest.write(flame.as_bytes());
+        metrics_digest.write(ledger_txt.as_bytes());
 
         println!(
             "profiled {} ({}): {} cycles, {} attribution sites, {} retires",
@@ -933,7 +1213,254 @@ fn profile(args: &[String]) -> Result<ExitCode, String> {
             println!("  trace -> {path}");
         }
     }
+    if let Some(path) = &a.manifest_out {
+        let wall = host.wall_ns();
+        host.record_throughput(sim_cycles, retired, wall);
+        host.record_jobs(
+            a.jobs as u64,
+            ParallelRunner::new(a.jobs).jobs() as u64,
+            &[],
+        );
+        let m = Manifest {
+            command: "profile".to_owned(),
+            config: faulted_config(
+                &a.workloads,
+                a.seed,
+                a.faults,
+                a.threads,
+                a.scale,
+                a.checkpoints,
+                a.scheme,
+            ),
+            sim_hashes,
+            metrics_digest: metrics_digest.finish(),
+            host: host.finish(),
+            bench: None,
+        };
+        write_manifest(path, &m)?;
+        println!("manifest -> {path}");
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+struct BenchArgs {
+    /// The campaign to time — every inject option applies, with
+    /// `--faults` defaulting to 200 (the reference campaign whose
+    /// hashes the golden tests pin) instead of 1000.
+    inject: InjectArgs,
+    name: String,
+    reps: u32,
+    warmup: u32,
+    out: Option<String>,
+}
+
+fn parse_bench(args: &[String]) -> Result<BenchArgs, String> {
+    let mut name = "ref".to_owned();
+    let mut reps = 5u32;
+    let mut warmup = 1u32;
+    let mut out = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--name" | "--reps" | "--warmup" | "--out" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                match flag {
+                    "--name" => name = value.clone(),
+                    "--reps" => {
+                        reps = value.parse().map_err(|e| format!("--reps: {e}"))?;
+                        if reps == 0 {
+                            return Err("--reps must be positive".into());
+                        }
+                    }
+                    "--warmup" => warmup = value.parse().map_err(|e| format!("--warmup: {e}"))?,
+                    _ => out = Some(value.clone()),
+                }
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let had_faults = rest.iter().any(|s| s == "--faults");
+    let mut inject = parse_inject(&rest)?;
+    if !had_faults {
+        inject.faults = 200;
+    }
+    Ok(BenchArgs {
+        inject,
+        name,
+        reps,
+        warmup,
+        out,
+    })
+}
+
+fn bench(args: &[String]) -> Result<ExitCode, String> {
+    let b = parse_bench(args)?;
+    let a = &b.inject;
+    let items = campaign_items(a);
+    let spec_for = |item: &CampaignSweepItem| {
+        let bench = Benchmark::from_name(&item.name).expect("items are built from benchmarks");
+        ExperimentSpec::default()
+            .with_cores(a.threads)
+            .with_threshold(bench.default_threshold())
+    };
+    let run_once = || -> Result<SweepDigest, String> {
+        let outcomes = run_campaign_sweep(&items, a.jobs, spec_for);
+        let mut digest = SweepDigest::new();
+        let mut merged = MetricsRegistry::new();
+        for o in outcomes {
+            let name = o.name;
+            let run = o.run.map_err(|e| format!("{name}: {e}"))?;
+            digest.fold(&name, &run, &mut merged);
+        }
+        Ok(digest)
+    };
+
+    let mut host = HostPerf::start();
+    println!(
+        "benchmark {}: faults {} workloads {} jobs {} — {} warmup + {} timed reps",
+        b.name,
+        a.faults,
+        a.workloads
+            .iter()
+            .map(|w| w.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        a.jobs,
+        b.warmup,
+        b.reps
+    );
+    for _ in 0..b.warmup {
+        host.time("warmup", run_once)?;
+    }
+
+    let mut samples = Vec::with_capacity(b.reps as usize);
+    let mut loads: Vec<WorkerLoad> = Vec::new();
+    let mut reference: Option<SweepDigest> = None;
+    for rep in 0..b.reps {
+        let sw = Stopwatch::start();
+        let digest = run_once()?;
+        let ns = sw.elapsed_ns();
+        host.add_phase_ns("reps", ns);
+        samples.push(ns);
+        println!(
+            "  rep {}/{}: {:.3} s  combined {:#018x}",
+            rep + 1,
+            b.reps,
+            ns as f64 / 1e9,
+            digest.combined()
+        );
+        merge_loads(&mut loads, &digest.loads);
+        match &reference {
+            // The timed campaign must be deterministic or the numbers
+            // mean nothing: every rep re-proves the sim section.
+            Some(r) if r.hashes != digest.hashes || r.digest != digest.digest => {
+                return Err(
+                    "nondeterministic campaign: sim hashes differ across repetitions".into(),
+                );
+            }
+            Some(_) => {}
+            None => reference = Some(digest),
+        }
+    }
+    let reference = reference.expect("--reps is positive");
+    let stats = BenchStats::from_samples(&samples, u64::from(b.warmup));
+    println!(
+        "  median {:.3} s  mad {:.3} s  min {:.3} s",
+        stats.median_ns as f64 / 1e9,
+        stats.mad_ns as f64 / 1e9,
+        stats.min_ns as f64 / 1e9
+    );
+
+    // Throughput is per *repetition* (median), not per total wall time,
+    // so it is comparable across different --reps choices.
+    host.record_throughput(reference.sim_cycles, reference.retired, stats.median_ns);
+    host.record_jobs(
+        a.jobs as u64,
+        ParallelRunner::new(a.jobs).jobs() as u64,
+        &loads,
+    );
+    let m = Manifest {
+        command: "bench".to_owned(),
+        config: inject_config(a),
+        sim_hashes: reference.sim_hashes(),
+        metrics_digest: reference.digest,
+        host: host.finish(),
+        bench: Some(stats),
+    };
+    let out_path = b.out.unwrap_or_else(|| format!("BENCH_{}.json", b.name));
+    write_manifest(&out_path, &m)?;
+    println!("manifest -> {out_path}");
+    if let Some(path) = &a.manifest_out {
+        write_manifest(path, &m)?;
+        println!("manifest -> {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--tolerance-pct" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                opts.tolerance_pct = value.parse().map_err(|e| format!("--tolerance-pct: {e}"))?;
+                if opts.tolerance_pct.is_nan() || opts.tolerance_pct < 0.0 {
+                    return Err("--tolerance-pct must be non-negative".into());
+                }
+                i += 2;
+            }
+            "--host-gate" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                opts.gate_host = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--host-gate takes on|off, got `{other}`")),
+                };
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => {
+                paths.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "diff takes exactly two manifest paths, got {}",
+            paths.len()
+        ));
+    }
+    let read = |path: &str| -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Manifest::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(&paths[0])?;
+    let candidate = read(&paths[1])?;
+    let report = diff_manifests(&baseline, &candidate, &opts);
+    print!("{}", report.render());
+    Ok(if report.failed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {
@@ -954,6 +1481,20 @@ fn main() -> ExitCode {
             }
         },
         Some("profile") => match profile(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("bench") => match bench(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("diff") => match diff(&args[1..]) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -21,6 +21,7 @@
 use acr::{run_campaign_sweep, CampaignSweepItem, ExperimentSpec};
 use acr_ckpt::CampaignConfig;
 use acr_sim::FaultKindSet;
+use acr_trace::Fnv1a;
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
 const THREADS: u32 = 4;
@@ -57,16 +58,15 @@ fn items(seed: u64, faults: u32, recovery_faults: bool) -> Vec<CampaignSweepItem
 }
 
 /// The CLI's combined hash: FNV-1a over the little-endian bytes of each
-/// workload's content hash, in workload order.
+/// workload's content hash, in workload order (via the shared
+/// `acr_trace::Fnv1a` — the pins below prove the consolidation changed no
+/// value).
 fn combined(hashes: &[u64]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for hash in hashes {
-        for b in hash.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0100_0000_01b3);
-        }
+    let mut h = Fnv1a::new();
+    for &hash in hashes {
+        h.write_u64(hash);
     }
-    h
+    h.finish()
 }
 
 /// Runs the replicated inject campaign and returns per-workload content
