@@ -11,6 +11,7 @@ use acr_trace::{TraceEvent, TRACK_ENGINE};
 
 use crate::checkpoint::CheckpointRecord;
 use crate::ledger::DecisionLedger;
+use crate::monitor::InvariantSummary;
 use crate::policy::OmissionPolicy;
 use crate::report::{BerReport, IntervalRecord, RecoveryRecord};
 use crate::schedule::ErrorSchedule;
@@ -397,6 +398,20 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         )
     }
 
+    /// Invariant-monitor tallies accumulated so far. The completed run's
+    /// copy travels in [`BerReport::invariants`]; this accessor serves the
+    /// abort path, where no report is ever produced.
+    pub fn invariants(&self) -> &InvariantSummary {
+        &self.report.invariants
+    }
+
+    /// The in-progress report. Complete only after
+    /// [`Self::run_to_completion`] returns `Ok` (which *takes* it); the
+    /// abort path reads escalation history and counters through this.
+    pub fn partial_report(&self) -> &BerReport {
+        &self.report
+    }
+
     fn next_stop(&self) -> u64 {
         let last_ckpt = self.checkpoints.back().map(|c| c.progress).unwrap_or(0);
         let trig = self
@@ -517,7 +532,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     /// * `ckpt.replay_retries` — recovery re-replay attempts (count);
     /// * `ckpt.generation_fallbacks` — torn generations skipped (count);
     /// * `ckpt.degraded.entries` — degraded-mode entries (count);
-    /// * `ckpt.degraded.active` — 1 while degraded full logging is on.
+    /// * `ckpt.degraded.active` — 1 while degraded full logging is on;
+    /// * `ckpt.invariant.*` — invariant-monitor check/breach tallies (see
+    ///   [`crate::monitor::InvariantSummary::publish`]).
     fn publish_ckpt_metrics(&mut self) {
         let r = &self.report;
         let taken = r.checkpoints_taken;
@@ -552,7 +569,99 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                 reg.set(&key, led.total(reason));
             }
         }
+        self.report.invariants.publish(reg);
         self.hooks.policy.publish_metrics(reg);
+    }
+
+    /// Samples the runtime invariant monitors at an epoch-commit boundary
+    /// (see [`crate::monitor`]). Purely observational: reads engine state,
+    /// charges no simulated cycles.
+    fn run_invariant_monitors(&mut self, sealed_index: u64) {
+        let cycle = self.machine.cycles();
+
+        // Log-bit / ledger conservation vs the controller's lifetime
+        // tallies. Sealed-interval sums can lag the lifetime totals
+        // (epochs undone before sealing, the just-opened epoch) but can
+        // never exceed them; with a ledger attached the decision count
+        // must match the controller's first-update total exactly.
+        let logged = self.hooks.logctl.lifetime_logged();
+        let omitted = self.hooks.logctl.lifetime_omitted();
+        let int_records: u64 = self.report.intervals.iter().map(|i| i.records).sum();
+        let int_omitted: u64 = self.report.intervals.iter().map(|i| i.omitted).sum();
+        let mut log_breach = None;
+        if int_records > logged || int_omitted > omitted {
+            log_breach = Some(format!(
+                "sealed interval sums ({int_records} logged, {int_omitted} omitted) \
+                 exceed lifetime totals ({logged}, {omitted})"
+            ));
+        } else if let Some(led) = &self.hooks.ledger {
+            let decisions = led.total_decisions();
+            if decisions != logged + omitted {
+                log_breach = Some(format!(
+                    "ledger decisions {decisions} != lifetime logged {logged} + omitted {omitted}"
+                ));
+            }
+        }
+        self.report
+            .invariants
+            .observe("log_conservation", sealed_index, cycle, log_breach);
+
+        // Retained-checkpoint monotonicity: strictly increasing epochs,
+        // non-decreasing progress and commit cycles.
+        let mut mono_breach = None;
+        for pair in self.checkpoints.iter().zip(self.checkpoints.iter().skip(1)) {
+            let (a, b) = pair;
+            if b.begins_epoch <= a.begins_epoch || b.progress < a.progress || b.cycles < a.cycles {
+                mono_breach = Some(format!(
+                    "checkpoint order violated: epoch {} (progress {}, cycle {}) \
+                     followed by epoch {} (progress {}, cycle {})",
+                    a.begins_epoch, a.progress, a.cycles, b.begins_epoch, b.progress, b.cycles
+                ));
+                break;
+            }
+        }
+        self.report
+            .invariants
+            .observe("epoch_monotonic", sealed_index, cycle, mono_breach);
+
+        // Policy association-storage occupancy bound (skipped entirely for
+        // policies without bounded storage, e.g. the baseline).
+        if let Some((live, cap)) = self.hooks.policy.occupancy() {
+            let breach = (live > cap).then(|| {
+                format!("association storage holds {live} live entries over its bound {cap}")
+            });
+            self.report
+                .invariants
+                .observe("addrmap_occupancy", sealed_index, cycle, breach);
+        }
+
+        // Checksum spot-check: the oldest and newest retained records must
+        // still verify (torn generations are truncated by recovery before
+        // the next commit, so the deque is clean here).
+        let mut check_breach = None;
+        for rec in [self.checkpoints.front(), self.checkpoints.back()]
+            .into_iter()
+            .flatten()
+        {
+            if !rec.verify() {
+                check_breach = Some(format!(
+                    "retained checkpoint for epoch {} fails checksum verification",
+                    rec.begins_epoch
+                ));
+                break;
+            }
+        }
+        self.report
+            .invariants
+            .observe("checksum_spot", sealed_index, cycle, check_breach);
+
+        // Machine architectural-state audit.
+        let violations = self.machine.audit();
+        let audit_breach =
+            (violations > 0).then(|| format!("machine audit found {violations} violations"));
+        self.report
+            .invariants
+            .observe("machine_audit", sealed_index, cycle, audit_breach);
     }
 
     fn mark_occurrences(&mut self) {
@@ -722,6 +831,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         });
         self.report.checkpoints_taken += 1;
         self.report.checkpoint_stall_cycles += max_stall;
+        self.run_invariant_monitors(sealed_index);
 
         // Hierarchical level 2: stream every k-th checkpoint out.
         if let Some(sec) = self.cfg.secondary {
@@ -1009,6 +1119,9 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         }
         let replay_retries = attempt - 1;
         let exhausted = !attempt_ok;
+        if exhausted {
+            self.report.escalation_exhausted += 1;
+        }
 
         // Oracle: restored state must match the safe checkpoint's shadow.
         // Phantom errors corrupt nothing, so any mismatch is an engine bug

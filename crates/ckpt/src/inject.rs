@@ -31,12 +31,13 @@ use acr_sim::{
     RecoveryFault, RecoveryFaultKind, SimError, StoreCensus,
 };
 
-use acr_trace::{Fnv1a, MetricsRegistry, TimeSeries, WorkerLoad};
+use acr_trace::{FlightRecorder, Fnv1a, MetricsRegistry, TimeSeries, WorkerLoad};
 
 use crate::engine::{BerConfig, BerEngine, ResilienceConfig, Scheme};
 use crate::errors::CkptError;
 use crate::parallel::ParallelRunner;
 use crate::policy::OmissionPolicy;
+use crate::postmortem::PostmortemBundle;
 use crate::schedule::{uniform_points, ErrorSchedule};
 
 /// Recovery-fault kind labels, in rendering order (escalation histogram).
@@ -93,6 +94,13 @@ pub struct CampaignConfig {
     /// flushed in case order at merge, so the log is jobs-invariant; it
     /// never enters the content hash.
     pub progress: bool,
+    /// Attach an always-on [`FlightRecorder`] to every case's machine
+    /// (default). The recorder is a fixed-capacity ring sink — purely
+    /// observational, so recorder-on campaigns are cycle- and
+    /// hash-identical to recorder-off ones — and its event tails feed the
+    /// [`PostmortemBundle`]s of failed cases. Disable only to measure the
+    /// recorder's host-time cost (`acr_cli bench` does).
+    pub recorder: bool,
 }
 
 impl Default for CampaignConfig {
@@ -110,6 +118,7 @@ impl Default for CampaignConfig {
             generations: 1,
             jobs: 1,
             progress: false,
+            recorder: true,
         }
     }
 }
@@ -236,7 +245,7 @@ pub struct FaultCaseRecord {
     pub outcome: CaseOutcome,
 }
 
-fn fault_detail(kind: FaultKind) -> String {
+pub(crate) fn fault_detail(kind: FaultKind) -> String {
     match kind {
         FaultKind::RegBitFlip { reg, bit } => format!("r{reg}b{bit}"),
         FaultKind::PcBitFlip { bit } => format!("b{bit}"),
@@ -274,6 +283,13 @@ pub struct CampaignReport {
     /// the text never interleaves across workers. Excluded from
     /// [`CampaignReport::content_hash`].
     pub case_log: String,
+    /// Forensic bundles of every *failed* case (diverged, aborted,
+    /// escalation-exhausted or invariant-breached), in case order —
+    /// jobs-invariant like everything else in the report. Observational
+    /// only: excluded from [`CampaignReport::content_hash`],
+    /// [`CampaignReport::csv`] and [`CampaignReport::summary`], so pinned
+    /// campaign hashes are untouched.
+    pub postmortems: Vec<PostmortemBundle>,
 }
 
 impl CampaignReport {
@@ -547,8 +563,13 @@ struct CaseCtx<'a, F> {
 
 /// Runs one planned fault to its verdict: fresh machine, fresh policy,
 /// engine run, differential compare. Pure in `(ctx, i, fault)`, which is
-/// what makes the campaign jobs-invariant.
-fn run_fault_case<P, F>(ctx: &CaseCtx<'_, F>, i: usize, fault: Fault) -> FaultCaseRecord
+/// what makes the campaign jobs-invariant. Failed cases additionally
+/// yield a [`PostmortemBundle`] drained from the case's flight recorder.
+fn run_fault_case<P, F>(
+    ctx: &CaseCtx<'_, F>,
+    i: usize,
+    fault: Fault,
+) -> (FaultCaseRecord, Option<PostmortemBundle>)
 where
     P: OmissionPolicy,
     F: Fn() -> P,
@@ -580,7 +601,17 @@ where
         faults: vec![fault],
         resilience,
     };
-    let m = Machine::new(ctx.machine, ctx.program);
+    let mut m = Machine::new(ctx.machine, ctx.program);
+    // The always-on flight recorder: a fixed-capacity ring sink, so a
+    // recorder-backed case stays cycle- and hash-identical (tracing is
+    // observational) while failed cases keep their event tails.
+    let recorder = if cfg.recorder {
+        let (sink, rec) = FlightRecorder::shared(ctx.machine.num_cores as usize);
+        m.set_trace_sink(sink);
+        Some(rec)
+    } else {
+        None
+    };
     let mut engine = BerEngine::new(m, (ctx.policy)(), ber);
     match engine.run_to_completion() {
         Ok(report) => {
@@ -603,7 +634,7 @@ where
                 && reg_divergence == 0
                 && final_retired == total
                 && m.all_halted();
-            FaultCaseRecord {
+            let record = FaultCaseRecord {
                 case: i as u32,
                 fault,
                 recoveries: report.recoveries.len() as u64,
@@ -628,30 +659,65 @@ where
                 } else {
                     CaseOutcome::Diverged
                 },
-            }
+            };
+            let trigger = if record.outcome == CaseOutcome::Diverged {
+                Some("divergence")
+            } else if report.invariants.total_breaches() > 0 {
+                Some("invariant-breach")
+            } else if report.escalation_exhausted > 0 {
+                Some("escalation-exhaustion")
+            } else {
+                None
+            };
+            let bundle = trigger.map(|t| {
+                PostmortemBundle::capture(
+                    t,
+                    cfg.seed,
+                    &record,
+                    &report,
+                    m.mem().image().words(),
+                    engine.log_totals(),
+                    recorder.as_ref().map(|r| r.borrow()).as_deref(),
+                    None,
+                )
+            });
+            (record, bundle)
         }
-        Err(_) => FaultCaseRecord {
-            case: i as u32,
-            fault,
-            recoveries: 0,
-            exception_detections: 0,
-            shadow_divergence: 0,
-            mem_divergence: 0,
-            reg_divergence: 0,
-            final_retired: 0,
-            restored_records: 0,
-            recomputed_values: 0,
-            recompute_alu_ops: 0,
-            recovery_stall_cycles: 0,
-            waste_cycles: 0,
-            cycles: 0,
-            landing_cycle: 0,
-            recovery_fault,
-            replay_retries: 0,
-            generation_fallbacks: 0,
-            degraded_entries: 0,
-            outcome: CaseOutcome::Aborted,
-        },
+        Err(err) => {
+            let record = FaultCaseRecord {
+                case: i as u32,
+                fault,
+                recoveries: 0,
+                exception_detections: 0,
+                shadow_divergence: 0,
+                mem_divergence: 0,
+                reg_divergence: 0,
+                final_retired: 0,
+                restored_records: 0,
+                recomputed_values: 0,
+                recompute_alu_ops: 0,
+                recovery_stall_cycles: 0,
+                waste_cycles: 0,
+                cycles: 0,
+                landing_cycle: 0,
+                recovery_fault,
+                replay_retries: 0,
+                generation_fallbacks: 0,
+                degraded_entries: 0,
+                outcome: CaseOutcome::Aborted,
+            };
+            let bundle = PostmortemBundle::capture(
+                "abort",
+                cfg.seed,
+                &record,
+                engine.partial_report(),
+                engine.machine().mem().image().words(),
+                engine.log_totals(),
+                recorder.as_ref().map(|r| r.borrow()).as_deref(),
+                Some(&err.to_string()),
+            );
+            (record, Some(bundle))
+        }
     }
 }
 
@@ -876,10 +942,10 @@ where
         plan.faults.len(),
         MetricsRegistry::new,
         |i, shard: &mut MetricsRegistry| {
-            let rec = run_fault_case(&ctx, i, plan.faults[i]);
+            let (rec, bundle) = run_fault_case(&ctx, i, plan.faults[i]);
             record_case_metrics(shard, &rec);
             let line = cfg.progress.then(|| case_log_line(&rec));
-            (rec, line)
+            (rec, line, bundle)
         },
     );
 
@@ -891,10 +957,14 @@ where
 
     let mut cases = Vec::with_capacity(results.len());
     let mut case_log = String::new();
-    for (rec, line) in results {
+    let mut postmortems = Vec::new();
+    for (rec, line, bundle) in results {
         if let Some(line) = line {
             case_log.push_str(&line);
             case_log.push('\n');
+        }
+        if let Some(b) = bundle {
+            postmortems.push(b);
         }
         cases.push(rec);
     }
@@ -908,6 +978,7 @@ where
             baseline_series,
             metrics,
             case_log,
+            postmortems,
         },
         loads,
     ))
@@ -1182,6 +1253,103 @@ mod tests {
         let plain = run_campaign(&p, m, &plain_cfg, || NoOmission).expect("campaign runs");
         assert!(!plain.has_recovery_faults());
         assert_ne!(a.content_hash(), plain.content_hash());
+    }
+
+    /// Every failed case yields exactly one postmortem bundle, in case
+    /// order, with recorder rings and a non-empty probable cause — and
+    /// the bundles are byte-identical across runs and jobs values.
+    #[test]
+    fn failed_cases_carry_deterministic_postmortems() {
+        let p = kernel(2, 60);
+        let m = MachineConfig::with_cores(2);
+        let mem_only = FaultKindSet {
+            reg: false,
+            pc: false,
+            mem: true,
+            crash: false,
+        };
+        let cfg = CampaignConfig {
+            seed: 42,
+            count: 25,
+            kinds: mem_only,
+            num_checkpoints: 5,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+        assert!(a.diverged() > 0, "{}", a.summary());
+        assert_eq!(a.postmortems.len() as u64, a.diverged() + a.aborted());
+        let failed: Vec<u32> = a
+            .cases
+            .iter()
+            .filter(|c| c.outcome != CaseOutcome::Recovered)
+            .map(|c| c.case)
+            .collect();
+        assert_eq!(
+            a.postmortems.iter().map(|b| b.case).collect::<Vec<_>>(),
+            failed,
+            "bundles in case order"
+        );
+        for b in &a.postmortems {
+            assert_eq!(b.trigger, "divergence");
+            assert_eq!(b.seed, 42);
+            assert!(!b.probable_cause.is_empty());
+            assert_eq!(b.rings.len(), 3, "2 core rings + global");
+            assert!(b.rings.iter().any(|r| !r.events.is_empty()));
+        }
+        let b = run_campaign(&p, m, &cfg, || NoOmission).expect("campaign runs");
+        assert_eq!(a.postmortems, b.postmortems);
+        for jobs in [2usize, 4] {
+            let par_cfg = CampaignConfig {
+                jobs,
+                ..cfg.clone()
+            };
+            let par = run_campaign(&p, m, &par_cfg, || NoOmission).expect("campaign runs");
+            assert_eq!(a.postmortems, par.postmortems, "jobs={jobs}");
+            for (x, y) in a.postmortems.iter().zip(&par.postmortems) {
+                assert_eq!(x.to_json(), y.to_json(), "jobs={jobs}");
+            }
+        }
+    }
+
+    /// The recorder knob changes nothing observable except ring capture:
+    /// same cases, same hash, just no event tails in the bundles.
+    #[test]
+    fn recorder_off_is_hash_identical_and_ringless() {
+        let p = kernel(2, 60);
+        let m = MachineConfig::with_cores(2);
+        let mem_only = FaultKindSet {
+            reg: false,
+            pc: false,
+            mem: true,
+            crash: false,
+        };
+        let on = CampaignConfig {
+            seed: 11,
+            count: 15,
+            kinds: mem_only,
+            num_checkpoints: 5,
+            ..CampaignConfig::default()
+        };
+        let off = CampaignConfig {
+            recorder: false,
+            ..on.clone()
+        };
+        let a = run_campaign(&p, m, &on, || NoOmission).expect("campaign runs");
+        let b = run_campaign(&p, m, &off, || NoOmission).expect("campaign runs");
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(a.postmortems.iter().all(|bu| !bu.rings.is_empty()));
+        assert!(b.postmortems.iter().all(|bu| bu.rings.is_empty()));
+        assert_eq!(a.postmortems.len(), b.postmortems.len());
+    }
+
+    /// Clean recoverable campaigns sample the invariant monitors at every
+    /// commit without a single breach — and produce no bundles.
+    #[test]
+    fn clean_campaign_has_checks_but_no_postmortems() {
+        let r = campaign(10, FaultKindSet::recoverable(), 7);
+        assert_eq!(r.recovered(), 10, "{}", r.summary());
+        assert!(r.postmortems.is_empty());
     }
 
     #[test]

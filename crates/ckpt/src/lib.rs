@@ -34,8 +34,10 @@ pub mod errors;
 pub mod frequency;
 mod inject;
 mod ledger;
+mod monitor;
 pub mod parallel;
 mod policy;
+mod postmortem;
 mod report;
 mod schedule;
 
@@ -47,7 +49,11 @@ pub use inject::{
     FaultCaseRecord,
 };
 pub use ledger::{DecisionLedger, OmitReason, ReplayCost, NUM_REASONS, RANGE_BYTES};
+pub use monitor::{BreachRecord, InvariantSummary, MonitorCounters};
 pub use parallel::{available_jobs, ParallelRunner, JOBS_ENV};
 pub use policy::{NoOmission, OmissionPolicy, Recomputed};
+pub use postmortem::{
+    EscalationStep, EventRecord, PostmortemBundle, RingDigest, POSTMORTEM_SCHEMA,
+};
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};

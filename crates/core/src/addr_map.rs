@@ -154,6 +154,21 @@ impl AddrMap {
         self.live_per_core[core as usize]
     }
 
+    /// Live associations across all cores.
+    pub fn total_live(&self) -> usize {
+        self.live_per_core.iter().sum()
+    }
+
+    /// The per-core capacity bound every `live(core)` must respect.
+    pub fn capacity_per_core(&self) -> usize {
+        self.cfg.capacity_per_core
+    }
+
+    /// The aggregate capacity bound (`capacity_per_core × num_cores`).
+    pub fn total_capacity(&self) -> usize {
+        self.cfg.capacity_per_core * self.live_per_core.len()
+    }
+
     fn note_peak(&mut self) {
         let total: usize = self.live_per_core.iter().sum();
         if total > self.usage.peak_live {

@@ -180,6 +180,13 @@ impl OmissionPolicy for AcrPolicy {
         self.map.usage().metrics(reg);
     }
 
+    fn occupancy(&self) -> Option<(u64, u64)> {
+        Some((
+            self.map.total_live() as u64,
+            self.map.total_capacity() as u64,
+        ))
+    }
+
     fn on_checkpoint(&mut self, sealed_epoch: u64) {
         // After sealing epoch `k` with G retained generations, the oldest
         // restorable checkpoint is `k - G`; prune associations

@@ -327,6 +327,27 @@ impl<'p> Machine<'p> {
         self.cores.iter().all(|c| c.halted())
     }
 
+    /// Read-only architectural sanity audit: the number of cores whose
+    /// visible state violates a structural invariant — a program counter
+    /// outside the core's thread code on a still-running core (the next
+    /// fetch could never retire), or the halted and at-barrier flags set
+    /// simultaneously. Zero on every machine the scheduler can legally
+    /// produce; the checkpoint engine samples this at epoch-commit
+    /// boundaries as one of its invariant monitors.
+    pub fn audit(&self) -> u64 {
+        let mut violations = 0u64;
+        for (i, c) in self.cores.iter().enumerate() {
+            let code_len = self.program.thread(i as u32).len();
+            if !c.halted() && c.pc() as usize >= code_len {
+                violations += 1;
+            }
+            if c.halted() && c.at_barrier() {
+                violations += 1;
+            }
+        }
+        violations
+    }
+
     /// Stalls the cores in `mask` until at least `resume_ticks`
     /// (checkpoint stalls).
     pub fn stall_cores(&mut self, mask: u64, resume_ticks: u64) {

@@ -5,7 +5,9 @@ use crate::event::{EventKind, TraceEvent};
 use crate::metrics::TimeSeries;
 
 /// Appends `s` to `out` as a JSON string literal (quoted + escaped).
-pub(crate) fn push_json_string(out: &mut String, s: &str) {
+/// Public so downstream in-tree JSON exporters (postmortem bundles) share
+/// one escaping implementation with the Chrome exporter.
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -63,8 +63,9 @@ mod json;
 mod manifest;
 mod metrics;
 mod perf;
+mod recorder;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, push_json_string};
 pub use event::{
     EventKind, MemorySink, SharedSink, TraceEvent, TraceSink, MAX_ARGS, TRACK_ENGINE, TRACK_MEM,
 };
@@ -76,3 +77,4 @@ pub use manifest::{
 };
 pub use metrics::{MetricsRegistry, Sample, Sampler, TimeSeries};
 pub use perf::{merge_loads, peak_rss_bytes, per_second, HostPerf, Stopwatch, WorkerLoad};
+pub use recorder::{FlightRecorder, Ring, DEFAULT_CORE_RING, DEFAULT_GLOBAL_RING};

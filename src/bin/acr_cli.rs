@@ -24,12 +24,15 @@ use std::process::ExitCode;
 use acr::{
     run_campaign_sweep, run_faulted_sweep, CampaignSweepItem, ExperimentSpec, FaultedSweepItem,
 };
-use acr_ckpt::{CampaignConfig, CaseOutcome, OmitReason, ParallelRunner, Scheme};
+use acr_ckpt::{
+    CampaignConfig, CaseOutcome, OmitReason, ParallelRunner, Scheme, POSTMORTEM_SCHEMA,
+};
 use acr_mem::CoreId;
 use acr_sim::{Fault, FaultKind, FaultKindSet};
 use acr_trace::{
-    chrome_trace_json, diff_manifests, fnv1a, merge_loads, BenchStats, DiffOptions, Fnv1a,
-    HostPerf, Manifest, MetricsRegistry, Stopwatch, TraceEvent, WorkerLoad, TRACK_ENGINE,
+    chrome_trace_json, diff_manifests, fnv1a, merge_loads, parse_json, BenchStats, DiffOptions,
+    Fnv1a, HostPerf, Json, Manifest, MetricsRegistry, Stopwatch, TraceEvent, WorkerLoad,
+    TRACK_ENGINE,
 };
 use acr_workloads::{generate, Benchmark, WorkloadConfig};
 
@@ -50,6 +53,11 @@ USAGE:
                                  sim hashes and the metrics digest,
                                  tolerance-band on host timings; exit 1 on
                                  any regression
+    acr_cli explain BUNDLE.json  render a postmortem bundle as a human-
+                                 readable triage report: fault chain,
+                                 invariant tallies, escalation ladder,
+                                 merged flight-recorder timeline, and the
+                                 probable-cause classification
     acr_cli workloads            list the bundled workloads
     acr_cli help                 show this message
 
@@ -89,6 +97,15 @@ INJECT OPTIONS:
                       content hashes + combined, metrics digest, host
                       timings under host.* — the sim section is identical
                       for every --jobs value
+    --postmortem-dir D
+                      write one postmortem bundle (JSON) per failed case
+                      — divergence, invariant breach, escalation
+                      exhaustion, or abort — into D as
+                      postmortem.<workload>.case<NNNN>.json. Bundles are
+                      byte-identical for a given seed and every --jobs
+                      value; feed them to `acr_cli explain`
+    --print-metrics   print the merged campaign metrics registry as an
+                      aligned key/value/unit table after the totals
 
 TRACE OPTIONS:
     --workload W      workload(s) to trace, comma-separated (default cg);
@@ -107,6 +124,8 @@ TRACE OPTIONS:
     --checkpoints N   checkpoints per nominal run (default 12)
     --scheme S        global | local (default global)
     --detail FLAG     on | off — per-store/assoc/miss instants (default off)
+    --print-metrics   print the final metrics sample per workload as an
+                      aligned key/value/unit table
     --manifest-out F  write a run manifest (JSON): config, per-workload
                       trace-artifact hashes, metrics digest, host timings
 
@@ -148,6 +167,15 @@ DIFF OPTIONS:
                       runners make wall time report-only). Sim mismatches
                       always fail regardless
 
+EXIT CODES (uniform across subcommands):
+    0   success — the run completed and every gate passed (`explain`
+        exits 0 whenever the bundle parses)
+    1   gate or divergence failure — `inject` saw diverged or aborted
+        cases, or `diff` found a regression
+    2   usage or configuration error — unknown flag or subcommand, bad
+        value, unreadable input; the message is a single `error: …`
+        line on stderr
+
 Every quantity the campaign reports is derived from the seeded plan and
 the deterministic simulator — two invocations with the same options
 produce byte-identical output (the content hash makes that checkable,
@@ -176,6 +204,8 @@ struct InjectArgs {
     jobs: usize,
     progress: bool,
     manifest_out: Option<String>,
+    postmortem_dir: Option<String>,
+    print_metrics: bool,
 }
 
 impl Default for InjectArgs {
@@ -199,6 +229,8 @@ impl Default for InjectArgs {
             jobs: 0,
             progress: false,
             manifest_out: None,
+            postmortem_dir: None,
+            print_metrics: false,
         }
     }
 }
@@ -216,6 +248,11 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
         }
         if flag == "--progress" {
             out.progress = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--print-metrics" {
+            out.print_metrics = true;
             i += 1;
             continue;
         }
@@ -288,6 +325,7 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
             }
             "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--manifest-out" => out.manifest_out = Some(value.clone()),
+            "--postmortem-dir" => out.postmortem_dir = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
@@ -304,19 +342,6 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
 /// gated section stays identical across them.
 fn inject_config(a: &InjectArgs) -> Vec<(String, String)> {
     let workloads: Vec<&str> = a.workloads.iter().map(|b| b.name()).collect();
-    let mut kinds = Vec::new();
-    if a.kinds.reg {
-        kinds.push("reg");
-    }
-    if a.kinds.pc {
-        kinds.push("pc");
-    }
-    if a.kinds.mem {
-        kinds.push("mem");
-    }
-    if a.kinds.crash {
-        kinds.push("crash");
-    }
     [
         ("seed", a.seed.to_string()),
         ("faults", a.faults.to_string()),
@@ -325,7 +350,7 @@ fn inject_config(a: &InjectArgs) -> Vec<(String, String)> {
         ("scale", a.scale.to_string()),
         ("checkpoints", a.checkpoints.to_string()),
         ("latency", a.latency.to_string()),
-        ("kinds", kinds.join(",")),
+        ("kinds", kinds_str(a.kinds)),
         (
             "policy",
             (if a.amnesic { "acr" } else { "baseline" }).to_string(),
@@ -345,6 +370,90 @@ fn scheme_str(s: Scheme) -> &'static str {
         Scheme::GlobalCoordinated => "global",
         Scheme::LocalCoordinated => "local",
     }
+}
+
+/// The fault-kind set as the comma list `--kinds` accepts.
+fn kinds_str(k: FaultKindSet) -> String {
+    let mut kinds = Vec::new();
+    if k.reg {
+        kinds.push("reg");
+    }
+    if k.pc {
+        kinds.push("pc");
+    }
+    if k.mem {
+        kinds.push("mem");
+    }
+    if k.crash {
+        kinds.push("crash");
+    }
+    kinds.join(",")
+}
+
+/// The exact command line that reproduces an inject campaign (and with it
+/// every postmortem bundle it writes) — stamped into each bundle so a
+/// triage report is self-describing. Execution knobs that cannot change
+/// results (`--jobs`, `--progress`, output paths) are omitted.
+fn repro_line(a: &InjectArgs) -> String {
+    let workloads: Vec<&str> = a.workloads.iter().map(|b| b.name()).collect();
+    let mut out = format!(
+        "acr_cli inject --seed {} --faults {} --workloads {} --threads {} \
+         --scale {} --checkpoints {} --latency {} --kinds {} --policy {} --scheme {}",
+        a.seed,
+        a.faults,
+        workloads.join(","),
+        a.threads,
+        a.scale,
+        a.checkpoints,
+        a.latency,
+        kinds_str(a.kinds),
+        if a.amnesic { "acr" } else { "baseline" },
+        scheme_str(a.scheme),
+    );
+    if a.recovery_faults {
+        out.push_str(" --recovery-faults");
+    }
+    if a.generations != 1 {
+        let _ = write!(out, " --generations {}", a.generations);
+    }
+    if a.sample_interval != 0 {
+        let _ = write!(out, " --sample-interval {}", a.sample_interval);
+    }
+    out
+}
+
+/// The unit column of the metrics pretty-printer, inferred from the key's
+/// last dotted segment.
+fn metric_unit(key: &str) -> &'static str {
+    let mut segs = key.rsplit('.');
+    let mut last = segs.next().unwrap_or(key);
+    // Histogram digests (`….cycles.p50`) carry their base key's unit;
+    // the sample count stays a count.
+    if matches!(last, "max" | "min" | "sum" | "p50" | "p90" | "p99") {
+        last = segs.next().unwrap_or(last);
+    }
+    if last.ends_with("cycles") || last == "stall" {
+        "cycles"
+    } else if last.ends_with("bytes") {
+        "bytes"
+    } else if last.ends_with("joules") {
+        "J"
+    } else if last.ends_with("pct") {
+        "%"
+    } else {
+        "count"
+    }
+}
+
+/// Renders metric key/value pairs as an aligned three-column table
+/// (key, value, unit), two-space indented.
+fn metrics_table(pairs: &[(String, u64)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in pairs {
+        let _ = writeln!(out, "  {k:<width$}  {v:>14}  {}", metric_unit(k));
+    }
+    out
 }
 
 /// Builds the per-workload sweep items of an inject-style campaign:
@@ -459,6 +568,9 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     if let Some(dir) = &a.csv_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("--csv {dir}: {e}"))?;
     }
+    if let Some(dir) = &a.postmortem_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--postmortem-dir {dir}: {e}"))?;
+    }
 
     let mut injected = 0u64;
     let mut detected = 0u64;
@@ -521,6 +633,16 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
                 c.mem_divergence + c.reg_divergence
             );
         }
+        if let Some(dir) = &a.postmortem_dir {
+            for bundle in &r.postmortems {
+                let mut b = bundle.clone();
+                b.workload = name.clone();
+                b.repro = repro_line(&a);
+                let path = format!("{dir}/postmortem.{name}.case{:04}.json", b.case);
+                std::fs::write(&path, b.to_json()).map_err(|e| format!("{path}: {e}"))?;
+                println!("  postmortem -> {path}");
+            }
+        }
         if a.metrics_out.is_some() {
             metrics_jsonl.push_str(&r.baseline_series.to_jsonl(&[("workload", &name)]));
         }
@@ -567,6 +689,11 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     println!("  combined hash {:#018x}", digest.combined());
+    if a.print_metrics {
+        let pairs: Vec<(String, u64)> = merged.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        println!("  merged metrics ({} keys):", pairs.len());
+        print!("{}", metrics_table(&pairs));
+    }
     if let Some(path) = &a.manifest_out {
         let wall = host.wall_ns();
         host.record_throughput(digest.sim_cycles, digest.retired, wall);
@@ -586,10 +713,10 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         write_manifest(path, &m)?;
         println!("  manifest -> {path}");
     }
-    Ok(if aborted == 0 {
-        ExitCode::SUCCESS
-    } else {
+    Ok(if diverged > 0 || aborted > 0 {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 
@@ -607,6 +734,7 @@ struct TraceArgs {
     detail: bool,
     jobs: usize,
     manifest_out: Option<String>,
+    print_metrics: bool,
 }
 
 impl Default for TraceArgs {
@@ -625,6 +753,7 @@ impl Default for TraceArgs {
             detail: false,
             jobs: 0,
             manifest_out: None,
+            print_metrics: false,
         }
     }
 }
@@ -646,6 +775,11 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, String> {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--print-metrics" {
+            out.print_metrics = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -840,6 +974,12 @@ fn trace(args: &[String]) -> Result<ExitCode, String> {
             a.sample_interval,
             out_path
         );
+        if a.print_metrics {
+            if let Some(sample) = report.series.samples().last() {
+                println!("  final metrics sample (cycle {}):", sample.cycle);
+                print!("{}", metrics_table(&sample.values));
+            }
+        }
         let jsonl = report
             .series
             .to_jsonl(&[("workload", &name), ("run", "reckpt_faulted")]);
@@ -1311,8 +1451,8 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
             .with_cores(a.threads)
             .with_threshold(bench.default_threshold())
     };
-    let run_once = || -> Result<SweepDigest, String> {
-        let outcomes = run_campaign_sweep(&items, a.jobs, spec_for);
+    let run_items = |items: &[CampaignSweepItem]| -> Result<SweepDigest, String> {
+        let outcomes = run_campaign_sweep(items, a.jobs, spec_for);
         let mut digest = SweepDigest::new();
         let mut merged = MetricsRegistry::new();
         for o in outcomes {
@@ -1322,6 +1462,7 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         }
         Ok(digest)
     };
+    let run_once = || run_items(&items);
 
     let mut host = HostPerf::start();
     println!(
@@ -1377,6 +1518,41 @@ fn bench(args: &[String]) -> Result<ExitCode, String> {
         stats.median_ns as f64 / 1e9,
         stats.mad_ns as f64 / 1e9,
         stats.min_ns as f64 / 1e9
+    );
+
+    // Recorder-overhead phase: the flight recorder rides along on every
+    // fault case by default, so re-time the identical campaign with the
+    // rings detached. The recorder is purely observational — the hashes
+    // must not move — and the median split quantifies its host cost
+    // (budgeted under 1 % on the reference campaign).
+    let mut off_items = items.clone();
+    for it in &mut off_items {
+        it.campaign.recorder = false;
+    }
+    let mut off_samples = Vec::with_capacity(b.reps as usize);
+    for _ in 0..b.reps {
+        let sw = Stopwatch::start();
+        let digest = run_items(&off_items)?;
+        let ns = sw.elapsed_ns();
+        host.add_phase_ns("recorder_off", ns);
+        off_samples.push(ns);
+        if digest.hashes != reference.hashes || digest.digest != reference.digest {
+            return Err(
+                "flight recorder perturbed the campaign: recorder-off sim hashes differ".into(),
+            );
+        }
+    }
+    let off = BenchStats::from_samples(&off_samples, 0);
+    let overhead_pct = if off.median_ns == 0 {
+        0.0
+    } else {
+        100.0 * (stats.median_ns as f64 - off.median_ns as f64) / off.median_ns as f64
+    };
+    println!(
+        "  recorder overhead {overhead_pct:+.2}% (median {:.3} s on vs {:.3} s off; \
+         hashes identical)",
+        stats.median_ns as f64 / 1e9,
+        off.median_ns as f64 / 1e9
     );
 
     // Throughput is per *repetition* (median), not per total wall time,
@@ -1463,57 +1639,245 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Object member as a string (`"?"` for absent or mistyped keys — the
+/// renderer degrades instead of erroring on a hand-edited bundle).
+fn jstr<'a>(j: &'a Json, key: &str) -> &'a str {
+    j.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+/// Object member as an unsigned integer (0 when absent).
+fn jnum(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Object member as a bool (false when absent).
+fn jbool(j: &Json, key: &str) -> bool {
+    matches!(j.get(key), Some(Json::Bool(true)))
+}
+
+/// Merged flight-recorder timeline lines. Within-ring order is already
+/// chronological, so the stable sort by `(cycle, track)` interleaves the
+/// rings without reordering equal-cycle events of one core.
+fn explain_timeline(rings: &[Json]) -> (Vec<String>, u64) {
+    let mut dropped = 0u64;
+    let mut events: Vec<(u64, u64, String)> = Vec::new();
+    for ring in rings {
+        dropped += jnum(ring, "dropped");
+        for ev in ring
+            .get("events")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let (cycle, track) = (jnum(ev, "cycle"), jnum(ev, "track"));
+            let mut line = format!(
+                "[{cycle:>10}] t{track:<4} {} ({}/{})",
+                jstr(ev, "name"),
+                jstr(ev, "cat"),
+                jstr(ev, "kind"),
+            );
+            if jnum(ev, "dur") > 0 {
+                let _ = write!(line, " dur {}", jnum(ev, "dur"));
+            }
+            if let Some(Json::Obj(args)) = ev.get("args") {
+                for (k, v) in args {
+                    let _ = write!(line, " {k}={}", v.as_u64().unwrap_or(0));
+                }
+            }
+            events.push((cycle, track, line));
+        }
+    }
+    events.sort_by_key(|e| (e.0, e.1));
+    (events.into_iter().map(|(_, _, l)| l).collect(), dropped)
+}
+
+/// Renders a postmortem bundle as a human-readable triage report: header,
+/// fault chain, machine digest, invariant tallies, escalation ladder, log
+/// tail, the merged flight-recorder timeline, and the probable-cause
+/// classification. Exits 0 whenever the bundle parses.
+fn explain(args: &[String]) -> Result<ExitCode, String> {
+    let path = match args {
+        [p] if !p.starts_with("--") => p.as_str(),
+        _ => return Err("explain takes exactly one postmortem bundle path".into()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let j = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = jstr(&j, "schema");
+    if schema != POSTMORTEM_SCHEMA {
+        return Err(format!(
+            "{path}: unknown bundle schema `{schema}` (expected {POSTMORTEM_SCHEMA})"
+        ));
+    }
+
+    let workload = jstr(&j, "workload");
+    println!(
+        "== postmortem: {} case {} — {} ==",
+        if workload.is_empty() { "?" } else { workload },
+        jnum(&j, "case"),
+        jstr(&j, "trigger")
+    );
+    println!(
+        "  seed {}  outcome {}",
+        jnum(&j, "seed"),
+        jstr(&j, "outcome")
+    );
+    if let Some(f) = j.get("fault") {
+        println!(
+            "  fault: {} ({}) on core {}, planned at progress {}, landed at cycle {}",
+            jstr(f, "kind"),
+            jstr(f, "detail"),
+            jnum(f, "core"),
+            jnum(f, "at_progress"),
+            jnum(f, "landing_cycle")
+        );
+    }
+    match j.get("recovery_fault") {
+        Some(Json::Str(s)) => println!("  recovery fault: {s}"),
+        _ => println!("  recovery fault: none"),
+    }
+    if let Some(m) = j.get("machine") {
+        println!(
+            "  machine: {} cycles, {} retired, mem fnv {}",
+            jnum(m, "cycles"),
+            jnum(m, "final_retired"),
+            jstr(m, "mem_fnv")
+        );
+        println!(
+            "  divergence: {} mem, {} reg, {} shadow words",
+            jnum(m, "mem_divergence"),
+            jnum(m, "reg_divergence"),
+            jnum(m, "shadow_divergence")
+        );
+    }
+    if let Some(l) = j.get("log") {
+        println!(
+            "  log: {} words logged, {} omitted over the case lifetime",
+            jnum(l, "lifetime_logged"),
+            jnum(l, "lifetime_omitted")
+        );
+        let tail = l
+            .get("intervals_tail")
+            .and_then(Json::as_arr)
+            .unwrap_or_default();
+        if !tail.is_empty() {
+            println!(
+                "  interval tail (last {}, {} earlier dropped):",
+                tail.len(),
+                jnum(l, "intervals_dropped")
+            );
+            for iv in tail {
+                println!(
+                    "    epoch {:>4}: progress {} records {} omitted {} bytes {} stall {}",
+                    jnum(iv, "epoch"),
+                    jnum(iv, "progress"),
+                    jnum(iv, "records"),
+                    jnum(iv, "omitted"),
+                    jnum(iv, "bytes"),
+                    jnum(iv, "stall_cycles")
+                );
+            }
+        }
+    }
+    if let Some(inv) = j.get("invariants") {
+        println!("  invariants: {} breaches", jnum(inv, "breaches"));
+        if let Some(Json::Obj(monitors)) = inv.get("monitors") {
+            for (name, m) in monitors {
+                println!(
+                    "    {name:<24} {} checks, {} breaches",
+                    jnum(m, "checks"),
+                    jnum(m, "breaches")
+                );
+            }
+        }
+        if let Some(fb) = inv.get("first_breach") {
+            if !matches!(fb, Json::Null) {
+                println!(
+                    "    first breach: {} at epoch {} cycle {}: {}",
+                    jstr(fb, "monitor"),
+                    jnum(fb, "epoch"),
+                    jnum(fb, "cycle"),
+                    jstr(fb, "detail")
+                );
+            }
+        }
+    }
+    if let Some(esc) = j.get("escalation") {
+        let steps = esc.get("steps").and_then(Json::as_arr).unwrap_or_default();
+        println!(
+            "  escalation: {} recoveries, {} ladder exhaustions",
+            steps.len(),
+            jnum(esc, "exhausted")
+        );
+        for s in steps {
+            println!(
+                "    detected at cycle {}: safe epoch {}, {} re-replays, \
+                 {} generation fallbacks, degraded {}",
+                jnum(s, "detected_at_cycles"),
+                jnum(s, "safe_epoch"),
+                jnum(s, "replay_retries"),
+                jnum(s, "generation_fallbacks"),
+                jbool(s, "degraded_entered")
+            );
+        }
+    }
+    let rings = j.get("rings").and_then(Json::as_arr).unwrap_or_default();
+    if rings.is_empty() {
+        println!("  timeline: no flight-recorder rings captured");
+    } else {
+        const SHOW: usize = 80;
+        let (lines, dropped) = explain_timeline(rings);
+        let skip = lines.len().saturating_sub(SHOW);
+        let suffix = if skip > 0 {
+            format!(", showing last {SHOW}")
+        } else {
+            String::new()
+        };
+        println!(
+            "  timeline: {} events retained across {} rings \
+             ({dropped} older events dropped){suffix}",
+            lines.len(),
+            rings.len()
+        );
+        for line in lines.iter().skip(skip) {
+            println!("    {line}");
+        }
+    }
+    println!("  probable cause: {}", jstr(&j, "probable_cause"));
+    let repro = jstr(&j, "repro");
+    if !repro.is_empty() && repro != "?" {
+        println!("  repro: {repro}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("inject") => match inject(&args[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
-            }
-        },
-        Some("trace") => match trace(&args[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
-            }
-        },
-        Some("profile") => match profile(&args[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
-            }
-        },
-        Some("bench") => match bench(&args[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
-            }
-        },
-        Some("diff") => match diff(&args[1..]) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::from(2)
-            }
-        },
+    // One dispatcher, one error path: every subcommand returns
+    // `Result<ExitCode, String>`; any `Err` prints a single `error: …`
+    // line on stderr and exits 2 (usage/config), while gate failures
+    // (inject divergence/abort, diff regression) exit 1 via `Ok`.
+    let result = match args.first().map(String::as_str) {
+        Some("inject") => inject(&args[1..]),
+        Some("trace") => trace(&args[1..]),
+        Some("profile") => profile(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("workloads") => {
             for b in Benchmark::ALL {
                 println!("{}", b.name());
             }
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         Some("help" | "-h" | "--help") | None => {
             print!("{USAGE}");
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
-        Some(other) => {
-            eprintln!("error: unknown subcommand `{other}`\n");
-            print!("{USAGE}");
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `acr_cli help`)")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,177 @@
+//! Flight-recorder properties: the fixed-capacity ring retains exactly
+//! the last K events in order under arbitrary wraparound, and attaching
+//! the recorder to a campaign is purely observational — recorder-on and
+//! recorder-off runs produce identical reports and content hashes.
+
+use acr::{Experiment, ExperimentSpec};
+use acr_ckpt::CampaignConfig;
+use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_rng::check::forall;
+use acr_sim::FaultKindSet;
+use acr_trace::{FlightRecorder, Ring, TraceEvent, TraceSink};
+
+fn event(i: u64, track: u32) -> TraceEvent {
+    TraceEvent::counter("evt", "test", track, i).with_arg("i", i)
+}
+
+/// Ring wraparound: after pushing N events into a capacity-K ring, the
+/// ring holds exactly the last `min(N, K)` events in push order, reports
+/// `total == N`, and counts every evicted event as dropped.
+#[test]
+fn ring_retains_exactly_the_last_k_events_in_order() {
+    forall(
+        "ring_retains_exactly_the_last_k_events_in_order",
+        64,
+        0x0F11_6000,
+        |rng| {
+            let cap = rng.gen_range(1..33u64) as usize;
+            let n = rng.gen_range(0..200u64);
+            let mut ring = Ring::new(cap);
+            for i in 0..n {
+                ring.push(event(i, 0));
+            }
+            let kept = (n as usize).min(cap);
+            let got = ring.events_in_order();
+            assert_eq!(got.len(), kept);
+            assert_eq!(ring.total(), n);
+            assert_eq!(ring.dropped(), n - kept as u64);
+            for (k, ev) in got.iter().enumerate() {
+                let expect = n - kept as u64 + k as u64;
+                assert_eq!(ev.cycle, expect, "slot {k} holds the wrong event");
+            }
+        },
+    );
+}
+
+/// Routing: core-track events land in their core's ring, engine/mem
+/// tracks in the global ring — and both wrap independently.
+#[test]
+fn recorder_routes_by_track_and_wraps_independently() {
+    forall(
+        "recorder_routes_by_track_and_wraps_independently",
+        32,
+        0x0F11_6001,
+        |rng| {
+            let cores = rng.gen_range(1..4u64) as usize;
+            let cap = rng.gen_range(1..9u64) as usize;
+            let mut rec = FlightRecorder::new(cores, cap, cap * 2);
+            let n = rng.gen_range(1..60u64);
+            for i in 0..n {
+                let track = (i % (cores as u64 + 1)) as u32;
+                let track = if track == cores as u32 { 1000 } else { track };
+                rec.record(&event(i, track));
+            }
+            let ring_total: u64 = (0..cores).map(|c| rec.core_ring(c).total()).sum::<u64>()
+                + rec.global_ring().total();
+            assert_eq!(ring_total, n, "every event is routed somewhere");
+            for c in 0..cores {
+                for ev in rec.core_ring(c).events_in_order() {
+                    assert_eq!(ev.track, c as u32);
+                }
+            }
+            for ev in rec.global_ring().events_in_order() {
+                assert!(ev.track as usize >= cores);
+            }
+            // The merged timeline is cycle-ordered.
+            let merged = rec.merged_timeline();
+            assert!(merged.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        },
+    );
+}
+
+/// A recomputable-store kernel (same shape as the recovery proptests) so
+/// campaigns exercise checkpoints, omission and recovery.
+fn kernel(threads: u32, iters: u64) -> Program {
+    let mut b = ProgramBuilder::new(threads as usize);
+    b.set_mem_bytes(1 << 20);
+    for t in 0..threads {
+        let base = 4096 + u64::from(t) * 65536;
+        let tb = b.thread(t);
+        tb.imm(Reg(10), base);
+        let l = tb.begin_loop(Reg(1), Reg(2), iters);
+        tb.alui(AluOp::Mul, Reg(3), Reg(1), 13);
+        tb.alui(AluOp::And, Reg(4), Reg(1), 127);
+        tb.alui(AluOp::Mul, Reg(4), Reg(4), 8);
+        tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+        tb.store(Reg(3), Reg(5), 0);
+        tb.end_loop(l);
+        tb.halt();
+    }
+    b.build()
+}
+
+/// The recorder is observational: over random kernels, seeds and fault
+/// mixes (including unrecoverable mem flips), recorder-on and
+/// recorder-off campaigns agree on every case record, the summary, and
+/// the content hash — the determinism contract behind the pinned CI
+/// hashes.
+#[test]
+fn recorder_on_and_off_campaigns_are_identical() {
+    forall(
+        "recorder_on_and_off_campaigns_are_identical",
+        8,
+        0x0F11_6002,
+        |rng| {
+            let threads = rng.gen_range(1..3u32);
+            let iters = rng.gen_range(60..120u64);
+            let amnesic = rng.gen_bool();
+            let kinds = if rng.gen_bool() {
+                FaultKindSet::recoverable()
+            } else {
+                FaultKindSet {
+                    reg: false,
+                    pc: false,
+                    mem: true,
+                    crash: false,
+                }
+            };
+            let program = kernel(threads, iters);
+            let spec = ExperimentSpec::default()
+                .with_cores(threads)
+                .with_checkpoints(5)
+                .with_oracle(true);
+            let run = |recorder: bool| {
+                let cfg = CampaignConfig {
+                    seed: 0xF11,
+                    count: 6,
+                    kinds,
+                    num_checkpoints: 4,
+                    recorder,
+                    ..CampaignConfig::default()
+                };
+                let mut exp =
+                    Experiment::new(program.clone(), spec.clone()).expect("valid program");
+                exp.run_fault_campaign(&cfg, amnesic).expect("campaign")
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on.report.cases, off.report.cases);
+            assert_eq!(on.report.summary(), off.report.summary());
+            assert_eq!(on.report.content_hash(), off.report.content_hash());
+            // Only the postmortem rings may differ: recorder-off bundles
+            // carry no rings, recorder-on bundles carry them per core + 1.
+            assert_eq!(on.report.postmortems.len(), off.report.postmortems.len());
+            for (b_on, b_off) in on.report.postmortems.iter().zip(&off.report.postmortems) {
+                assert_eq!(b_on.rings.len(), threads as usize + 1);
+                assert!(b_off.rings.is_empty());
+                assert_eq!(b_on.probable_cause, b_off.probable_cause);
+            }
+        },
+    );
+}
+
+/// Attaching a live sink backed by the recorder never allocates after
+/// construction: the rings are pre-sized and pushes overwrite in place.
+#[test]
+fn shared_sink_feeds_the_recorder() {
+    let (sink, rec) = FlightRecorder::shared(2);
+    assert!(sink.enabled());
+    sink.emit(event(1, 0));
+    sink.emit(event(2, 1));
+    sink.emit(event(3, 1000));
+    let rec = rec.borrow();
+    assert_eq!(rec.core_ring(0).total(), 1);
+    assert_eq!(rec.core_ring(1).total(), 1);
+    assert_eq!(rec.global_ring().total(), 1);
+    assert_eq!(rec.merged_timeline().len(), 3);
+}

@@ -1,0 +1,127 @@
+//! Postmortem bundles through the public API: a forced-divergence
+//! campaign captures one byte-identical-per-seed bundle per failed case,
+//! the JSON round-trips through the in-tree parser, and the
+//! probable-cause classification is never empty.
+
+use acr::{Experiment, ExperimentSpec};
+use acr_ckpt::{CampaignConfig, CaseOutcome, POSTMORTEM_SCHEMA};
+use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
+use acr_sim::FaultKindSet;
+use acr_trace::{parse_json, Json};
+
+fn kernel(threads: u32, iters: u64) -> Program {
+    let mut b = ProgramBuilder::new(threads as usize);
+    b.set_mem_bytes(1 << 20);
+    for t in 0..threads {
+        let base = 4096 + u64::from(t) * 65536;
+        let tb = b.thread(t);
+        tb.imm(Reg(10), base);
+        let l = tb.begin_loop(Reg(1), Reg(2), iters);
+        tb.alui(AluOp::Mul, Reg(3), Reg(1), 13);
+        tb.alui(AluOp::And, Reg(4), Reg(1), 127);
+        tb.alui(AluOp::Mul, Reg(4), Reg(4), 8);
+        tb.alu(AluOp::Add, Reg(5), Reg(10), Reg(4));
+        tb.store(Reg(3), Reg(5), 0);
+        tb.end_loop(l);
+        tb.halt();
+    }
+    b.build()
+}
+
+/// Mem-only fault campaigns flip words that may fall outside the
+/// incremental log window — the engine cannot restore those, so some
+/// cases diverge and every failed case must carry a bundle.
+fn divergent_campaign(seed: u64) -> acr::CampaignRunResult {
+    let program = kernel(2, 90);
+    let spec = ExperimentSpec::default()
+        .with_cores(2)
+        .with_checkpoints(5)
+        .with_oracle(true);
+    let cfg = CampaignConfig {
+        seed,
+        count: 12,
+        kinds: FaultKindSet {
+            reg: false,
+            pc: false,
+            mem: true,
+            crash: false,
+        },
+        num_checkpoints: 4,
+        ..CampaignConfig::default()
+    };
+    let mut exp = Experiment::new(program, spec).expect("valid program");
+    exp.run_fault_campaign(&cfg, true).expect("campaign")
+}
+
+#[test]
+fn failed_cases_carry_byte_identical_bundles() {
+    let a = divergent_campaign(0xACF);
+    let b = divergent_campaign(0xACF);
+    let r = &a.report;
+    let failed = r
+        .cases
+        .iter()
+        .filter(|c| c.outcome != CaseOutcome::Recovered)
+        .count();
+    assert!(failed > 0, "mem faults must force at least one divergence");
+    assert_eq!(r.postmortems.len(), failed, "one bundle per failed case");
+    assert_eq!(
+        r.postmortems.len(),
+        b.report.postmortems.len(),
+        "same seed, same failures"
+    );
+    for (x, y) in r.postmortems.iter().zip(&b.report.postmortems) {
+        assert_eq!(x, y, "bundles are value-identical across runs");
+        assert_eq!(x.to_json(), y.to_json(), "and byte-identical as JSON");
+        assert!(!x.probable_cause.is_empty(), "cause line is never empty");
+    }
+    // Bundle order follows case order — jobs-invariant naming depends
+    // on it.
+    let cases: Vec<u32> = r.postmortems.iter().map(|p| p.case).collect();
+    let mut sorted = cases.clone();
+    sorted.sort_unstable();
+    assert_eq!(cases, sorted);
+}
+
+#[test]
+fn bundle_json_round_trips_through_the_in_tree_parser() {
+    let run = divergent_campaign(0xACF);
+    let bundle = run
+        .report
+        .postmortems
+        .first()
+        .expect("at least one divergence");
+    let j = parse_json(&bundle.to_json()).expect("bundle JSON parses");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some(POSTMORTEM_SCHEMA)
+    );
+    assert_eq!(
+        j.get("trigger").and_then(Json::as_str),
+        Some(bundle.trigger)
+    );
+    assert_eq!(
+        j.get("case").and_then(Json::as_u64),
+        Some(u64::from(bundle.case))
+    );
+    let machine = j.get("machine").expect("machine section");
+    assert_eq!(
+        machine.get("cycles").and_then(Json::as_u64),
+        Some(bundle.cycles)
+    );
+    // The memory FNV is a hex string (it exceeds f64's exact range).
+    let fnv = machine
+        .get("mem_fnv")
+        .and_then(Json::as_str)
+        .expect("mem_fnv is a string");
+    assert_eq!(fnv, format!("{:#018x}", bundle.mem_fnv));
+    // Rings: one per core plus the global ring, with cycle-sorted events.
+    let rings = j.get("rings").and_then(Json::as_arr).expect("rings");
+    assert_eq!(rings.len(), bundle.rings.len());
+    assert!(
+        j.get("probable_cause")
+            .and_then(Json::as_str)
+            .is_some_and(|c| !c.is_empty()),
+        "probable cause survives the JSON round trip"
+    );
+}
