@@ -92,6 +92,12 @@ pub struct ResilienceConfig {
     /// Faults injected *inside* recovery windows, matched by recovery
     /// ordinal. Requires [`Scheme::GlobalCoordinated`].
     pub recovery_faults: Vec<RecoveryFault>,
+    /// Recovery watchdog: abort an escalation that is still failing after
+    /// spending this many stall cycles, surfacing
+    /// [`acr_sim::SimError::RecoveryHang`] instead of looping or silently
+    /// proceeding best-effort. `0` (the default) disables the watchdog —
+    /// byte-identical to the engine without it.
+    pub watchdog_budget_cycles: u64,
 }
 
 impl Default for ResilienceConfig {
@@ -100,6 +106,7 @@ impl Default for ResilienceConfig {
             generations: 1,
             max_replay_retries: 2,
             recovery_faults: Vec::new(),
+            watchdog_budget_cycles: 0,
         }
     }
 }
@@ -458,7 +465,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                     self.mark_occurrences();
                     if let Some(ei) = self.errors.iter().position(|e| e.occurred && !e.handled) {
                         self.report.exception_detections += 1;
-                        self.do_recovery(ei);
+                        self.do_recovery(ei)?;
                         continue;
                     }
                     return Err(trap);
@@ -488,11 +495,11 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                         if t <= d {
                             self.do_checkpoint();
                         } else {
-                            self.do_recovery(ei);
+                            self.do_recovery(ei)?;
                         }
                     }
                     (Some(_), None) => self.do_checkpoint(),
-                    (None, Some((ei, _))) => self.do_recovery(ei),
+                    (None, Some((ei, _))) => self.do_recovery(ei)?,
                     (None, None) => break,
                 }
                 self.mark_occurrences();
@@ -500,7 +507,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
             if out == RunOutcome::AllHalted && self.machine.all_halted() {
                 // Force-detect any straggling errors at end of execution.
                 if let Some(ei) = self.errors.iter().position(|e| e.occurred && !e.handled) {
-                    self.do_recovery(ei);
+                    self.do_recovery(ei)?;
                     continue;
                 }
                 break;
@@ -562,6 +569,11 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         reg.set("ckpt.generation_fallbacks", fallbacks);
         reg.set("ckpt.degraded.entries", degraded_entries);
         reg.set("ckpt.degraded.active", degraded_active);
+        if r.recovery_hangs > 0 {
+            // Gated on >0 so sampled key sets stay byte-identical for
+            // every run predating the watchdog.
+            reg.set("ckpt.recovery_hangs", r.recovery_hangs);
+        }
         // Ledger gauges (cumulative decisions per reason code; words).
         if let Some(led) = &self.hooks.ledger {
             for reason in crate::ledger::OmitReason::ALL {
@@ -701,6 +713,12 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                     }
                 }
             }
+        }
+        // Armed stuck-at cells re-corrupt whatever the program wrote over
+        // them since the last stop. Gated so fault-free runs (and every
+        // pinned golden hash) never touch the pin machinery.
+        if self.machine.has_stuck_cells() {
+            self.machine.reassert_stuck_cells();
         }
     }
 
@@ -856,7 +874,13 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     /// Handles the detection of error `ei`: roll back to the most recent
     /// checkpoint established before the error occurred, recompute omitted
     /// values, restore logged values and architectural state, and resume.
-    fn do_recovery(&mut self, ei: usize) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RecoveryHang`] when a non-zero
+    /// [`ResilienceConfig::watchdog_budget_cycles`] budget is exceeded by
+    /// a still-failing escalation (the watchdog aborting a hung recovery).
+    fn do_recovery(&mut self, ei: usize) -> Result<(), SimError> {
         let err = self.errors[ei];
         let all = self.machine.all_mask();
         let num_cores = self.machine.cores().len();
@@ -1022,6 +1046,12 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                         value ^= 1 << (bit % 64);
                     }
                     self.machine.mem_mut().image_mut().write(rec.addr, value);
+                    if self.machine.has_stuck_cells() {
+                        // A pinned cell fires once more on the restore
+                        // write — the read-back below catches it — and the
+                        // line is then remapped, scrubbing the defect.
+                        self.machine.stuck_scrub(rec.addr);
+                    }
                     att_restored += 1;
                     applied += 1;
                     // Read-back verification against the checksummed
@@ -1054,6 +1084,11 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                         replay_integrity_failed = true;
                     }
                     self.machine.mem_mut().image_mut().write(om.addr, value);
+                    if self.machine.has_stuck_cells() && self.machine.stuck_scrub(om.addr) {
+                        // No stored value to read back against, so the
+                        // corrupted recomputed word forces a retry itself.
+                        attempt_ok = false;
+                    }
                     att_recomputed += 1;
                     applied += 1;
                     recompute_alu += rc.alu_ops;
@@ -1100,6 +1135,18 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
                     .with_arg("restored", att_restored)
                     .with_arg("recomputed", att_recomputed),
                 );
+            }
+            // Watchdog: a still-failing escalation that has burned through
+            // its cycle budget is a hung recovery — abort it instead of
+            // looping or silently proceeding best-effort. A *successful*
+            // final attempt is never aborted, however late.
+            let budget = self.cfg.resilience.watchdog_budget_cycles;
+            if budget > 0 && !attempt_ok && restore_recompute_total > budget {
+                self.report.recovery_hangs += 1;
+                return Err(SimError::RecoveryHang {
+                    budget_cycles: budget,
+                    spent_cycles: restore_recompute_total,
+                });
             }
             if exiting {
                 break;
@@ -1305,6 +1352,7 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
         self.publish_ckpt_metrics();
         let _ = opbuf_reads; // charged by the policy's own statistics
         let _ = mirror_repairs; // charged in bytes_moved and the stall
+        Ok(())
     }
 }
 
@@ -1912,6 +1960,70 @@ mod resilience_tests {
             rep.recoveries[0].safe_epoch + 1,
             clean.recoveries[0].safe_epoch
         );
+    }
+
+    #[test]
+    fn watchdog_aborts_a_still_failing_escalation_over_budget() {
+        let p = program();
+        let (total, _) = reference(&p);
+        let m = Machine::new(MachineConfig::with_cores(1), &p);
+        let mut e = BerEngine::new(
+            m,
+            NoOmission,
+            BerConfig {
+                scheme: Scheme::GlobalCoordinated,
+                triggers: uniform_points(total, 6),
+                errors: ErrorSchedule {
+                    occurrences: vec![total / 2 + total / 20],
+                    detection_latency: total / 20,
+                },
+                oracle: true,
+                secondary: None,
+                faults: Vec::new(),
+                resilience: ResilienceConfig {
+                    // The flip corrupts the first restore pass; a 1-cycle
+                    // budget is exhausted before the retry can repair it.
+                    recovery_faults: fault_plan(RecoveryFaultKind::RestoredWordFlip { bit: 5 }),
+                    watchdog_budget_cycles: 1,
+                    ..Default::default()
+                },
+            },
+        );
+        let err = e.run_to_completion().unwrap_err();
+        assert!(
+            matches!(err, SimError::RecoveryHang { budget_cycles: 1, spent_cycles } if spent_cycles > 1),
+            "{err}"
+        );
+        assert_eq!(e.partial_report().recovery_hangs, 1);
+    }
+
+    #[test]
+    fn generous_watchdog_budget_is_inert() {
+        let p = program();
+        let (total, want) = reference(&p);
+        // A failing first attempt *under* budget must escalate normally:
+        // the watchdog only aborts, it never changes a surviving run.
+        let (rep, mem, _) = run_with(
+            &p,
+            total,
+            ResilienceConfig {
+                recovery_faults: fault_plan(RecoveryFaultKind::RestoredWordFlip { bit: 5 }),
+                watchdog_budget_cycles: u64::MAX,
+                ..Default::default()
+            },
+        );
+        let (base, mem2, _) = run_with(
+            &p,
+            total,
+            ResilienceConfig {
+                recovery_faults: fault_plan(RecoveryFaultKind::RestoredWordFlip { bit: 5 }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.cycles, base.cycles);
+        assert_eq!(rep.recovery_hangs, 0);
+        assert_eq!(mem, mem2);
+        assert_eq!(mem, want);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::fmt;
 use acr_isa::interp::{ExecError, Interp};
 use acr_isa::{Program, Reg, ThreadId, NUM_REGS};
 use acr_sim::{
-    Fault, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, Machine, MachineConfig,
+    Fault, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, FaultStorm, Machine, MachineConfig,
     RecoveryFault, RecoveryFaultKind, SimError, StoreCensus,
 };
 
@@ -101,6 +101,17 @@ pub struct CampaignConfig {
     /// [`PostmortemBundle`]s of failed cases. Disable only to measure the
     /// recorder's host-time cost (`acr_cli bench` does).
     pub recorder: bool,
+    /// Temporal fault-storm clustering of the plan's injection points
+    /// (see [`FaultStorm`]). `None` (the default) draws points uniformly,
+    /// exactly as historical plans did — pinned campaign hashes depend on
+    /// it.
+    pub storm: Option<FaultStorm>,
+    /// Recovery-watchdog escalation budget in stall cycles, passed to
+    /// every case's [`ResilienceConfig`]. `0` (the default) disables the
+    /// watchdog; when set, a case whose recovery escalation burns through
+    /// the budget while still failing is aborted as a hang
+    /// ([`FaultCaseRecord::hung`], outcome class `hang`).
+    pub watchdog_budget_cycles: u64,
 }
 
 impl Default for CampaignConfig {
@@ -119,6 +130,8 @@ impl Default for CampaignConfig {
             jobs: 1,
             progress: false,
             recorder: true,
+            storm: None,
+            watchdog_budget_cycles: 0,
         }
     }
 }
@@ -241,8 +254,41 @@ pub struct FaultCaseRecord {
     pub generation_fallbacks: u64,
     /// Times the case's engine entered degraded full-logging mode.
     pub degraded_entries: u64,
+    /// The recovery watchdog aborted this case's escalation as hung
+    /// (implies [`CaseOutcome::Aborted`]; refines the outcome class to
+    /// `hang`). Never set unless a watchdog budget was configured.
+    pub hung: bool,
     /// Verdict.
     pub outcome: CaseOutcome,
+}
+
+impl FaultCaseRecord {
+    /// Soak-matrix outcome class, the taxonomy the soak driver and the
+    /// CSV class column share:
+    ///
+    /// * `recovered` — converged to the reference state;
+    /// * `due` — a *detected* unrecoverable error (the engine saw the
+    ///   fault — it recovered, trapped, or aborted — but the final state
+    ///   is wrong or the run could not finish);
+    /// * `sdc` — silent data corruption: the final state diverged and the
+    ///   engine never noticed anything (no recovery, no exception);
+    /// * `hang` — the recovery watchdog aborted a hung escalation.
+    pub fn outcome_class(&self) -> &'static str {
+        if self.hung {
+            return "hang";
+        }
+        match self.outcome {
+            CaseOutcome::Recovered => "recovered",
+            CaseOutcome::Aborted => "due",
+            CaseOutcome::Diverged => {
+                if self.recoveries > 0 || self.exception_detections > 0 {
+                    "due"
+                } else {
+                    "sdc"
+                }
+            }
+        }
+    }
 }
 
 pub(crate) fn fault_detail(kind: FaultKind) -> String {
@@ -252,6 +298,14 @@ pub(crate) fn fault_detail(kind: FaultKind) -> String {
         FaultKind::MemBitFlip { addr, bit } => {
             format!("0x{:x}b{bit}", addr.byte())
         }
+        FaultKind::MemBurst { addr, bit, span } => {
+            format!("0x{:x}b{bit}s{span}", addr.byte())
+        }
+        FaultKind::StuckAt {
+            addr,
+            bit,
+            stuck_one,
+        } => format!("0x{:x}b{bit}={}", addr.byte(), u8::from(stuck_one)),
         FaultKind::Crash => "-".to_string(),
     }
 }
@@ -404,8 +458,32 @@ impl CampaignReport {
         out
     }
 
-    /// Per-case CSV (header included).
+    /// Per-case CSV (header included). Ends with the `class` column — the
+    /// soak-matrix outcome class ([`FaultCaseRecord::outcome_class`]); the
+    /// historical 18-column prefix is byte-identical to [`csv_v1`] and is
+    /// what [`CampaignReport::content_hash`] covers.
+    ///
+    /// [`csv_v1`]: CampaignReport::content_hash
     pub fn csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "case,at_progress,core,kind,detail,recoveries,exception_detections,\
+             shadow_divergence,mem_divergence,reg_divergence,final_retired,\
+             restored_records,recomputed_values,recompute_alu_ops,\
+             recovery_stall_cycles,waste_cycles,cycles,outcome,class\n",
+        );
+        for c in &self.cases {
+            let _ = writeln!(out, "{},{}", Self::csv_row(c), c.outcome_class());
+        }
+        out
+    }
+
+    /// Historical 18-column per-case CSV, byte-for-byte what every release
+    /// before the `class` column emitted. Exists solely so
+    /// [`CampaignReport::content_hash`] — and the golden hashes pinned on
+    /// it — never move when presentation columns are appended to
+    /// [`CampaignReport::csv`].
+    fn csv_v1(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from(
             "case,at_progress,core,kind,detail,recoveries,exception_detections,\
@@ -414,35 +492,56 @@ impl CampaignReport {
              recovery_stall_cycles,waste_cycles,cycles,outcome\n",
         );
         for c in &self.cases {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                c.case,
-                c.fault.at_progress,
-                c.fault.core.0,
-                c.fault.kind.label(),
-                fault_detail(c.fault.kind),
-                c.recoveries,
-                c.exception_detections,
-                c.shadow_divergence,
-                c.mem_divergence,
-                c.reg_divergence,
-                c.final_retired,
-                c.restored_records,
-                c.recomputed_values,
-                c.recompute_alu_ops,
-                c.recovery_stall_cycles,
-                c.waste_cycles,
-                c.cycles,
-                c.outcome.label(),
-            );
+            let _ = writeln!(out, "{}", Self::csv_row(c));
         }
         out
     }
 
+    /// The shared 18 leading CSV fields of one case.
+    fn csv_row(c: &FaultCaseRecord) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            c.case,
+            c.fault.at_progress,
+            c.fault.core.0,
+            c.fault.kind.label(),
+            fault_detail(c.fault.kind),
+            c.recoveries,
+            c.exception_detections,
+            c.shadow_divergence,
+            c.mem_divergence,
+            c.reg_divergence,
+            c.final_retired,
+            c.restored_records,
+            c.recomputed_values,
+            c.recompute_alu_ops,
+            c.recovery_stall_cycles,
+            c.waste_cycles,
+            c.cycles,
+            c.outcome.label(),
+        )
+    }
+
+    /// Cases per soak-matrix outcome class:
+    /// `(recovered, due, sdc, hang)`.
+    pub fn class_counts(&self) -> (u64, u64, u64, u64) {
+        let mut counts = (0u64, 0u64, 0u64, 0u64);
+        for c in &self.cases {
+            match c.outcome_class() {
+                "recovered" => counts.0 += 1,
+                "due" => counts.1 += 1,
+                "sdc" => counts.2 += 1,
+                _ => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
     /// FNV-1a hash of every campaign datum — two campaigns are equal iff
     /// their hashes are (the determinism check `tests/determinism.rs`
-    /// pins).
+    /// pins). Covers the historical 18-column CSV, so appending
+    /// presentation columns to [`CampaignReport::csv`] cannot move pinned
+    /// hashes.
     pub fn content_hash(&self) -> u64 {
         let head = format!("{},{},{}\n", self.seed, self.total_progress, self.num_cores);
         let esc = if self.has_recovery_faults() {
@@ -452,7 +551,7 @@ impl CampaignReport {
         };
         let mut h = Fnv1a::new();
         h.write(head.as_bytes());
-        h.write(self.csv().as_bytes());
+        h.write(self.csv_v1().as_bytes());
         h.write(esc.as_bytes());
         h.finish()
     }
@@ -499,6 +598,19 @@ impl CampaignReport {
             self.aborted(),
             self.divergent_words()
         );
+        let (cls_rec, cls_due, cls_sdc, cls_hang) = self.class_counts();
+        let _ = writeln!(
+            out,
+            "  classes: recovered {cls_rec}  due {cls_due}  sdc {cls_sdc}  hang {cls_hang}",
+        );
+        let mix: Vec<String> = ["reg", "pc", "mem", "burst", "stuck", "crash"]
+            .iter()
+            .filter_map(|label| {
+                let (total, _) = self.kind_counts(label);
+                (total > 0).then(|| format!("{label} {total}"))
+            })
+            .collect();
+        let _ = writeln!(out, "  kind mix: {}", mix.join("  "));
         let _ = writeln!(
             out,
             "  recovery cost: stall_cycles {}  waste_cycles {}  restored {}  recomputed {}",
@@ -507,7 +619,7 @@ impl CampaignReport {
             self.restored_records(),
             self.recomputed_values()
         );
-        for label in ["reg", "pc", "mem", "crash"] {
+        for label in ["reg", "pc", "mem", "burst", "stuck", "crash"] {
             let (total, ok) = self.kind_counts(label);
             if total > 0 {
                 let _ = writeln!(out, "  {label}: {ok}/{total} recovered");
@@ -549,26 +661,30 @@ impl CampaignReport {
 /// Only plain data and the `Sync` policy factory cross the thread
 /// boundary; each worker builds its own `Machine`/`BerEngine` (which are
 /// `!Send` by design — their trace sink is `Rc`-based).
-struct CaseCtx<'a, F> {
-    program: &'a Program,
-    machine: MachineConfig,
-    cfg: &'a CampaignConfig,
-    total: u64,
-    detection_latency: u64,
-    reference_mem: &'a [u64],
+pub(crate) struct CaseCtx<'a, F> {
+    pub(crate) program: &'a Program,
+    pub(crate) machine: MachineConfig,
+    pub(crate) cfg: &'a CampaignConfig,
+    pub(crate) total: u64,
+    pub(crate) detection_latency: u64,
+    pub(crate) reference_mem: &'a [u64],
     /// Reference register file (single-threaded programs only).
-    reference_regs: Option<&'a [u64]>,
-    policy: &'a F,
+    pub(crate) reference_regs: Option<&'a [u64]>,
+    pub(crate) policy: &'a F,
 }
 
-/// Runs one planned fault to its verdict: fresh machine, fresh policy,
-/// engine run, differential compare. Pure in `(ctx, i, fault)`, which is
-/// what makes the campaign jobs-invariant. Failed cases additionally
-/// yield a [`PostmortemBundle`] drained from the case's flight recorder.
-fn run_fault_case<P, F>(
+/// Runs one case — one *or more* planned faults in a single engine run —
+/// to its verdict: fresh machine, fresh policy, engine run, differential
+/// compare. Pure in `(ctx, i, faults)`, which is what makes the campaign
+/// jobs-invariant. Campaigns always pass a single fault; the shrinker
+/// passes the (shrinking) multi-fault plan of one failing case. Failed
+/// cases additionally yield a [`PostmortemBundle`] drained from the
+/// case's flight recorder. The record's `fault` field carries the first
+/// planned fault.
+pub(crate) fn run_fault_case<P, F>(
     ctx: &CaseCtx<'_, F>,
     i: usize,
-    fault: Fault,
+    faults: &[Fault],
 ) -> (FaultCaseRecord, Option<PostmortemBundle>)
 where
     P: OmissionPolicy,
@@ -576,15 +692,18 @@ where
 {
     let cfg = ctx.cfg;
     let total = ctx.total;
+    let fault = faults[0];
     let resilience = if cfg.recovery_faults {
         ResilienceConfig {
             generations: cfg.generations.max(2),
             recovery_faults: RecoveryFault::planned(cfg.seed, i as u32),
+            watchdog_budget_cycles: cfg.watchdog_budget_cycles,
             ..Default::default()
         }
     } else {
         ResilienceConfig {
             generations: cfg.generations.max(1),
+            watchdog_budget_cycles: cfg.watchdog_budget_cycles,
             ..Default::default()
         }
     };
@@ -598,7 +717,7 @@ where
         },
         oracle: true,
         secondary: None,
-        faults: vec![fault],
+        faults: faults.to_vec(),
         resilience,
     };
     let mut m = Machine::new(ctx.machine, ctx.program);
@@ -654,6 +773,7 @@ where
                 replay_retries: report.replay_retries,
                 generation_fallbacks: report.generation_fallbacks,
                 degraded_entries: report.degraded_entries,
+                hung: false,
                 outcome: if converged {
                     CaseOutcome::Recovered
                 } else {
@@ -684,6 +804,7 @@ where
             (record, bundle)
         }
         Err(err) => {
+            let hung = matches!(err, SimError::RecoveryHang { .. });
             let record = FaultCaseRecord {
                 case: i as u32,
                 fault,
@@ -704,10 +825,11 @@ where
                 replay_retries: 0,
                 generation_fallbacks: 0,
                 degraded_entries: 0,
+                hung,
                 outcome: CaseOutcome::Aborted,
             };
             let bundle = PostmortemBundle::capture(
-                "abort",
+                if hung { "hang" } else { "abort" },
                 cfg.seed,
                 &record,
                 engine.partial_report(),
@@ -748,6 +870,7 @@ fn record_case_metrics(reg: &mut MetricsRegistry, c: &FaultCaseRecord) {
         CaseOutcome::Aborted => "campaign.aborted",
     };
     reg.add(outcome_key, 1);
+    reg.add(&format!("campaign.class.{}", c.outcome_class()), 1);
     reg.add("campaign.recoveries", c.recoveries);
     reg.add("campaign.exception_detections", c.exception_detections);
     reg.add(
@@ -769,6 +892,93 @@ fn record_case_metrics(reg: &mut MetricsRegistry, c: &FaultCaseRecord) {
         c.recovery_stall_cycles,
     );
     reg.record_hist("campaign.case.waste_cycles", c.waste_cycles);
+}
+
+/// Fault-free reference state shared by campaigns, the soak driver and
+/// the shrinker: interpreter run, timing run, differential cross-check,
+/// and the written working set memory corruption targets.
+pub(crate) struct CampaignBaseline {
+    /// Total retired instructions (the progress axis).
+    pub(crate) total: u64,
+    /// Reference final memory image (words).
+    pub(crate) reference_mem: Vec<u64>,
+    /// Reference register file (single-threaded programs only).
+    pub(crate) reference_regs: Option<Vec<u64>>,
+    /// Written working set (memory-fault targets).
+    pub(crate) mem_targets: Vec<acr_mem::WordAddr>,
+    /// Interval-sampled metrics of the fault-free timing run (empty
+    /// unless sampling was requested).
+    pub(crate) baseline_series: TimeSeries,
+}
+
+/// Runs the two fault-free reference executions (ISA interpreter and
+/// timing simulator), cross-checks them word for word, and returns the
+/// shared baseline every fault case is compared against.
+///
+/// # Errors
+///
+/// Fails if either reference run fails, if the two disagree
+/// ([`CampaignError::ReferenceMismatch`]), or if the program is too short
+/// to draw injection points from.
+pub(crate) fn fault_free_baseline(
+    program: &Program,
+    machine: MachineConfig,
+    interp_fuel: u64,
+    sample_interval: u64,
+) -> Result<CampaignBaseline, CampaignError> {
+    // Fault-free reference: the ISA interpreter, an implementation
+    // independent of the timing simulator.
+    let mut interp = Interp::new(program);
+    interp
+        .run_to_completion(interp_fuel)
+        .map_err(CampaignError::Reference)?;
+
+    // Fault-free timing run: yields the progress axis and the written
+    // working set memory corruption targets.
+    let mut census = StoreCensus::new();
+    let mut base = Machine::new(machine, program);
+    if sample_interval > 0 {
+        base.enable_sampling(sample_interval);
+    }
+    base.run(&mut census, u64::MAX)
+        .map_err(CampaignError::Sim)?;
+    let baseline_series = if sample_interval > 0 {
+        base.force_sample();
+        base.take_series()
+    } else {
+        TimeSeries::default()
+    };
+    let baseline_mismatch = base
+        .mem()
+        .image()
+        .words()
+        .iter()
+        .zip(interp.mem())
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    if baseline_mismatch > 0 {
+        return Err(CampaignError::ReferenceMismatch {
+            words: baseline_mismatch,
+        });
+    }
+    let total = base.total_retired();
+    if total < 2 {
+        return Err(CkptError::ProgramTooShort { total }.into());
+    }
+    // Precompute the reference register file so workers share a plain
+    // slice instead of the interpreter itself.
+    let reference_regs: Option<Vec<u64>> = (program.num_threads() == 1).then(|| {
+        (0..NUM_REGS)
+            .map(|r| interp.reg(ThreadId(0), Reg(r as u8)))
+            .collect()
+    });
+    Ok(CampaignBaseline {
+        total,
+        reference_mem: interp.mem().to_vec(),
+        reference_regs,
+        mem_targets: census.into_targets(),
+        baseline_series,
+    })
 }
 
 /// Runs a fault campaign over `program`: one fresh machine + policy per
@@ -837,53 +1047,17 @@ where
         .into());
     }
 
-    // Fault-free reference: the ISA interpreter, an implementation
-    // independent of the timing simulator.
-    let mut interp = Interp::new(program);
-    interp
-        .run_to_completion(cfg.interp_fuel)
-        .map_err(CampaignError::Reference)?;
-
-    // Fault-free timing run: yields the progress axis and the written
-    // working set memory flips target.
-    let mut census = StoreCensus::new();
-    let mut base = Machine::new(machine, program);
-    if cfg.sample_interval > 0 {
-        base.enable_sampling(cfg.sample_interval);
-    }
-    base.run(&mut census, u64::MAX)
-        .map_err(CampaignError::Sim)?;
-    let baseline_series = if cfg.sample_interval > 0 {
-        base.force_sample();
-        base.take_series()
-    } else {
-        TimeSeries::default()
-    };
-    let baseline_mismatch = base
-        .mem()
-        .image()
-        .words()
-        .iter()
-        .zip(interp.mem())
-        .filter(|(a, b)| a != b)
-        .count() as u64;
-    if baseline_mismatch > 0 {
-        return Err(CampaignError::ReferenceMismatch {
-            words: baseline_mismatch,
-        });
-    }
-    let total = base.total_retired();
+    let base = fault_free_baseline(program, machine, cfg.interp_fuel, cfg.sample_interval)?;
+    let total = base.total;
     let num_cores = machine.num_cores;
-    if total < 2 {
-        return Err(CkptError::ProgramTooShort { total }.into());
-    }
-    let mem_targets = census.into_targets();
+    let mem_targets = base.mem_targets;
     // Mirror the plan generator's injectability rules with a typed error:
-    // memory flips need a non-empty written working set to land on.
+    // memory corruption (flips, bursts, stuck cells) needs a non-empty
+    // written working set to land on.
     let injectable = cfg.kinds.reg
         || cfg.kinds.pc
         || cfg.kinds.crash
-        || (cfg.kinds.mem && !mem_targets.is_empty());
+        || ((cfg.kinds.mem || cfg.kinds.burst || cfg.kinds.stuck) && !mem_targets.is_empty());
     if !injectable {
         let mut requested: Vec<&str> = Vec::new();
         if cfg.kinds.reg {
@@ -894,6 +1068,12 @@ where
         }
         if cfg.kinds.mem {
             requested.push("mem");
+        }
+        if cfg.kinds.burst {
+            requested.push("burst");
+        }
+        if cfg.kinds.stuck {
+            requested.push("stuck");
         }
         if cfg.kinds.crash {
             requested.push("crash");
@@ -911,18 +1091,11 @@ where
         total_progress: total,
         cores: num_cores,
         mem_targets,
+        storm: cfg.storm,
     });
 
     let period = total / (u64::from(cfg.num_checkpoints) + 1);
     let detection_latency = (period as f64 * cfg.detection_latency_frac) as u64;
-    let reference_mem = interp.mem();
-    // Precompute the reference register file so workers share a plain
-    // slice instead of the interpreter itself.
-    let reference_regs: Option<Vec<u64>> = (program.num_threads() == 1).then(|| {
-        (0..NUM_REGS)
-            .map(|r| interp.reg(ThreadId(0), Reg(r as u8)))
-            .collect()
-    });
 
     let ctx = CaseCtx {
         program,
@@ -930,8 +1103,8 @@ where
         cfg,
         total,
         detection_latency,
-        reference_mem,
-        reference_regs: reference_regs.as_deref(),
+        reference_mem: &base.reference_mem,
+        reference_regs: base.reference_regs.as_deref(),
         policy: &policy,
     };
 
@@ -942,7 +1115,7 @@ where
         plan.faults.len(),
         MetricsRegistry::new,
         |i, shard: &mut MetricsRegistry| {
-            let (rec, bundle) = run_fault_case(&ctx, i, plan.faults[i]);
+            let (rec, bundle) = run_fault_case(&ctx, i, std::slice::from_ref(&plan.faults[i]));
             record_case_metrics(shard, &rec);
             let line = cfg.progress.then(|| case_log_line(&rec));
             (rec, line, bundle)
@@ -975,7 +1148,7 @@ where
             total_progress: total,
             num_cores,
             cases,
-            baseline_series,
+            baseline_series: base.baseline_series,
             metrics,
             case_log,
             postmortems,
@@ -1204,6 +1377,8 @@ mod tests {
                 reg: false,
                 pc: false,
                 mem: true,
+                burst: false,
+                stuck: false,
                 crash: false,
             },
             ..CampaignConfig::default()
@@ -1266,6 +1441,8 @@ mod tests {
             reg: false,
             pc: false,
             mem: true,
+            burst: false,
+            stuck: false,
             crash: false,
         };
         let cfg = CampaignConfig {
@@ -1321,6 +1498,8 @@ mod tests {
             reg: false,
             pc: false,
             mem: true,
+            burst: false,
+            stuck: false,
             crash: false,
         };
         let on = CampaignConfig {
@@ -1365,5 +1544,107 @@ mod tests {
         let r = run_campaign(&p, MachineConfig::with_cores(1), &cfg, || NoOmission)
             .expect("campaign runs");
         assert_eq!(r.recovered(), 10, "{}", r.summary());
+    }
+
+    /// Adversarial campaigns (bursts + stuck-at cells in the mix) never
+    /// produce silent corruption: the scheduled detection sees every
+    /// case, so divergence is always a DUE, and the new kinds show up in
+    /// the CSV class column and the kind-mix summary line.
+    #[test]
+    fn adversarial_campaigns_classify_without_sdc() {
+        let r = campaign(30, FaultKindSet::adversarial(), 23);
+        assert_eq!(r.injected(), 30);
+        assert_eq!(r.aborted(), 0, "{}", r.summary());
+        let (burst_total, _) = r.kind_counts("burst");
+        let (stuck_total, _) = r.kind_counts("stuck");
+        assert!(burst_total > 0 && stuck_total > 0, "{}", r.summary());
+        for c in &r.cases {
+            assert_ne!(c.outcome_class(), "sdc", "{c:?}");
+            assert_ne!(c.outcome_class(), "hang", "{c:?}");
+        }
+        let (cls_rec, cls_due, cls_sdc, cls_hang) = r.class_counts();
+        assert_eq!(cls_rec + cls_due + cls_sdc + cls_hang, 30);
+        assert_eq!(cls_sdc + cls_hang, 0);
+        let csv = r.csv();
+        assert!(csv.lines().next().unwrap().ends_with(",class"));
+        assert!(csv
+            .lines()
+            .skip(1)
+            .all(|l| { l.ends_with(",recovered") || l.ends_with(",due") || l.ends_with(",sdc") }));
+        assert!(r.summary().contains("kind mix:"), "{}", r.summary());
+        assert!(r.summary().contains("classes:"), "{}", r.summary());
+    }
+
+    /// The `class` column is presentation-only: a campaign's content hash
+    /// is pinned on the historical 18-column CSV, so two reports with the
+    /// same cases hash identically no matter how they are rendered.
+    #[test]
+    fn class_column_is_hash_neutral() {
+        let a = campaign(15, FaultKindSet::all(), 11);
+        let b = campaign(15, FaultKindSet::all(), 11);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // The public CSV has exactly one extra trailing column per line.
+        for (full, v1) in a.csv().lines().zip(a.csv_v1().lines()) {
+            assert!(full.starts_with(v1), "{full} vs {v1}");
+            assert_eq!(full.split(',').count(), v1.split(',').count() + 1);
+        }
+    }
+
+    /// Storm-clustered campaigns are seed-deterministic and draw a
+    /// different (clustered) injection schedule than the uniform default.
+    #[test]
+    fn storm_campaigns_are_deterministic_and_distinct() {
+        let p = kernel(2, 60);
+        let mk = |storm| {
+            let cfg = CampaignConfig {
+                seed: 5,
+                count: 20,
+                kinds: FaultKindSet::all(),
+                num_checkpoints: 5,
+                storm,
+                ..CampaignConfig::default()
+            };
+            run_campaign(&p, MachineConfig::with_cores(2), &cfg, || NoOmission)
+                .expect("campaign runs")
+        };
+        let a = mk(Some(FaultStorm::default()));
+        let b = mk(Some(FaultStorm::default()));
+        assert_eq!(a.content_hash(), b.content_hash());
+        let plain = mk(None);
+        assert_ne!(a.content_hash(), plain.content_hash());
+    }
+
+    /// A 1-cycle watchdog budget turns every still-failing escalation
+    /// into a hang: aborted case, `hang` class, `hang`-triggered bundle.
+    #[test]
+    fn tight_watchdog_turns_failing_escalations_into_hangs() {
+        let p = kernel(2, 60);
+        let cfg = CampaignConfig {
+            seed: 9,
+            count: 12,
+            kinds: FaultKindSet::recoverable(),
+            num_checkpoints: 5,
+            recovery_faults: true,
+            generations: 2,
+            watchdog_budget_cycles: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&p, MachineConfig::with_cores(2), &cfg, || NoOmission)
+            .expect("campaign runs");
+        let hangs: Vec<_> = r.cases.iter().filter(|c| c.hung).collect();
+        assert!(!hangs.is_empty(), "{}", r.summary());
+        for c in &hangs {
+            assert_eq!(c.outcome, CaseOutcome::Aborted);
+            assert_eq!(c.outcome_class(), "hang");
+            let bundle = r
+                .postmortems
+                .iter()
+                .find(|b| b.case == c.case)
+                .expect("hung case carries a bundle");
+            assert_eq!(bundle.trigger, "hang");
+            assert!(bundle.probable_cause.contains("watchdog"), "{bundle:?}");
+        }
+        assert_eq!(r.class_counts().3, hangs.len() as u64);
+        assert!(r.metrics.get("campaign.class.hang").unwrap_or(0) == hangs.len() as u64);
     }
 }

@@ -40,6 +40,8 @@ mod policy;
 mod postmortem;
 mod report;
 mod schedule;
+mod shrink;
+mod soak;
 
 pub use checkpoint::CheckpointRecord;
 pub use engine::{BerConfig, BerEngine, ResilienceConfig, Scheme, SecondaryStorage};
@@ -57,3 +59,12 @@ pub use postmortem::{
 };
 pub use report::{BerReport, IntervalRecord, RecoveryRecord};
 pub use schedule::{uniform_points, ErrorSchedule};
+pub use shrink::{
+    dense_fault_plan, fault_from_json, fault_to_json, replay_case, shrink_case, CaseFailure,
+    ShrinkConfig, ShrinkOutcome, REPRO_SCHEMA,
+};
+pub use soak::{
+    chunk_config, chunk_seed, default_models, default_resilience, run_soak, SoakCell, SoakCombo,
+    SoakCursor, SoakGrid, SoakModel, SoakOutcome, SoakPostmortem, SoakResilience,
+    SOAK_CURSOR_SCHEMA,
+};

@@ -134,8 +134,9 @@ pub struct EscalationStep {
 /// JSON carries the exact reproduction command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PostmortemBundle {
-    /// What tripped the capture: `"divergence"`, `"abort"`,
-    /// `"escalation-exhaustion"` or `"invariant-breach"`.
+    /// What tripped the capture: `"divergence"`, `"abort"`, `"hang"`
+    /// (recovery-watchdog budget exhausted), `"escalation-exhaustion"` or
+    /// `"invariant-breach"`.
     pub trigger: &'static str,
     /// Workload label (stamped by the CLI; empty from the library).
     pub workload: String,
@@ -175,7 +176,7 @@ pub struct PostmortemBundle {
     pub lifetime_logged: u64,
     /// Log-controller lifetime omitted first updates.
     pub lifetime_omitted: u64,
-    /// Tail of the sealed intervals (up to [`INTERVAL_TAIL`]), oldest
+    /// Tail of the sealed intervals (up to `INTERVAL_TAIL`), oldest
     /// first — the record/omit ledger the recovery drew from.
     pub intervals_tail: Vec<IntervalRecord>,
     /// Sealed intervals dropped from the tail.
@@ -489,6 +490,12 @@ fn probable_cause(
                 cause.push_str(&format!(" ({d})"));
             }
         }
+        "hang" => {
+            cause.push_str(" -> recovery watchdog abort");
+            if let Some(d) = abort_detail {
+                cause.push_str(&format!(" ({d})"));
+            }
+        }
         "escalation-exhaustion" => {
             cause.push_str(&format!(
                 " -> escalation ladder exhausted ({} recovery)",
@@ -556,6 +563,7 @@ mod tests {
             replay_retries: 0,
             generation_fallbacks: 0,
             degraded_entries: 0,
+            hung: false,
             outcome,
         }
     }

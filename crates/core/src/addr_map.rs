@@ -302,7 +302,7 @@ impl AddrMap {
     }
 
     /// Classifies what the map knows about the value `addr` held at
-    /// checkpoint `epoch` — the version lookup [`Self::lookup_for_epoch`]
+    /// checkpoint `epoch` — the version lookup `lookup_for_epoch`
     /// performs, with tombstones split by cause. Read-only (ledger
     /// attribution; never charges simulated time).
     pub fn classify_for_epoch(&self, addr: WordAddr, epoch: u64) -> AssocState {

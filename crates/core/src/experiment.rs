@@ -3,9 +3,10 @@
 use std::fmt;
 
 use acr_ckpt::{
-    run_campaign_loads, BerConfig, BerEngine, BerReport, CampaignConfig, CampaignError,
-    CampaignReport, DecisionLedger, ErrorSchedule, NoOmission, ResilienceConfig, Scheme,
-    SecondaryStorage,
+    dense_fault_plan, replay_case, run_campaign_loads, shrink_case, BerConfig, BerEngine,
+    BerReport, CampaignConfig, CampaignError, CampaignReport, CaseFailure, DecisionLedger,
+    ErrorSchedule, NoOmission, ResilienceConfig, Scheme, SecondaryStorage, ShrinkConfig,
+    ShrinkOutcome,
 };
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
 use acr_isa::{Program, ProgramError};
@@ -588,6 +589,136 @@ impl Experiment {
             report,
             host_loads,
         })
+    }
+
+    /// Plans one *dense* multi-fault case over this workload: the seeded
+    /// plan a campaign would spread over `cfg.count` cases, taken as a
+    /// single case's fault list. The program the plan targets matches
+    /// the policy selection of [`Experiment::run_fault_campaign`] —
+    /// the instrumented program when `amnesic`, the raw one otherwise —
+    /// so the plan is directly consumable by
+    /// [`Experiment::shrink_fault_case`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like a campaign would: broken fault-free baseline, or no
+    /// injectable fault kind for the requested set.
+    pub fn plan_dense_faults(
+        &mut self,
+        cfg: &CampaignConfig,
+        amnesic: bool,
+    ) -> Result<Vec<Fault>, ExperimentError> {
+        let machine = self.spec.machine;
+        if amnesic {
+            let program = self.instrumented().0.clone();
+            Ok(dense_fault_plan(&program, machine, cfg)?)
+        } else {
+            Ok(dense_fault_plan(&self.raw, machine, cfg)?)
+        }
+    }
+
+    /// Shrinks one failing fault case of this workload to a minimal
+    /// reproducer with the same postmortem trigger (delta debugging; see
+    /// `acr_ckpt::shrink_case`). Policy selection mirrors
+    /// [`Experiment::run_fault_campaign`]: a fresh [`AcrPolicy`] per
+    /// evaluation when `amnesic`, [`NoOmission`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the baseline breaks or when the original plan does not
+    /// fail at all (nothing to shrink).
+    pub fn shrink_fault_case(
+        &mut self,
+        cfg: &CampaignConfig,
+        amnesic: bool,
+        case_index: usize,
+        faults: &[Fault],
+        shrink_cfg: &ShrinkConfig,
+    ) -> Result<ShrinkOutcome, ExperimentError> {
+        let machine = self.spec.machine;
+        if amnesic {
+            let addrmap = self.spec.addrmap;
+            let scratchpad = self.spec.scratchpad;
+            let program = self.instrumented().0.clone();
+            let generations = if cfg.recovery_faults {
+                cfg.generations.max(2)
+            } else {
+                cfg.generations.max(1)
+            };
+            Ok(shrink_case(
+                &program,
+                machine,
+                cfg,
+                case_index,
+                faults,
+                shrink_cfg,
+                || {
+                    AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                        .with_scratchpad(scratchpad)
+                        .with_generations(generations)
+                },
+            )?)
+        } else {
+            Ok(shrink_case(
+                &self.raw,
+                machine,
+                cfg,
+                case_index,
+                faults,
+                shrink_cfg,
+                || NoOmission,
+            )?)
+        }
+    }
+
+    /// Replays one fault plan exactly once under the campaign policy
+    /// selection and reports whether — and how — it fails. `Ok(None)`
+    /// means the plan no longer fails (the repro is stale). This backs
+    /// `acr_cli shrink --replay`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty plan, an out-of-range latency, or a broken
+    /// fault-free baseline.
+    pub fn replay_fault_case(
+        &mut self,
+        cfg: &CampaignConfig,
+        amnesic: bool,
+        case_index: usize,
+        faults: &[Fault],
+    ) -> Result<Option<CaseFailure>, ExperimentError> {
+        let machine = self.spec.machine;
+        if amnesic {
+            let addrmap = self.spec.addrmap;
+            let scratchpad = self.spec.scratchpad;
+            let program = self.instrumented().0.clone();
+            let generations = if cfg.recovery_faults {
+                cfg.generations.max(2)
+            } else {
+                cfg.generations.max(1)
+            };
+            Ok(replay_case(
+                &program,
+                machine,
+                cfg,
+                case_index,
+                faults,
+                || {
+                    AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                        .with_scratchpad(scratchpad)
+                        .with_generations(generations)
+                },
+            )?)
+        } else {
+            Ok(replay_case(
+                &self.raw,
+                machine,
+                cfg,
+                case_index,
+                faults,
+                || NoOmission,
+            )?)
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

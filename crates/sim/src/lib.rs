@@ -34,8 +34,8 @@ mod stats;
 pub use config::MachineConfig;
 pub use core_model::{CoreModel, CoreSnapshot};
 pub use fault::{
-    Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, RecoveryFault,
-    RecoveryFaultKind, PC_FAULT_BITS,
+    Fault, FaultEffect, FaultKind, FaultKindSet, FaultPlan, FaultPlanConfig, FaultStorm,
+    RecoveryFault, RecoveryFaultKind, StuckCell, BURST_MAX_SPAN, PC_FAULT_BITS,
 };
 pub use hooks::{AssocEvent, ExecHooks, NoHooks, StoreCensus, StoreEvent, TracingHooks};
 pub use machine::{Machine, RunOutcome, SimError};
@@ -69,6 +69,8 @@ fn _send_sync_audit() {
     assert_send_sync::<FaultKindSet>();
     assert_send_sync::<FaultPlan>();
     assert_send_sync::<FaultPlanConfig>();
+    assert_send_sync::<FaultStorm>();
+    assert_send_sync::<StuckCell>();
     assert_send_sync::<RecoveryFault>();
     assert_send_sync::<RecoveryFaultKind>();
     assert_send_sync::<StoreCensus>();

@@ -50,6 +50,16 @@ pub enum SimError {
     /// The machine's global fuel (instruction budget) ran out — almost
     /// certainly an accidental infinite loop in a generated kernel.
     FuelExhausted,
+    /// A recovery escalation exceeded its watchdog cycle budget and was
+    /// aborted as hung. Raised by the checkpoint engine (`acr-ckpt`), not
+    /// the machine itself; it lives here so `run_to_completion` keeps a
+    /// single error type.
+    RecoveryHang {
+        /// The configured escalation cycle budget.
+        budget_cycles: u64,
+        /// Stall cycles the escalation had consumed when aborted.
+        spent_cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +79,14 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            SimError::RecoveryHang {
+                budget_cycles,
+                spent_cycles,
+            } => write!(
+                f,
+                "recovery watchdog: escalation exceeded its {budget_cycles}-cycle \
+                 budget ({spent_cycles} cycles spent)"
+            ),
         }
     }
 }
@@ -116,6 +134,7 @@ pub struct Machine<'p> {
     registry: MetricsRegistry,
     sampler: Option<Sampler>,
     profiler: Option<Box<PcProfile>>,
+    stuck: Vec<crate::StuckCell>,
 }
 
 impl fmt::Debug for Machine<'_> {
@@ -161,6 +180,7 @@ impl<'p> Machine<'p> {
             registry: MetricsRegistry::new(),
             sampler: None,
             profiler: None,
+            stuck: Vec::new(),
         }
     }
 
@@ -429,6 +449,42 @@ impl<'p> Machine<'p> {
                     after,
                 }
             }
+            FaultKind::MemBurst { addr, bit, span } => {
+                let words_len = self.mem.image().words().len();
+                let base = addr.word_index();
+                let mut bits = 0u64;
+                for i in 0..u32::from(span) {
+                    let wi = base + ((u32::from(bit) + i) / 64) as usize;
+                    if wi >= words_len {
+                        break; // the burst truncates at the image end
+                    }
+                    let a = acr_mem::WordAddr::new(wi as u64 * 8);
+                    let b = (u32::from(bit) + i) % 64;
+                    let v = self.mem.image().read(a) ^ (1u64 << b);
+                    self.mem.image_mut().write(a, v);
+                    bits += 1;
+                }
+                FaultEffect::MemBurst { addr, bits }
+            }
+            FaultKind::StuckAt {
+                addr,
+                bit,
+                stuck_one,
+            } => {
+                let cell = crate::StuckCell {
+                    addr,
+                    bit,
+                    stuck_one,
+                };
+                let before = self.mem.image().read(addr);
+                self.mem.image_mut().write(addr, cell.pin(before));
+                self.stuck.push(cell);
+                FaultEffect::Stuck {
+                    addr,
+                    bit,
+                    stuck_one,
+                }
+            }
             FaultKind::Crash => {
                 for core in &mut self.cores {
                     core.crash();
@@ -438,6 +494,56 @@ impl<'p> Machine<'p> {
                 FaultEffect::Crash
             }
         }
+    }
+
+    /// Whether any stuck-at cell is currently armed (cheap hot-path gate:
+    /// machines without stuck faults never pay for the pin machinery).
+    pub fn has_stuck_cells(&self) -> bool {
+        !self.stuck.is_empty()
+    }
+
+    /// The armed stuck-at cells.
+    pub fn stuck_cells(&self) -> &[crate::StuckCell] {
+        &self.stuck
+    }
+
+    /// Re-asserts every armed stuck-at cell onto the functional memory
+    /// image, returning how many words the pins actually changed. Called
+    /// by the engine between run segments so a pinned cell re-corrupts
+    /// whatever the program wrote over it.
+    pub fn reassert_stuck_cells(&mut self) -> u64 {
+        let mut changed = 0;
+        for i in 0..self.stuck.len() {
+            let cell = self.stuck[i];
+            let before = self.mem.image().read(cell.addr);
+            let after = cell.pin(before);
+            if after != before {
+                self.mem.image_mut().write(cell.addr, after);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Recovery wrote `addr`: any pinned cell there fires one last time —
+    /// re-corrupting the freshly restored word so the engine's read-back
+    /// verification catches it — and is then scrubbed (the read-back
+    /// failure makes recovery remap the line, which clears the defect).
+    /// Returns whether a cell fired.
+    pub fn stuck_scrub(&mut self, addr: acr_mem::WordAddr) -> bool {
+        let mut fired = false;
+        for i in 0..self.stuck.len() {
+            let cell = self.stuck[i];
+            if cell.addr == addr {
+                let v = self.mem.image().read(addr);
+                self.mem.image_mut().write(addr, cell.pin(v));
+                fired = true;
+            }
+        }
+        if fired {
+            self.stuck.retain(|c| c.addr != addr);
+        }
+        fired
     }
 
     fn release_barrier_if_ready(&mut self) -> bool {

@@ -12,6 +12,15 @@ use crate::hist::Histogram;
 /// bytes, picojoules — so snapshots compare bit-exactly and exports are
 /// byte-deterministic.
 ///
+/// Reserved top-level namespaces, by producer: `core.*`/`mem.*`
+/// (machine), `ckpt.*` (BER engine, incl. `ckpt.invariant.*`),
+/// `campaign.*` (fault-injection reports), `energy.*` (energy model),
+/// `host.*` (wall-clock observability — never part of a sim digest),
+/// `soak.*` (soak-driver chunk/outcome counters, incl. per-combo
+/// `soak.combo.<key>.cases`), and `shrink.*` (shrinker search
+/// counters: original/minimal/dropped faults, rounds, evaluations,
+/// narrowed fields).
+///
 /// Keys iterate in lexicographic order (`BTreeMap`), which fixes the
 /// export order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -22,13 +22,16 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use acr::{
-    run_campaign_sweep, run_faulted_sweep, CampaignSweepItem, ExperimentSpec, FaultedSweepItem,
+    run_campaign_sweep, run_faulted_sweep, CampaignSweepItem, Experiment, ExperimentError,
+    ExperimentSpec, FaultedSweepItem,
 };
 use acr_ckpt::{
-    CampaignConfig, CaseOutcome, OmitReason, ParallelRunner, Scheme, POSTMORTEM_SCHEMA,
+    default_models, default_resilience, fault_from_json, fault_to_json, run_soak, CampaignConfig,
+    CampaignError, CaseOutcome, CkptError, OmitReason, ParallelRunner, Scheme, ShrinkConfig,
+    SoakCursor, SoakGrid, SoakModel, SoakResilience, POSTMORTEM_SCHEMA, REPRO_SCHEMA,
 };
 use acr_mem::CoreId;
-use acr_sim::{Fault, FaultKind, FaultKindSet};
+use acr_sim::{Fault, FaultKind, FaultKindSet, FaultStorm};
 use acr_trace::{
     chrome_trace_json, diff_manifests, fnv1a, merge_loads, parse_json, BenchStats, DiffOptions,
     Fnv1a, HostPerf, Json, Manifest, MetricsRegistry, Stopwatch, TraceEvent, WorkerLoad,
@@ -58,6 +61,16 @@ USAGE:
                                  invariant tallies, escalation ladder,
                                  merged flight-recorder timeline, and the
                                  probable-cause classification
+    acr_cli soak [OPTIONS]       run a long-horizon randomized soak: chunked
+                                 campaigns round-robin over a workload x
+                                 fault-model x resilience grid, every case
+                                 classified recovered/due/sdc/hang, bounded
+                                 by --cases / --budget-secs and resumable
+                                 from a --cursor file
+    acr_cli shrink [OPTIONS]     delta-debug one failing fault case down to
+                                 a minimal reproducer with the identical
+                                 postmortem trigger; writes an acr.repro.v1
+                                 JSON replayable with --replay
     acr_cli workloads            list the bundled workloads
     acr_cli help                 show this message
 
@@ -69,8 +82,15 @@ INJECT OPTIONS:
     --scale F         workload scale factor (default 0.05)
     --checkpoints N   checkpoints per nominal run (default 12)
     --latency F       detection latency / checkpoint period (default 0.5)
-    --kinds SET       all | recoverable | comma list of reg,pc,mem,crash
-                      (default recoverable)
+    --kinds SET       all | recoverable | adversarial | comma list of
+                      reg,pc,mem,burst,stuck,crash (default recoverable)
+    --storm G,B       cluster injection points into seeded Poisson bursts:
+                      mean gap G instructions between storms, up to B
+                      faults per storm (default off — uniform placement)
+    --watchdog-budget N
+                      recovery-watchdog cycle budget: a single recovery
+                      escalation exceeding N cycles is aborted into a
+                      `hang` postmortem (default 0 = off)
     --policy P        acr | baseline (default acr)
     --scheme S        global | local (default global)
     --csv DIR         also write per-case CSVs into DIR
@@ -167,11 +187,74 @@ DIFF OPTIONS:
                       runners make wall time report-only). Sim mismatches
                       always fail regardless
 
+SOAK OPTIONS:
+    --workloads LIST  comma-separated workload names (default is,cg)
+    --cases N         stop once the cursor's total finished cases reach N
+                      — counts resumed history, so a budget spans
+                      invocations (default 500)
+    --budget-secs N   also stop after N seconds of wall clock (checked
+                      between chunks; the wall clock can stop a soak but
+                      never changes what a chunk computes; default 0 = off)
+    --chunk N         cases per chunk (default 25; pinned by the cursor)
+    --seed N          soak seed every chunk seed is mixed from (default
+                      42; pinned by the cursor)
+    --threads N       cores == threads (default 2)
+    --scale F         workload scale factor (default 0.05)
+    --checkpoints N   checkpoints per nominal run (default 8)
+    --latency F       detection latency / checkpoint period (default 0.5)
+    --policy P        acr | baseline (default acr)
+    --models LIST     fault-model presets to sweep, comma-separated subset
+                      of recoverable,classic,adversarial,adversarial-storm,
+                      stuck (default all five)
+    --resilience LIST resilience presets to sweep, comma-separated subset
+                      of baseline,nested,watchdog (default all three)
+    --jobs N          worker threads per chunk campaign (0 = auto); chunk
+                      results are byte-identical for every value
+    --cursor FILE     resume from FILE if it exists, and write the
+                      advanced cursor back to it on exit; the cursor pins
+                      seed, chunk size and a grid fingerprint, and carries
+                      a per-combo hash chain proving a resumed soak
+                      continued the exact same stream
+    --postmortem-dir D
+                      write every non-recovered case's bundle into D as
+                      postmortem.<workload>.chunk<NNNN>.case<NNNN>.json
+    --print-metrics   print this invocation's soak.* metrics table
+
+SHRINK OPTIONS:
+    --workload W      workload to plan the dense failing case on
+                      (default cg)
+    --seed N          plan seed (default 42)
+    --faults N        faults in the dense plan — all injected into ONE
+                      case (default 10)
+    --kinds SET       fault kinds the plan draws from (default mem)
+    --storm G,B       cluster the plan's injection points (default off)
+    --threads N       cores == threads (default 2)
+    --scale F         workload scale factor (default 0.05)
+    --checkpoints N   checkpoints per nominal run (default 4)
+    --latency F       detection latency / checkpoint period (default 0.5)
+    --policy P        acr | baseline (default acr)
+    --recovery-faults strike the case's first recovery with a nested
+                      recovery-window fault (global scheme only)
+    --generations N   checkpoint generations retained (default 1)
+    --watchdog-budget N
+                      recovery-watchdog cycle budget (default 0 = off)
+    --case N          case index (seeds per-case machinery; default 0)
+    --jobs N          worker threads evaluating ddmin candidates (0 =
+                      auto); the shrunk plan is identical for every value
+    --max-evals N     engine-run evaluation budget (default 2048)
+    --out FILE        repro document path (default
+                      repro.<workload>.case<NNNN>.json)
+    --replay FILE     instead of shrinking, re-run FILE's minimal plan
+                      once: exit 1 if it still fails (printing the
+                      trigger), 0 if it no longer reproduces
+
 EXIT CODES (uniform across subcommands):
     0   success — the run completed and every gate passed (`explain`
-        exits 0 whenever the bundle parses)
+        exits 0 whenever the bundle parses; `shrink --replay` exits 0
+        when the repro no longer fails)
     1   gate or divergence failure — `inject` saw diverged or aborted
-        cases, or `diff` found a regression
+        cases, `soak` saw silent data corruption, `shrink --replay`
+        reproduced its failure, or `diff` found a regression
     2   usage or configuration error — unknown flag or subcommand, bad
         value, unreadable input; the message is a single `error: …`
         line on stderr
@@ -194,6 +277,8 @@ struct InjectArgs {
     checkpoints: u32,
     latency: f64,
     kinds: FaultKindSet,
+    storm: Option<FaultStorm>,
+    watchdog_budget: u64,
     amnesic: bool,
     scheme: Scheme,
     csv_dir: Option<String>,
@@ -219,6 +304,8 @@ impl Default for InjectArgs {
             checkpoints: 12,
             latency: 0.5,
             kinds: FaultKindSet::recoverable(),
+            storm: None,
+            watchdog_budget: 0,
             amnesic: true,
             scheme: Scheme::GlobalCoordinated,
             csv_dir: None,
@@ -296,6 +383,14 @@ fn parse_inject(args: &[String]) -> Result<InjectArgs, String> {
                 }
             }
             "--kinds" => out.kinds = FaultKindSet::parse(value)?,
+            "--storm" => {
+                out.storm = Some(FaultStorm::parse(value).map_err(|e| format!("--storm: {e}"))?)
+            }
+            "--watchdog-budget" => {
+                out.watchdog_budget = value
+                    .parse()
+                    .map_err(|e| format!("--watchdog-budget: {e}"))?;
+            }
             "--policy" => {
                 out.amnesic = match value.as_str() {
                     "acr" => true,
@@ -351,6 +446,8 @@ fn inject_config(a: &InjectArgs) -> Vec<(String, String)> {
         ("checkpoints", a.checkpoints.to_string()),
         ("latency", a.latency.to_string()),
         ("kinds", kinds_str(a.kinds)),
+        ("storm", storm_str(a.storm)),
+        ("watchdog_budget", a.watchdog_budget.to_string()),
         (
             "policy",
             (if a.amnesic { "acr" } else { "baseline" }).to_string(),
@@ -384,10 +481,25 @@ fn kinds_str(k: FaultKindSet) -> String {
     if k.mem {
         kinds.push("mem");
     }
+    if k.burst {
+        kinds.push("burst");
+    }
+    if k.stuck {
+        kinds.push("stuck");
+    }
     if k.crash {
         kinds.push("crash");
     }
     kinds.join(",")
+}
+
+/// A storm schedule as the `G,B` spec `--storm` accepts (`off` when
+/// placement is uniform).
+fn storm_str(s: Option<FaultStorm>) -> String {
+    match s {
+        Some(s) => format!("{},{}", s.mean_gap, s.max_burst),
+        None => "off".to_string(),
+    }
 }
 
 /// The exact command line that reproduces an inject campaign (and with it
@@ -410,6 +522,12 @@ fn repro_line(a: &InjectArgs) -> String {
         if a.amnesic { "acr" } else { "baseline" },
         scheme_str(a.scheme),
     );
+    if let Some(s) = a.storm {
+        let _ = write!(out, " --storm {},{}", s.mean_gap, s.max_burst);
+    }
+    if a.watchdog_budget != 0 {
+        let _ = write!(out, " --watchdog-budget {}", a.watchdog_budget);
+    }
     if a.recovery_faults {
         out.push_str(" --recovery-faults");
     }
@@ -483,12 +601,14 @@ fn campaign_items(a: &InjectArgs) -> Vec<CampaignSweepItem> {
                     seed: a.seed.wrapping_add(i as u64),
                     count,
                     kinds: a.kinds,
+                    storm: a.storm,
                     num_checkpoints: a.checkpoints,
                     detection_latency_frac: a.latency,
                     scheme: a.scheme,
                     sample_interval: a.sample_interval,
                     recovery_faults: a.recovery_faults,
                     generations: a.generations,
+                    watchdog_budget_cycles: a.watchdog_budget,
                     progress: a.progress,
                     ..CampaignConfig::default()
                 },
@@ -578,6 +698,7 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     let mut diverged = 0u64;
     let mut aborted = 0u64;
     let mut divergent_words = 0u64;
+    let mut classes = (0u64, 0u64, 0u64, 0u64);
     let mut recovery_cycles = 0u64;
     let mut recovery_energy = 0.0f64;
     let mut replay_retries = 0u64;
@@ -651,6 +772,13 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
         recovered += r.recovered();
         diverged += r.diverged();
         aborted += r.aborted();
+        let (c_rec, c_due, c_sdc, c_hang) = r.class_counts();
+        classes = (
+            classes.0 + c_rec,
+            classes.1 + c_due,
+            classes.2 + c_sdc,
+            classes.3 + c_hang,
+        );
         divergent_words += r.divergent_words();
         recovery_cycles += r.recovery_stall_cycles();
         recovery_energy += run.recovery_energy_joules;
@@ -669,6 +797,10 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     println!(
         "  injected {injected}  detected {detected}  recovered {recovered}  \
          diverged {diverged}  aborted {aborted}"
+    );
+    println!(
+        "  outcome classes: recovered {}  due {}  sdc {}  hang {}",
+        classes.0, classes.1, classes.2, classes.3
     );
     println!(
         "  state-divergence count {divergent_words}  recovery cycles {recovery_cycles}  \
@@ -718,6 +850,634 @@ fn inject(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+struct SoakArgs {
+    workloads: Vec<Benchmark>,
+    cases: u64,
+    budget_secs: u64,
+    chunk: u32,
+    seed: u64,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    latency: f64,
+    amnesic: bool,
+    models: Vec<SoakModel>,
+    resilience: Vec<SoakResilience>,
+    jobs: usize,
+    cursor: Option<String>,
+    postmortem_dir: Option<String>,
+    print_metrics: bool,
+}
+
+impl Default for SoakArgs {
+    fn default() -> Self {
+        SoakArgs {
+            workloads: vec![Benchmark::Is, Benchmark::Cg],
+            cases: 500,
+            budget_secs: 0,
+            chunk: 25,
+            seed: 42,
+            threads: 2,
+            scale: 0.05,
+            checkpoints: 8,
+            latency: 0.5,
+            amnesic: true,
+            models: default_models(),
+            resilience: default_resilience(),
+            jobs: 0,
+            cursor: None,
+            postmortem_dir: None,
+            print_metrics: false,
+        }
+    }
+}
+
+/// Selects presets by label from `all`, preserving the canonical order
+/// (the grid fingerprint depends on it, so a reordered `--models` list
+/// still resumes the same soak).
+fn pick_presets<T: Clone>(
+    value: &str,
+    flag: &str,
+    all: &[T],
+    label: impl Fn(&T) -> String,
+) -> Result<Vec<T>, String> {
+    let wanted: Vec<&str> = value.split(',').map(str::trim).collect();
+    for w in &wanted {
+        if !all.iter().any(|p| label(p) == *w) {
+            let known: Vec<String> = all.iter().map(&label).collect();
+            return Err(format!(
+                "{flag}: unknown preset `{w}` (known: {})",
+                known.join(",")
+            ));
+        }
+    }
+    let picked: Vec<T> = all
+        .iter()
+        .filter(|p| wanted.contains(&label(p).as_str()))
+        .cloned()
+        .collect();
+    if picked.is_empty() {
+        return Err(format!("{flag} must name at least one preset"));
+    }
+    Ok(picked)
+}
+
+fn parse_soak(args: &[String]) -> Result<SoakArgs, String> {
+    let mut out = SoakArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--print-metrics" {
+            out.print_metrics = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--workloads" => out.workloads = parse_workloads(value)?,
+            "--cases" => {
+                out.cases = value.parse().map_err(|e| format!("--cases: {e}"))?;
+                if out.cases == 0 {
+                    return Err("--cases must be positive".into());
+                }
+            }
+            "--budget-secs" => {
+                out.budget_secs = value.parse().map_err(|e| format!("--budget-secs: {e}"))?;
+            }
+            "--chunk" => {
+                out.chunk = value.parse().map_err(|e| format!("--chunk: {e}"))?;
+                if out.chunk == 0 {
+                    return Err("--chunk must be positive".into());
+                }
+            }
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                out.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--scale" => out.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--checkpoints" => {
+                out.checkpoints = value.parse().map_err(|e| format!("--checkpoints: {e}"))?;
+            }
+            "--latency" => {
+                out.latency = value.parse().map_err(|e| format!("--latency: {e}"))?;
+                if !(0.0..=1.0).contains(&out.latency) {
+                    return Err("--latency must be within [0, 1]".into());
+                }
+            }
+            "--policy" => {
+                out.amnesic = match value.as_str() {
+                    "acr" => true,
+                    "baseline" => false,
+                    other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--models" => {
+                out.models =
+                    pick_presets(value, "--models", &default_models(), |m| m.label.clone())?;
+            }
+            "--resilience" => {
+                out.resilience = pick_presets(value, "--resilience", &default_resilience(), |r| {
+                    r.label.clone()
+                })?;
+            }
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--cursor" => out.cursor = Some(value.clone()),
+            "--postmortem-dir" => out.postmortem_dir = Some(value.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// The exact command line that reproduces a soak stream (stamped into
+/// every postmortem the soak writes). Execution knobs that cannot change
+/// chunk results (`--jobs`, budgets, output paths) are omitted — the
+/// stream is fully determined by seed, chunk size and the grid.
+fn soak_repro_line(a: &SoakArgs) -> String {
+    let workloads: Vec<&str> = a.workloads.iter().map(|b| b.name()).collect();
+    let models: Vec<&str> = a.models.iter().map(|m| m.label.as_str()).collect();
+    let presets: Vec<&str> = a.resilience.iter().map(|r| r.label.as_str()).collect();
+    format!(
+        "acr_cli soak --workloads {} --seed {} --chunk {} --threads {} --scale {} \
+         --checkpoints {} --latency {} --policy {} --models {} --resilience {}",
+        workloads.join(","),
+        a.seed,
+        a.chunk,
+        a.threads,
+        a.scale,
+        a.checkpoints,
+        a.latency,
+        if a.amnesic { "acr" } else { "baseline" },
+        models.join(","),
+        presets.join(","),
+    )
+}
+
+/// One cached `Experiment` per soak workload (instrumentation is paid
+/// once, not once per chunk).
+fn soak_experiments(a: &SoakArgs) -> Result<Vec<(String, Experiment)>, String> {
+    a.workloads
+        .iter()
+        .map(|&bench| {
+            let program = generate(
+                bench,
+                &WorkloadConfig::default()
+                    .with_threads(a.threads)
+                    .with_scale(a.scale),
+            );
+            let spec = ExperimentSpec::default()
+                .with_cores(a.threads)
+                .with_threshold(bench.default_threshold());
+            Experiment::new(program, spec)
+                .map(|e| (bench.name().to_string(), e))
+                .map_err(|e| format!("{}: {e}", bench.name()))
+        })
+        .collect()
+}
+
+fn soak(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_soak(args)?;
+    if let Some(dir) = &a.postmortem_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--postmortem-dir {dir}: {e}"))?;
+    }
+    let names: Vec<String> = a.workloads.iter().map(|b| b.name().to_string()).collect();
+    let grid = SoakGrid::new(&names, &a.models, &a.resilience);
+    let cursor = match &a.cursor {
+        Some(path) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let c = SoakCursor::parse(&text, &grid).map_err(|e| format!("--cursor {path}: {e}"))?;
+            if c.seed != a.seed {
+                return Err(format!(
+                    "--cursor {path}: cursor seed {:#x} != --seed {:#x}; a resumed \
+                     soak must keep its seed",
+                    c.seed, a.seed
+                ));
+            }
+            if c.chunk_cases != a.chunk {
+                return Err(format!(
+                    "--cursor {path}: cursor chunk size {} != --chunk {}; a resumed \
+                     soak must keep its chunk size",
+                    c.chunk_cases, a.chunk
+                ));
+            }
+            c
+        }
+        _ => SoakCursor::new(&grid, a.seed, a.chunk),
+    };
+
+    let base = CampaignConfig {
+        num_checkpoints: a.checkpoints,
+        detection_latency_frac: a.latency,
+        jobs: a.jobs,
+        ..CampaignConfig::default()
+    };
+    let mut exps = soak_experiments(&a)?;
+    println!(
+        "== soak: {} combos x {} cases/chunk, seed {} ==",
+        grid.combos.len(),
+        a.chunk,
+        a.seed
+    );
+    if cursor.chunks_done > 0 {
+        let (done, ..) = cursor.totals();
+        println!(
+            "  resuming at chunk {} ({done} cases on the books)",
+            cursor.chunks_done
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let out = run_soak(
+        &grid,
+        &base,
+        cursor,
+        |combo, cfg| {
+            let exp = exps
+                .iter_mut()
+                .find(|(n, _)| *n == combo.workload)
+                .map(|(_, e)| e)
+                .expect("grid workloads are built from these experiments");
+            exp.run_fault_campaign(cfg, a.amnesic)
+                .map(|r| r.report)
+                .map_err(|e| match e {
+                    ExperimentError::Campaign(c) => c,
+                    other => CampaignError::Config(CkptError::Unsupported {
+                        what: other.to_string(),
+                    }),
+                })
+        },
+        |c| {
+            let (cases, ..) = c.totals();
+            cases < a.cases && (a.budget_secs == 0 || started.elapsed().as_secs() < a.budget_secs)
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    print!("{}", out.log);
+    println!(
+        "== soak matrix ({} chunks total, {} this run) ==",
+        out.cursor.chunks_done, out.chunks_run
+    );
+    print!("{}", out.cursor.matrix());
+    if let Some(dir) = &a.postmortem_dir {
+        for pm in &out.postmortems {
+            let mut b = pm.bundle.clone();
+            b.workload = pm.workload.clone();
+            b.repro = soak_repro_line(&a);
+            let path = format!(
+                "{dir}/postmortem.{}.chunk{:04}.case{:04}.json",
+                pm.workload, pm.chunk, b.case
+            );
+            std::fs::write(&path, b.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        println!("  {} postmortems -> {dir}", out.postmortems.len());
+    }
+    if a.print_metrics {
+        let pairs: Vec<(String, u64)> =
+            out.metrics.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        println!("  soak metrics ({} keys):", pairs.len());
+        print!("{}", metrics_table(&pairs));
+    }
+    if let Some(path) = &a.cursor {
+        std::fs::write(path, out.cursor.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("  cursor -> {path}");
+    }
+    let (_, _, _, sdc, _) = out.cursor.totals();
+    if sdc > 0 {
+        println!("  SILENT DATA CORRUPTION: {sdc} case(s) — triage the postmortems");
+        Ok(ExitCode::from(1))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+struct ShrinkArgs {
+    workload: Benchmark,
+    seed: u64,
+    faults: u32,
+    kinds: FaultKindSet,
+    storm: Option<FaultStorm>,
+    threads: u32,
+    scale: f64,
+    checkpoints: u32,
+    latency: f64,
+    amnesic: bool,
+    recovery_faults: bool,
+    generations: u32,
+    watchdog_budget: u64,
+    case: usize,
+    jobs: usize,
+    max_evals: u64,
+    out: Option<String>,
+    replay: Option<String>,
+}
+
+impl Default for ShrinkArgs {
+    fn default() -> Self {
+        ShrinkArgs {
+            workload: Benchmark::Cg,
+            seed: 42,
+            faults: 10,
+            kinds: FaultKindSet {
+                reg: false,
+                pc: false,
+                mem: true,
+                burst: false,
+                stuck: false,
+                crash: false,
+            },
+            storm: None,
+            threads: 2,
+            scale: 0.05,
+            checkpoints: 4,
+            latency: 0.5,
+            amnesic: true,
+            recovery_faults: false,
+            generations: 1,
+            watchdog_budget: 0,
+            case: 0,
+            jobs: 0,
+            max_evals: 2048,
+            out: None,
+            replay: None,
+        }
+    }
+}
+
+fn parse_shrink(args: &[String]) -> Result<ShrinkArgs, String> {
+    let mut out = ShrinkArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--recovery-faults" {
+            out.recovery_faults = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--workload" => {
+                out.workload = Benchmark::from_name(value.trim())
+                    .ok_or_else(|| format!("unknown workload `{value}`"))?;
+            }
+            "--seed" => out.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faults" => {
+                out.faults = value.parse().map_err(|e| format!("--faults: {e}"))?;
+                if out.faults == 0 {
+                    return Err("--faults must be positive".into());
+                }
+            }
+            "--kinds" => out.kinds = FaultKindSet::parse(value)?,
+            "--storm" => {
+                out.storm = Some(FaultStorm::parse(value).map_err(|e| format!("--storm: {e}"))?)
+            }
+            "--threads" => {
+                out.threads = value.parse().map_err(|e| format!("--threads: {e}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--scale" => out.scale = value.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--checkpoints" => {
+                out.checkpoints = value.parse().map_err(|e| format!("--checkpoints: {e}"))?;
+            }
+            "--latency" => {
+                out.latency = value.parse().map_err(|e| format!("--latency: {e}"))?;
+                if !(0.0..=1.0).contains(&out.latency) {
+                    return Err("--latency must be within [0, 1]".into());
+                }
+            }
+            "--policy" => {
+                out.amnesic = match value.as_str() {
+                    "acr" => true,
+                    "baseline" => false,
+                    other => return Err(format!("unknown policy `{other}`")),
+                };
+            }
+            "--generations" => {
+                out.generations = value.parse().map_err(|e| format!("--generations: {e}"))?;
+                if out.generations == 0 {
+                    return Err("--generations must be positive".into());
+                }
+            }
+            "--watchdog-budget" => {
+                out.watchdog_budget = value
+                    .parse()
+                    .map_err(|e| format!("--watchdog-budget: {e}"))?;
+            }
+            "--case" => out.case = value.parse().map_err(|e| format!("--case: {e}"))?,
+            "--jobs" => out.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--max-evals" => {
+                out.max_evals = value.parse().map_err(|e| format!("--max-evals: {e}"))?;
+                if out.max_evals == 0 {
+                    return Err("--max-evals must be positive".into());
+                }
+            }
+            "--out" => out.out = Some(value.clone()),
+            "--replay" => out.replay = Some(value.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// One `Experiment` over one workload, as the shrink paths build it.
+fn shrink_experiment(bench: Benchmark, threads: u32, scale: f64) -> Result<Experiment, String> {
+    let program = generate(
+        bench,
+        &WorkloadConfig::default()
+            .with_threads(threads)
+            .with_scale(scale),
+    );
+    Experiment::new(
+        program,
+        ExperimentSpec::default()
+            .with_cores(threads)
+            .with_threshold(bench.default_threshold()),
+    )
+    .map_err(|e| format!("{}: {e}", bench.name()))
+}
+
+/// The `acr.repro.v1` document: everything `--replay` needs to rebuild
+/// the exact engine configuration, plus the minimal fault plan. Fractions
+/// are serialized as strings (the JSON layer is `f64`-backed and the
+/// round-trip must be exact); big `u64`s as hex strings.
+fn repro_doc(a: &ShrinkArgs, out: &acr_ckpt::ShrinkOutcome) -> String {
+    let mut o = String::from("{\n  \"schema\": ");
+    acr_trace::push_json_string(&mut o, REPRO_SCHEMA);
+    let _ = write!(o, ",\n  \"workload\": \"{}\"", a.workload.name());
+    let _ = write!(o, ",\n  \"case\": {}", a.case);
+    let _ = write!(o, ",\n  \"seed\": \"{:#x}\"", a.seed);
+    let _ = write!(o, ",\n  \"threads\": {}", a.threads);
+    let _ = write!(o, ",\n  \"scale\": \"{}\"", a.scale);
+    let _ = write!(o, ",\n  \"checkpoints\": {}", a.checkpoints);
+    let _ = write!(o, ",\n  \"latency\": \"{}\"", a.latency);
+    let _ = write!(
+        o,
+        ",\n  \"policy\": \"{}\"",
+        if a.amnesic { "acr" } else { "baseline" }
+    );
+    let _ = write!(o, ",\n  \"recovery_faults\": {}", a.recovery_faults);
+    let _ = write!(o, ",\n  \"generations\": {}", a.generations);
+    let _ = write!(o, ",\n  \"watchdog_budget\": {}", a.watchdog_budget);
+    let _ = write!(o, ",\n  \"trigger\": \"{}\"", out.failure.trigger);
+    o.push_str(",\n  \"probable_cause\": ");
+    acr_trace::push_json_string(&mut o, &out.failure.bundle.probable_cause);
+    let _ = write!(o, ",\n  \"original_faults\": {}", out.original_faults);
+    o.push_str(",\n  \"faults\": [");
+    for (i, f) in out.minimal.iter().enumerate() {
+        o.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        o.push_str(&fault_to_json(f));
+    }
+    o.push_str("\n  ]\n}\n");
+    o
+}
+
+/// Re-runs a repro document's minimal plan exactly once: exit 1 when the
+/// failure reproduces (same-signature triage can proceed), 0 when it no
+/// longer fails (the repro is stale).
+fn shrink_replay(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let j = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = jstr(&j, "schema");
+    if schema != REPRO_SCHEMA {
+        return Err(format!(
+            "{path}: unknown repro schema `{schema}` (expected {REPRO_SCHEMA})"
+        ));
+    }
+    let workload = Benchmark::from_name(jstr(&j, "workload"))
+        .ok_or_else(|| format!("{path}: unknown workload `{}`", jstr(&j, "workload")))?;
+    let frac = |key: &str| -> Result<f64, String> {
+        jstr(&j, key)
+            .parse()
+            .map_err(|e| format!("{path}: field `{key}`: {e}"))
+    };
+    let seed = u64::from_str_radix(jstr(&j, "seed").trim_start_matches("0x"), 16)
+        .map_err(|e| format!("{path}: field `seed`: {e}"))?;
+    let faults = j
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: field `faults` missing"))?
+        .iter()
+        .map(fault_from_json)
+        .collect::<Result<Vec<Fault>, String>>()
+        .map_err(|e| format!("{path}: {e}"))?;
+    let threads = jnum(&j, "threads") as u32;
+    let case = jnum(&j, "case") as usize;
+    let cfg = CampaignConfig {
+        seed,
+        count: faults.len().max(1) as u32,
+        num_checkpoints: jnum(&j, "checkpoints") as u32,
+        detection_latency_frac: frac("latency")?,
+        recovery_faults: jbool(&j, "recovery_faults"),
+        generations: (jnum(&j, "generations") as u32).max(1),
+        watchdog_budget_cycles: jnum(&j, "watchdog_budget"),
+        jobs: 1,
+        ..CampaignConfig::default()
+    };
+    let amnesic = jstr(&j, "policy") == "acr";
+    let mut exp = shrink_experiment(workload, threads, frac("scale")?)?;
+    println!(
+        "== replay: {} case {:04}, {} fault(s) ==",
+        workload.name(),
+        case,
+        faults.len()
+    );
+    match exp
+        .replay_fault_case(&cfg, amnesic, case, &faults)
+        .map_err(|e| e.to_string())?
+    {
+        Some(failure) => {
+            println!(
+                "  reproduced: trigger {} (recorded {})",
+                failure.trigger,
+                jstr(&j, "trigger")
+            );
+            println!("  probable cause: {}", failure.bundle.probable_cause);
+            Ok(ExitCode::from(1))
+        }
+        None => {
+            println!("  did not reproduce: the plan no longer fails");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn shrink(args: &[String]) -> Result<ExitCode, String> {
+    let a = parse_shrink(args)?;
+    if let Some(path) = &a.replay {
+        return shrink_replay(path);
+    }
+    let cfg = CampaignConfig {
+        seed: a.seed,
+        count: a.faults,
+        kinds: a.kinds,
+        storm: a.storm,
+        num_checkpoints: a.checkpoints,
+        detection_latency_frac: a.latency,
+        recovery_faults: a.recovery_faults,
+        generations: a.generations,
+        watchdog_budget_cycles: a.watchdog_budget,
+        jobs: 1,
+        ..CampaignConfig::default()
+    };
+    let mut exp = shrink_experiment(a.workload, a.threads, a.scale)?;
+    let faults = exp
+        .plan_dense_faults(&cfg, a.amnesic)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "== shrink: {} case {:04}, {} planned fault(s) ==",
+        a.workload.name(),
+        a.case,
+        faults.len()
+    );
+    let out = exp
+        .shrink_fault_case(
+            &cfg,
+            a.amnesic,
+            a.case,
+            &faults,
+            &ShrinkConfig {
+                jobs: a.jobs,
+                max_evaluations: a.max_evals,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  {} fault(s) -> {} ({} dropped, {} field(s) narrowed) in {} round(s), \
+         {} evaluation(s)",
+        out.original_faults,
+        out.minimal.len(),
+        out.dropped_faults(),
+        out.narrowed_fields,
+        out.rounds,
+        out.evaluations
+    );
+    println!("  trigger {}", out.failure.trigger);
+    println!("  probable cause: {}", out.failure.bundle.probable_cause);
+    println!("  minimal plan:");
+    for f in &out.minimal {
+        println!("    {}", fault_to_json(f));
+    }
+    let out_path = a
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("repro.{}.case{:04}.json", a.workload.name(), a.case));
+    std::fs::write(&out_path, repro_doc(&a, &out)).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("  repro -> {out_path}");
+    println!("  replay: acr_cli shrink --replay {out_path}");
+    Ok(ExitCode::SUCCESS)
 }
 
 struct TraceArgs {
@@ -1862,6 +2622,8 @@ fn main() -> ExitCode {
         Some("bench") => bench(&args[1..]),
         Some("diff") => diff(&args[1..]),
         Some("explain") => explain(&args[1..]),
+        Some("soak") => soak(&args[1..]),
+        Some("shrink") => shrink(&args[1..]),
         Some("workloads") => {
             for b in Benchmark::ALL {
                 println!("{}", b.name());

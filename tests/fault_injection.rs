@@ -115,6 +115,8 @@ fn crash_faults_recover() {
         reg: false,
         pc: false,
         mem: false,
+        burst: false,
+        stuck: false,
         crash: true,
     };
     let run = campaign(Benchmark::Cg, 13, 20, crash_only, true);

@@ -122,6 +122,8 @@ fn recorder_on_and_off_campaigns_are_identical() {
                     reg: false,
                     pc: false,
                     mem: true,
+                    burst: false,
+                    stuck: false,
                     crash: false,
                 }
             };

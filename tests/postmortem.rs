@@ -44,6 +44,8 @@ fn divergent_campaign(seed: u64) -> acr::CampaignRunResult {
             reg: false,
             pc: false,
             mem: true,
+            burst: false,
+            stuck: false,
             crash: false,
         },
         num_checkpoints: 4,

@@ -12,7 +12,7 @@ use acr::{CampaignRunResult, Experiment, ExperimentSpec};
 use acr_ckpt::CampaignConfig;
 use acr_isa::{AluOp, Program, ProgramBuilder, Reg};
 use acr_rng::check::forall;
-use acr_sim::FaultKindSet;
+use acr_sim::{FaultKind, FaultKindSet, FaultStorm};
 
 /// A small store-heavy kernel with per-thread disjoint buffers; `mult`
 /// perturbs the data flow so different draws exercise different Slices.
@@ -130,6 +130,64 @@ fn recovery_fault_campaign_is_jobs_invariant() {
                 seq.report.escalation_csv().lines().count() > 1,
                 "nested faults must produce escalation rows"
             );
+            for jobs in [2usize, 4, 8] {
+                cfg.jobs = jobs;
+                let par = run(&program, threads, &cfg);
+                assert_equivalent(&seq, &par, jobs);
+            }
+        },
+    );
+}
+
+/// Adversarial campaigns: multi-bit bursts, stuck-at cells (which
+/// re-corrupt every write until recovery rewrites the line) and
+/// storm-clustered placement feed the same case-index-ordered merge —
+/// the report must stay jobs-invariant for them too.
+#[test]
+fn adversarial_campaign_is_jobs_invariant() {
+    forall(
+        "adversarial_campaign_is_jobs_invariant",
+        3,
+        0xBAD_B17,
+        |rng| {
+            let threads = rng.gen_range(1..=2u32);
+            let program = kernel(
+                threads as usize,
+                rng.gen_range(30..=50u64),
+                rng.gen_range(3..=13u64) | 1,
+            );
+            let stormy = rng.gen_range(0..=1u32) == 1;
+            let mut cfg = CampaignConfig {
+                seed: rng.next_u64(),
+                count: rng.gen_range(5..=8u32),
+                kinds: FaultKindSet {
+                    reg: false,
+                    pc: false,
+                    mem: true,
+                    burst: true,
+                    stuck: true,
+                    crash: false,
+                },
+                storm: stormy.then(|| FaultStorm {
+                    mean_gap: rng.gen_range(50..=400u64),
+                    max_burst: rng.gen_range(2..=5u32),
+                }),
+                num_checkpoints: rng.gen_range(4..=7u32),
+                progress: true,
+                ..CampaignConfig::default()
+            };
+            cfg.jobs = 1;
+            let seq = run(&program, threads, &cfg);
+            assert!(
+                seq.report.cases.iter().any(|c| matches!(
+                    c.fault.kind,
+                    FaultKind::MemBurst { .. } | FaultKind::StuckAt { .. }
+                )),
+                "the adversarial kinds must actually reach the plan"
+            );
+            // Every case lands in exactly one outcome class.
+            let (recovered, due, sdc, hang) = seq.report.class_counts();
+            assert_eq!(recovered + due + sdc + hang, seq.report.cases.len() as u64);
             for jobs in [2usize, 4, 8] {
                 cfg.jobs = jobs;
                 let par = run(&program, threads, &cfg);
