@@ -271,12 +271,18 @@ impl<'p, P: OmissionPolicy> BerEngine<'p, P> {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.resilience` plans recovery faults under the local
-    /// scheme (unsupported: per-group rollback has no single safe
-    /// generation to tear) or retains zero generations. User-reachable
-    /// paths reject these combinations with [`crate::CkptError`] before
-    /// constructing an engine.
+    /// Panics if the machine has no cores, if `cfg.resilience` plans
+    /// recovery faults under the local scheme (unsupported: per-group
+    /// rollback has no single safe generation to tear), or retains zero
+    /// generations. User-reachable paths reject these combinations with
+    /// [`crate::CkptError`] before constructing an engine
+    /// ([`crate::CkptError::NoCores`] for the first).
     pub fn new(mut machine: Machine<'p>, policy: P, cfg: BerConfig) -> Self {
+        assert!(
+            !machine.cores().is_empty(),
+            "engine needs at least one core (error placement takes \
+             indices modulo the core count)"
+        );
         assert!(
             cfg.resilience.generations >= 1,
             "must retain at least one checkpoint generation"

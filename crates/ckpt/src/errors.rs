@@ -29,6 +29,10 @@ pub enum CkptError {
         /// Total retired instructions of the fault-free run.
         total: u64,
     },
+    /// The program has no threads, so the machine has no cores to run
+    /// (or inject faults into). Previously this surfaced as a
+    /// remainder-by-zero panic deep in engine construction.
+    NoCores,
     /// The requested feature combination is not supported.
     Unsupported {
         /// What was requested and why it is rejected.
@@ -56,6 +60,11 @@ impl fmt::Display for CkptError {
                 f,
                 "program too short to inject into ({total} retired \
                  instructions; need at least 2)"
+            ),
+            CkptError::NoCores => write!(
+                f,
+                "program has no threads: a campaign needs at least one \
+                 core to run and fault"
             ),
             CkptError::Unsupported { what } => write!(f, "unsupported: {what}"),
         }

@@ -42,7 +42,13 @@ pub fn daly_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
 /// given the measured per-checkpoint stall (`checkpoint_cost_cycles`)
 /// and the expected number of errors during the execution.
 ///
-/// Returns at least 1 checkpoint whenever an error is expected at all.
+/// Returns at least 1 checkpoint whenever an error is expected at all,
+/// and never more than one per cycle (the interval is clamped to a
+/// cycle). The division is carried out in 32.32 fixed point so the count
+/// stays exact even when `exec_cycles` exceeds 2^53 — a plain
+/// `exec_cycles as f64 / t` round-trip loses whole cycles up there, and
+/// the old `as u32` conversion silently saturated long runs at
+/// `u32::MAX`.
 ///
 /// ```
 /// // A 10M-cycle run expecting 2 errors with 10k-cycle checkpoints:
@@ -53,13 +59,23 @@ pub fn recommended_checkpoints(
     exec_cycles: u64,
     checkpoint_cost_cycles: u64,
     expected_errors: f64,
-) -> u32 {
+) -> u64 {
     if expected_errors <= 0.0 || exec_cycles == 0 {
         return 0;
     }
     let mtbf = exec_cycles as f64 / expected_errors;
-    let t = daly_interval(checkpoint_cost_cycles.max(1) as f64, mtbf);
-    (exec_cycles as f64 / t).round().max(1.0) as u32
+    let t = daly_interval(checkpoint_cost_cycles.max(1) as f64, mtbf)
+        // Degenerate MTBFs below one cycle would otherwise recommend
+        // more checkpoints than there are cycles to take them in.
+        .max(1.0);
+    // Round-to-nearest `exec_cycles / t` in integer space: `t` scaled to
+    // 32.32 fixed point (t >= 1 so the divisor is >= 2^32, and the
+    // quotient fits u64; t <= mtbf + interval terms keeps t_fp within
+    // u128). Only `t`'s own f64 representation is approximated.
+    let t_fp = (t * (1u64 << 32) as f64) as u128;
+    let num = (exec_cycles as u128) << 32;
+    let n = ((num + t_fp / 2) / t_fp) as u64;
+    n.max(1)
 }
 
 #[cfg(test)]
@@ -103,5 +119,40 @@ mod tests {
     fn no_errors_no_checkpoints() {
         assert_eq!(recommended_checkpoints(1_000_000, 1_000, 0.0), 0);
         assert_eq!(recommended_checkpoints(0, 1_000, 2.0), 0);
+    }
+
+    #[test]
+    fn counts_above_u32_are_not_saturated() {
+        // 2^40 expected errors over 2^60 cycles with cycle-scale
+        // checkpoints: the recommendation is far above u32::MAX, which
+        // the old `as u32` conversion silently clamped to 4294967295.
+        let n = recommended_checkpoints(1 << 60, 1, (1u64 << 40) as f64);
+        assert!(
+            n > u64::from(u32::MAX),
+            "n = {n} should exceed u32::MAX, not saturate at it"
+        );
+    }
+
+    #[test]
+    fn exact_above_f64_integer_range() {
+        // Above 2^53 an f64 cannot represent every u64, so the old
+        // float round-trip drifted by whole checkpoints. The fixed-point
+        // division must stay exact: with a degenerate sub-cycle MTBF the
+        // interval clamps to one cycle and the count is exec_cycles
+        // itself, bit for bit.
+        let exec = (1u64 << 53) + 1;
+        let n = recommended_checkpoints(exec, 1, 1e30);
+        assert_eq!(n, exec);
+    }
+
+    #[test]
+    fn boundary_cases_stay_sane() {
+        // Huge run, vanishing error expectation: the interval overflows
+        // to infinity and the recommendation floors at one checkpoint.
+        assert_eq!(recommended_checkpoints(u64::MAX, 1, 1e-300), 1);
+        // Full-range exec_cycles with a modest rate neither panics nor
+        // saturates.
+        let n = recommended_checkpoints(u64::MAX, 1 << 20, 100.0);
+        assert!(n >= 1);
     }
 }

@@ -1029,6 +1029,9 @@ where
     F: Fn() -> P + Sync,
 {
     // Malformed configurations get typed errors before any work runs.
+    if program.num_threads() == 0 {
+        return Err(CkptError::NoCores.into());
+    }
     if cfg.count == 0 {
         return Err(CkptError::EmptyCampaign.into());
     }
@@ -1359,6 +1362,27 @@ mod tests {
         ));
         // Typed errors render as messages, never panic backtraces.
         assert!(err.to_string().contains("global coordinated"));
+    }
+
+    #[test]
+    fn zero_thread_program_gets_typed_error() {
+        // A zero-thread program validates vacuously but yields a machine
+        // with no cores; error placement takes indices modulo the core
+        // count, so this used to die on remainder-by-zero inside engine
+        // construction instead of reporting a config error.
+        let mut b = ProgramBuilder::new(0);
+        b.set_mem_bytes(1 << 12);
+        let p = b.build();
+        p.validate().expect("vacuously valid");
+        let err = run_campaign(
+            &p,
+            MachineConfig::with_cores(1),
+            &CampaignConfig::default(),
+            || NoOmission,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CampaignError::Config(CkptError::NoCores)));
+        assert!(err.to_string().contains("no threads"));
     }
 
     #[test]

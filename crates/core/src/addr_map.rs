@@ -15,12 +15,24 @@
 //! so each core owns its associations); when a core's budget is exhausted,
 //! new associations are dropped and the corresponding values are simply
 //! checkpointed — ACR degrades gracefully to the baseline.
+//!
+//! # Data layout
+//!
+//! This sits on the per-store hot path, so the map is an open-addressed
+//! FNV-1a-keyed index (linear probing, power-of-two slot count) over an
+//! entry arena. Each entry inlines the common case of one or two live
+//! versions and spills longer histories to a side `Vec`; captured Slice
+//! inputs live in a fixed [`InputVals`] buffer, so recording an
+//! association allocates nothing. Entries are never removed from the
+//! arena: pruning an address empties its version list, which is
+//! observationally identical to absence, and the entry (plus its index
+//! slot) is reused if the address is touched again. See DESIGN.md §14 for
+//! the invariants and why determinism is structural here rather than
+//! sort-on-iterate.
 
-use std::collections::HashMap;
-
-use acr_isa::SliceId;
+use acr_isa::{InputVals, SliceId};
 use acr_mem::WordAddr;
-use acr_trace::MetricsRegistry;
+use acr_trace::{Fnv1a, MetricsRegistry};
 
 /// `AddrMap` sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +52,7 @@ impl Default for AddrMapConfig {
 }
 
 /// One association version.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Version {
     /// Epoch in which the version was created (the association describes
     /// the address's value from then until the next version).
@@ -59,10 +71,171 @@ struct Version {
 }
 
 /// A live association: the Slice and its captured inputs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Assoc {
     pub slice: SliceId,
-    pub inputs: Vec<u64>,
+    pub inputs: InputVals,
+}
+
+/// Versions an entry holds before spilling to the heap. Profiling the
+/// golden campaigns shows the overwhelming majority of addresses carry one
+/// or two live versions (current association + one tombstone or
+/// predecessor), so two inline slots cover the hot path.
+const INLINE_VERSIONS: usize = 2;
+
+/// Placeholder for unused inline slots; never observable because reads are
+/// bounded by `len`.
+const DEAD_VERSION: Version = Version {
+    epoch: 0,
+    core: 0,
+    assoc: None,
+    evicted: false,
+};
+
+/// An address's version history, newest last (push order is chronological
+/// because same-epoch updates supersede in place).
+#[derive(Debug, Clone)]
+struct VersionList {
+    inline: [Version; INLINE_VERSIONS],
+    spill: Vec<Version>,
+    len: u32,
+}
+
+impl VersionList {
+    const fn new() -> Self {
+        VersionList {
+            inline: [DEAD_VERSION; INLINE_VERSIONS],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &Version {
+        debug_assert!(i < self.len());
+        if i < INLINE_VERSIONS {
+            &self.inline[i]
+        } else {
+            &self.spill[i - INLINE_VERSIONS]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: Version) {
+        debug_assert!(i < self.len());
+        if i < INLINE_VERSIONS {
+            self.inline[i] = v;
+        } else {
+            self.spill[i - INLINE_VERSIONS] = v;
+        }
+    }
+
+    #[inline]
+    fn last_mut(&mut self) -> Option<&mut Version> {
+        let i = self.len().checked_sub(1)?;
+        Some(if i < INLINE_VERSIONS {
+            &mut self.inline[i]
+        } else {
+            &mut self.spill[i - INLINE_VERSIONS]
+        })
+    }
+
+    #[inline]
+    fn push(&mut self, v: Version) {
+        let i = self.len();
+        if i < INLINE_VERSIONS {
+            self.inline[i] = v;
+        } else {
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// The latest version with `epoch < bound`, scanning newest-first.
+    /// Histories are short (inline in the common case), so a linear
+    /// reverse scan beats a binary search.
+    #[inline]
+    fn latest_before(&self, bound: u64) -> Option<&Version> {
+        for i in (0..self.len()).rev() {
+            let v = self.get(i);
+            if v.epoch < bound {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// In-place compaction keeping versions `f` accepts, preserving order.
+    /// The write cursor never passes the read cursor, so spill writes land
+    /// on still-occupied capacity.
+    fn retain(&mut self, mut f: impl FnMut(&Version) -> bool) {
+        let mut w = 0usize;
+        for i in 0..self.len() {
+            let v = *self.get(i);
+            if f(&v) {
+                if w != i {
+                    self.set(w, v);
+                }
+                w += 1;
+            }
+        }
+        self.spill.truncate(w.saturating_sub(INLINE_VERSIONS));
+        self.len = w as u32;
+    }
+
+    fn clear(&mut self) {
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+/// One arena entry: an address and its version history. An entry with an
+/// empty history is *dead* — behaviour-identical to the address being
+/// absent — and is revived in place when the address is touched again.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: WordAddr,
+    versions: VersionList,
+}
+
+/// Empty-slot sentinel in the open-addressed index.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// One slot of the open-addressed index. The key is duplicated here so a
+/// probe chain walks only this compact (16-byte) array; the fat `Entry`
+/// arena is touched exactly once, after the match. Emptiness is carried by
+/// `idx == EMPTY_SLOT` (a key of 0 is a valid address).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    idx: u32,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        key: 0,
+        idx: EMPTY_SLOT,
+    };
+}
+
+/// Initial index size (power of two).
+const INITIAL_SLOTS: usize = 64;
+
+#[inline]
+fn hash_addr(addr: WordAddr) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(addr.byte());
+    h.finish()
 }
 
 /// Usage counters (for capacity ablations and energy accounting).
@@ -128,7 +301,12 @@ pub enum AssocState {
 #[derive(Debug, Clone)]
 pub struct AddrMap {
     cfg: AddrMapConfig,
-    map: HashMap<WordAddr, Vec<Version>>,
+    /// Open-addressed index: key + arena entry index per slot.
+    slots: Vec<Slot>,
+    /// Entry arena in first-touch order. Entries are never removed (dead
+    /// entries have an empty version list), so indices in `slots` stay
+    /// valid for the map's lifetime.
+    entries: Vec<Entry>,
     live_per_core: Vec<usize>,
     usage: AddrMapUsage,
 }
@@ -138,7 +316,8 @@ impl AddrMap {
     pub fn new(cfg: AddrMapConfig, num_cores: usize) -> Self {
         AddrMap {
             cfg,
-            map: HashMap::new(),
+            slots: vec![Slot::EMPTY; INITIAL_SLOTS],
+            entries: Vec::new(),
             live_per_core: vec![0; num_cores],
             usage: AddrMapUsage::default(),
         }
@@ -169,6 +348,73 @@ impl AddrMap {
         self.cfg.capacity_per_core * self.live_per_core.len()
     }
 
+    /// Finds the arena entry for `addr`, if it was ever touched.
+    #[inline]
+    fn find(&self, addr: WordAddr) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut slot = hash_addr(addr) as usize & mask;
+        loop {
+            let s = self.slots[slot];
+            if s.idx == EMPTY_SLOT {
+                return None;
+            }
+            if s.key == addr.byte() {
+                return Some(s.idx as usize);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Finds or materialises the arena entry for `addr`.
+    fn find_or_insert(&mut self, addr: WordAddr) -> usize {
+        // Keep the load factor below 7/8 counting every arena entry (dead
+        // ones still occupy index slots so they can be revived in place).
+        if (self.entries.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = hash_addr(addr) as usize & mask;
+        loop {
+            let s = self.slots[slot];
+            if s.idx == EMPTY_SLOT {
+                let idx = self.entries.len();
+                self.slots[slot] = Slot {
+                    key: addr.byte(),
+                    idx: idx as u32,
+                };
+                self.entries.push(Entry {
+                    key: addr,
+                    versions: VersionList::new(),
+                });
+                return idx;
+            }
+            if s.key == addr.byte() {
+                return s.idx as usize;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the index and re-seats every entry. Probe order after a
+    /// grow depends only on the entry keys and the new size, never on
+    /// lookup history, so growth cannot perturb observable behaviour.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![Slot::EMPTY; new_len];
+        for (idx, entry) in self.entries.iter().enumerate() {
+            let mut slot = hash_addr(entry.key) as usize & mask;
+            while slots[slot].idx != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = Slot {
+                key: entry.key.byte(),
+                idx: idx as u32,
+            };
+        }
+        self.slots = slots;
+    }
+
     fn note_peak(&mut self) {
         let total: usize = self.live_per_core.iter().sum();
         if total > self.usage.peak_live {
@@ -179,25 +425,25 @@ impl AddrMap {
     /// Records an uncovered store to `addr`: from `epoch` on, the
     /// address's value is not recomputable. A tombstone is only needed if
     /// a (non-tombstone) association exists.
+    #[inline]
     pub(crate) fn record_store(&mut self, core: u32, addr: WordAddr, epoch: u64) {
-        self.tombstone(core, addr, epoch, false, false);
+        // Fast path: stores to never-associated addresses (the vast
+        // majority) cost one probe and no mutation.
+        let Some(idx) = self.find(addr) else { return };
+        if self.entries[idx].versions.is_empty() {
+            return;
+        }
+        self.tombstone_at(idx, core, epoch, false);
     }
 
-    /// Writes a tombstone version. `evicted` marks capacity evictions
-    /// (vs. genuine invalidation by an uncovered store); `create_entry`
-    /// materialises an entry for a previously unknown address — eviction
-    /// tombstones need one so a later first update can still be
-    /// attributed to the eviction, while plain uncovered stores to
-    /// unknown addresses stay free.
-    fn tombstone(&mut self, core: u32, addr: WordAddr, epoch: u64, evicted: bool, create: bool) {
-        let versions = if create {
-            self.map.entry(addr).or_default()
-        } else {
-            match self.map.get_mut(&addr) {
-                Some(v) => v,
-                None => return,
-            }
-        };
+    /// Writes a tombstone version into entry `idx`. `evicted` marks
+    /// capacity evictions (vs. genuine invalidation by an uncovered
+    /// store). Eviction tombstones materialise an entry for a previously
+    /// unknown address (the caller uses `find_or_insert`) so a later
+    /// first update can still be attributed to the eviction, while plain
+    /// uncovered stores to unknown addresses stay free.
+    fn tombstone_at(&mut self, idx: usize, core: u32, epoch: u64, evicted: bool) {
+        let versions = &mut self.entries[idx].versions;
         match versions.last_mut() {
             Some(last) if last.assoc.is_none() => {
                 // Already dead from an earlier (or equal) epoch on; a
@@ -241,17 +487,19 @@ impl AddrMap {
         addr: WordAddr,
         epoch: u64,
         slice: SliceId,
-        inputs: Vec<u64>,
+        inputs: InputVals,
     ) -> bool {
         if self.live_per_core[core as usize] >= self.cfg.capacity_per_core {
             self.usage.rejected_capacity += 1;
             // The association (if any) no longer describes the new value;
             // the eviction-flagged tombstone lets a later first update be
             // attributed to the capacity limit rather than the program.
-            self.tombstone(core, addr, epoch, true, true);
+            let idx = self.find_or_insert(addr);
+            self.tombstone_at(idx, core, epoch, true);
             return false;
         }
-        let versions = self.map.entry(addr).or_default();
+        let idx = self.find_or_insert(addr);
+        let versions = &mut self.entries[idx].versions;
         let assoc = Assoc { slice, inputs };
         match versions.last_mut() {
             Some(last) if last.epoch == epoch => {
@@ -282,21 +530,19 @@ impl AddrMap {
     /// `epoch` — the latest version created strictly before `epoch`.
     /// Returns `None` if that version is a tombstone or absent.
     pub(crate) fn lookup_for_epoch(&self, addr: WordAddr, epoch: u64) -> Option<&Assoc> {
-        let versions = self.map.get(&addr)?;
-        versions
-            .iter()
-            .rev()
-            .find(|v| v.epoch < epoch)
+        let idx = self.find(addr)?;
+        self.entries[idx]
+            .versions
+            .latest_before(epoch)
             .and_then(|v| v.assoc.as_ref())
     }
 
     /// Owning core of the association usable for `epoch`, if any.
     pub(crate) fn owner_for_epoch(&self, addr: WordAddr, epoch: u64) -> Option<u32> {
-        let versions = self.map.get(&addr)?;
-        versions
-            .iter()
-            .rev()
-            .find(|v| v.epoch < epoch)
+        let idx = self.find(addr)?;
+        self.entries[idx]
+            .versions
+            .latest_before(epoch)
             .filter(|v| v.assoc.is_some())
             .map(|v| v.core)
     }
@@ -306,10 +552,10 @@ impl AddrMap {
     /// performs, with tombstones split by cause. Read-only (ledger
     /// attribution; never charges simulated time).
     pub fn classify_for_epoch(&self, addr: WordAddr, epoch: u64) -> AssocState {
-        let Some(versions) = self.map.get(&addr) else {
+        let Some(idx) = self.find(addr) else {
             return AssocState::Absent;
         };
-        match versions.iter().rev().find(|v| v.epoch < epoch) {
+        match self.entries[idx].versions.latest_before(epoch) {
             None => AssocState::Absent,
             Some(v) => match &v.assoc {
                 Some(a) => AssocState::Live {
@@ -328,22 +574,39 @@ impl AddrMap {
     /// latest older one.
     pub(crate) fn prune(&mut self, sealed: u64) {
         let live = &mut self.live_per_core;
-        let usage_peak = self.usage.peak_live;
-        self.map.retain(|_, versions| {
-            let keep_from = versions.iter().rposition(|v| v.epoch < sealed).unwrap_or(0);
-            for v in versions.drain(..keep_from) {
-                if v.assoc.is_some() {
-                    live[v.core as usize] -= 1;
+        for entry in &mut self.entries {
+            let versions = &mut entry.versions;
+            if versions.is_empty() {
+                continue;
+            }
+            let mut keep_from = 0;
+            for i in (0..versions.len()).rev() {
+                if versions.get(i).epoch < sealed {
+                    keep_from = i;
+                    break;
                 }
             }
-            // Drop addresses whose only remaining version is an old
-            // tombstone.
-            if versions.len() == 1 && versions[0].assoc.is_none() && versions[0].epoch < sealed {
-                versions.clear();
+            if keep_from > 0 {
+                let mut i = 0;
+                versions.retain(|v| {
+                    let keep = i >= keep_from;
+                    if !keep && v.assoc.is_some() {
+                        live[v.core as usize] -= 1;
+                    }
+                    i += 1;
+                    keep
+                });
             }
-            !versions.is_empty()
-        });
-        self.usage.peak_live = usage_peak;
+            // Drop addresses whose only remaining version is an old
+            // tombstone (the entry goes dead; absence and deadness are
+            // indistinguishable to every reader).
+            if versions.len() == 1 {
+                let v = versions.get(0);
+                if v.assoc.is_none() && v.epoch < sealed {
+                    versions.clear();
+                }
+            }
+        }
     }
 
     /// Rollback: recovery restored checkpoint `safe_epoch` for the cores
@@ -351,16 +614,15 @@ impl AddrMap {
     /// (`epoch >= safe_epoch`) describe stores that never happened.
     pub(crate) fn rollback(&mut self, safe_epoch: u64, victim_mask: u64) {
         let live = &mut self.live_per_core;
-        self.map.retain(|_, versions| {
-            versions.retain(|v| {
+        for entry in &mut self.entries {
+            entry.versions.retain(|v| {
                 let undone = v.epoch >= safe_epoch && victim_mask >> v.core & 1 == 1;
                 if undone && v.assoc.is_some() {
                     live[v.core as usize] -= 1;
                 }
                 !undone
             });
-            !versions.is_empty()
-        });
+        }
     }
 }
 
@@ -370,6 +632,10 @@ mod tests {
 
     fn wa(i: u64) -> WordAddr {
         WordAddr::new(i * 8)
+    }
+
+    fn iv(vals: &[u64]) -> InputVals {
+        InputVals::new(vals)
     }
 
     fn map(cap: usize) -> AddrMap {
@@ -384,7 +650,7 @@ mod tests {
     #[test]
     fn assoc_visible_only_for_later_epochs() {
         let mut m = map(100);
-        assert!(m.record_assoc(0, wa(1), 3, SliceId(7), vec![10]));
+        assert!(m.record_assoc(0, wa(1), 3, SliceId(7), iv(&[10])));
         // Value stored in epoch 3 describes the state at checkpoints 4, 5…
         assert!(m.lookup_for_epoch(wa(1), 3).is_none());
         let a = m.lookup_for_epoch(wa(1), 4).unwrap();
@@ -395,7 +661,7 @@ mod tests {
     #[test]
     fn tombstone_invalidates_from_its_epoch() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 3, SliceId(7), vec![]);
+        m.record_assoc(0, wa(1), 3, SliceId(7), iv(&[]));
         m.record_store(1, wa(1), 5);
         // Checkpoint 4 and 5 still see the association (store was in
         // epoch 5, after checkpoints 4 and 5 were... checkpoint 5 opens
@@ -409,9 +675,9 @@ mod tests {
     #[test]
     fn same_epoch_supersede_keeps_single_version() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 3, SliceId(1), vec![1]);
+        m.record_assoc(0, wa(1), 3, SliceId(1), iv(&[1]));
         m.record_store(0, wa(1), 3); // overwritten in the same interval
-        m.record_assoc(0, wa(1), 3, SliceId(2), vec![2]);
+        m.record_assoc(0, wa(1), 3, SliceId(2), iv(&[2]));
         let a = m.lookup_for_epoch(wa(1), 4).unwrap();
         assert_eq!(a.slice, SliceId(2));
         assert_eq!(m.live(0), 1);
@@ -420,23 +686,23 @@ mod tests {
     #[test]
     fn capacity_rejection_degrades_to_baseline() {
         let mut m = map(2);
-        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), vec![]));
-        assert!(m.record_assoc(0, wa(2), 0, SliceId(1), vec![]));
-        assert!(!m.record_assoc(0, wa(3), 0, SliceId(1), vec![]));
+        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[])));
+        assert!(m.record_assoc(0, wa(2), 0, SliceId(1), iv(&[])));
+        assert!(!m.record_assoc(0, wa(3), 0, SliceId(1), iv(&[])));
         assert_eq!(m.usage().rejected_capacity, 1);
         assert!(m.lookup_for_epoch(wa(3), 1).is_none());
         // Capacity is per core: core 1 still has room.
-        assert!(m.record_assoc(1, wa(4), 0, SliceId(1), vec![]));
+        assert!(m.record_assoc(1, wa(4), 0, SliceId(1), iv(&[])));
     }
 
     #[test]
     fn capacity_rejection_invalidates_stale_assoc() {
         let mut m = map(1);
-        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), vec![5]));
+        assert!(m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[5])));
         // New store to the same address in a later epoch, but the map is
         // full: the old association must not survive describing the new
         // value.
-        assert!(!m.record_assoc(0, wa(1), 1, SliceId(2), vec![6]));
+        assert!(!m.record_assoc(0, wa(1), 1, SliceId(2), iv(&[6])));
         assert!(m.lookup_for_epoch(wa(1), 2).is_none());
         // The old association still describes epoch 1's opening value.
         assert!(m.lookup_for_epoch(wa(1), 1).is_some());
@@ -445,9 +711,9 @@ mod tests {
     #[test]
     fn prune_keeps_reachable_versions() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
-        m.record_assoc(0, wa(1), 2, SliceId(2), vec![]);
-        m.record_assoc(0, wa(2), 0, SliceId(3), vec![]);
+        m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[]));
+        m.record_assoc(0, wa(1), 2, SliceId(2), iv(&[]));
+        m.record_assoc(0, wa(2), 0, SliceId(3), iv(&[]));
         m.prune(2); // checkpoints 2 and 3 remain restorable
                     // wa(1)@epoch0 is the latest version below 2 → kept.
         assert_eq!(m.lookup_for_epoch(wa(1), 2).unwrap().slice, SliceId(1));
@@ -462,9 +728,9 @@ mod tests {
     #[test]
     fn rollback_drops_undone_victim_versions() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 1, SliceId(1), vec![]);
-        m.record_assoc(0, wa(2), 3, SliceId(2), vec![]);
-        m.record_assoc(1, wa(3), 3, SliceId(3), vec![]);
+        m.record_assoc(0, wa(1), 1, SliceId(1), iv(&[]));
+        m.record_assoc(0, wa(2), 3, SliceId(2), iv(&[]));
+        m.record_assoc(1, wa(3), 3, SliceId(3), iv(&[]));
         m.rollback(2, 0b01); // core 0 rolls back to checkpoint 2
         assert!(m.lookup_for_epoch(wa(1), 2).is_some()); // epoch 1 < 2 kept
         assert!(m.lookup_for_epoch(wa(2), 4).is_none()); // undone
@@ -485,7 +751,7 @@ mod tests {
     fn classification_splits_tombstones_by_cause() {
         let mut m = map(1);
         // Live association.
-        m.record_assoc(0, wa(1), 0, SliceId(1), vec![4]);
+        m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[4]));
         assert_eq!(
             m.classify_for_epoch(wa(1), 1),
             AssocState::Live {
@@ -498,8 +764,8 @@ mod tests {
         assert_eq!(m.classify_for_epoch(wa(1), 2), AssocState::Dead);
         // Capacity eviction on a fresh address → Evicted (entry is
         // materialised even though the address was never associated).
-        m.record_assoc(1, wa(2), 0, SliceId(1), vec![]); // fills core 1
-        m.record_assoc(1, wa(3), 0, SliceId(2), vec![]); // rejected
+        m.record_assoc(1, wa(2), 0, SliceId(1), iv(&[])); // fills core 1
+        m.record_assoc(1, wa(3), 0, SliceId(2), iv(&[])); // rejected
         assert_eq!(m.classify_for_epoch(wa(3), 1), AssocState::Evicted);
         // Never-seen address → Absent.
         assert_eq!(m.classify_for_epoch(wa(9), 1), AssocState::Absent);
@@ -512,7 +778,7 @@ mod tests {
     #[test]
     fn usage_metrics_publish_under_ckpt_addrmap_keys() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
+        m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[]));
         m.record_store(0, wa(1), 1);
         let mut reg = acr_trace::MetricsRegistry::new();
         m.usage().metrics(&mut reg);
@@ -525,11 +791,78 @@ mod tests {
     #[test]
     fn peak_live_tracks_high_water_mark() {
         let mut m = map(100);
-        m.record_assoc(0, wa(1), 0, SliceId(1), vec![]);
-        m.record_assoc(1, wa(2), 0, SliceId(1), vec![]);
+        m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[]));
+        m.record_assoc(1, wa(2), 0, SliceId(1), iv(&[]));
         assert_eq!(m.usage().peak_live, 2);
         m.prune(10);
         // Peak is sticky.
         assert_eq!(m.usage().peak_live, 2);
+    }
+
+    #[test]
+    fn index_survives_growth_past_initial_capacity() {
+        // Insert far more distinct addresses than INITIAL_SLOTS to force
+        // several index growths, then verify every association resolves.
+        let mut m = AddrMap::new(
+            AddrMapConfig {
+                capacity_per_core: 1 << 20,
+            },
+            1,
+        );
+        let n = 1000u64;
+        for i in 0..n {
+            assert!(m.record_assoc(0, wa(i), 0, SliceId(i as u32), iv(&[i])));
+        }
+        for i in 0..n {
+            let a = m.lookup_for_epoch(wa(i), 1).unwrap();
+            assert_eq!(a.slice, SliceId(i as u32));
+            assert_eq!(a.inputs.as_slice(), &[i]);
+        }
+        assert_eq!(m.live(0), n as usize);
+    }
+
+    #[test]
+    fn dead_entries_are_revived_in_place() {
+        let mut m = map(100);
+        m.record_assoc(0, wa(1), 0, SliceId(1), iv(&[]));
+        m.record_store(0, wa(1), 1);
+        m.prune(5); // the address's only version is an old tombstone → dead
+        assert_eq!(m.classify_for_epoch(wa(1), 6), AssocState::Absent);
+        assert_eq!(m.live(0), 0);
+        // Touching the address again reuses the dead entry.
+        assert!(m.record_assoc(0, wa(1), 7, SliceId(2), iv(&[3])));
+        assert_eq!(m.lookup_for_epoch(wa(1), 8).unwrap().slice, SliceId(2));
+        assert_eq!(m.live(0), 1);
+    }
+
+    #[test]
+    fn spilled_histories_stay_ordered() {
+        // More versions than the inline capacity: epochs 0..6 on one
+        // address, alternating assoc/tombstone, then check every epoch's
+        // view.
+        let mut m = map(100);
+        for e in 0..6u64 {
+            if e % 2 == 0 {
+                m.record_assoc(0, wa(1), e, SliceId(e as u32), iv(&[e]));
+            } else {
+                m.record_store(0, wa(1), e);
+            }
+        }
+        for k in 1..=6u64 {
+            let state = m.classify_for_epoch(wa(1), k);
+            // Latest version before k has epoch k-1.
+            if (k - 1) % 2 == 0 {
+                assert_eq!(
+                    state,
+                    AssocState::Live {
+                        slice: SliceId((k - 1) as u32),
+                        core: 0
+                    },
+                    "epoch {k}"
+                );
+            } else {
+                assert_eq!(state, AssocState::Dead, "epoch {k}");
+            }
+        }
     }
 }

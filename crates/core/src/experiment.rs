@@ -1,6 +1,7 @@
 //! One-call runners for the paper's configurations.
 
 use std::fmt;
+use std::sync::Arc;
 
 use acr_ckpt::{
     dense_fault_plan, replay_case, run_campaign_loads, shrink_case, BerConfig, BerEngine,
@@ -9,7 +10,7 @@ use acr_ckpt::{
     ShrinkOutcome,
 };
 use acr_energy::{edp, EnergyBreakdown, EnergyInputs, EnergyModel};
-use acr_isa::{Program, ProgramError};
+use acr_isa::{Program, ProgramError, Slice};
 use acr_mem::MemStats;
 use acr_sim::{Fault, Machine, MachineConfig, NoHooks, PcProfile, SimError, SimStats};
 use acr_slicer::{instrument, SliceStats, SlicerConfig};
@@ -283,7 +284,11 @@ pub struct CampaignRunResult {
 pub struct Experiment {
     raw: Program,
     spec: ExperimentSpec,
-    instrumented: Option<(usize, Program, SliceStats)>,
+    /// Instrumented binary and pass statistics, cached per threshold
+    /// behind shared handles: campaign planners/shrinkers/replayers and
+    /// per-case policy factories all borrow the same immutable program
+    /// instead of cloning it per case.
+    instrumented: Option<(usize, Arc<Program>, Arc<SliceStats>)>,
     no_ckpt: Option<RunResult>,
 }
 
@@ -302,9 +307,17 @@ impl Experiment {
     /// # Errors
     ///
     /// Returns [`ExperimentError::Program`] if the program fails
-    /// validation.
+    /// validation, or [`ExperimentError::Campaign`] with
+    /// [`acr_ckpt::CkptError::NoCores`] for a zero-thread program (which
+    /// validates vacuously but would build a machine with no cores to
+    /// run or fault).
     pub fn new(raw: Program, spec: ExperimentSpec) -> Result<Self, ExperimentError> {
         raw.validate()?;
+        if raw.num_threads() == 0 {
+            return Err(ExperimentError::Campaign(
+                acr_ckpt::CkptError::NoCores.into(),
+            ));
+        }
         Ok(Experiment {
             raw,
             spec,
@@ -338,6 +351,15 @@ impl Experiment {
     /// The instrumented program and pass statistics (cached per
     /// threshold).
     pub fn instrumented(&mut self) -> (&Program, &SliceStats) {
+        self.instrumented_shared();
+        let (_, p, s) = self.instrumented.as_ref().expect("just filled");
+        (p, s)
+    }
+
+    /// Shared handles to the instrumented program and pass statistics —
+    /// what campaign loops hand to per-case closures so no full `Program`
+    /// clone ever happens per fault case.
+    fn instrumented_shared(&mut self) -> (Arc<Program>, Arc<SliceStats>) {
         let threshold = self.spec.slicer.threshold;
         if self
             .instrumented
@@ -346,10 +368,10 @@ impl Experiment {
             .unwrap_or(true)
         {
             let (p, s) = instrument(&self.raw, &self.spec.slicer);
-            self.instrumented = Some((threshold, p, s));
+            self.instrumented = Some((threshold, Arc::new(p), Arc::new(s)));
         }
         let (_, p, s) = self.instrumented.as_ref().expect("just filled");
-        (p, s)
+        (Arc::clone(p), Arc::clone(s))
     }
 
     /// Total work (retired instructions) of the nominal execution — the
@@ -483,13 +505,10 @@ impl Experiment {
     ) -> Result<RunResult, ExperimentError> {
         let spec_machine = self.spec.machine;
         let addrmap = self.spec.addrmap;
-        let (program, slice_stats) = {
-            let (p, s) = self.instrumented();
-            (p.clone(), s.clone())
-        };
+        let (program, slice_stats) = self.instrumented_shared();
         let mut machine = Machine::new(spec_machine, &program);
         self.attach_observability(&mut machine);
-        let policy = AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+        let policy = AcrPolicy::new(program.slices(), addrmap, program.num_threads())
             .with_scratchpad(self.spec.scratchpad)
             .with_rejected_pcs(&slice_stats.rejected_store_pcs)
             .with_generations(cfg.resilience.generations);
@@ -506,7 +525,7 @@ impl Experiment {
             report.mem,
             Some(report),
             Some(acr),
-            Some(slice_stats),
+            Some((*slice_stats).clone()),
         );
         result.profile = engine.machine_mut().take_profile();
         result.log_totals = self.spec.profile.then(|| engine.log_totals());
@@ -547,10 +566,7 @@ impl Experiment {
         let (label, (report, host_loads)) = if amnesic {
             let addrmap = self.spec.addrmap;
             let scratchpad = self.spec.scratchpad;
-            let (program, _) = {
-                let (p, s) = self.instrumented();
-                (p.clone(), s.clone())
-            };
+            let (program, _) = self.instrumented_shared();
             // Match the per-case engines' retention depth (nested-fault
             // campaigns force at least two generations).
             let generations = if cfg.recovery_faults {
@@ -558,8 +574,12 @@ impl Experiment {
             } else {
                 cfg.generations.max(1)
             };
+            // One shared Slice table for the whole campaign; each case's
+            // policy bumps a refcount instead of cloning the table.
+            let slices: Arc<[Slice]> = program.slices().into();
+            let num_threads = program.num_threads();
             let report = run_campaign_loads(&program, machine, cfg, || {
-                AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                AcrPolicy::new(Arc::clone(&slices), addrmap, num_threads)
                     .with_scratchpad(scratchpad)
                     .with_generations(generations)
             })?;
@@ -610,7 +630,7 @@ impl Experiment {
     ) -> Result<Vec<Fault>, ExperimentError> {
         let machine = self.spec.machine;
         if amnesic {
-            let program = self.instrumented().0.clone();
+            let (program, _) = self.instrumented_shared();
             Ok(dense_fault_plan(&program, machine, cfg)?)
         } else {
             Ok(dense_fault_plan(&self.raw, machine, cfg)?)
@@ -639,12 +659,14 @@ impl Experiment {
         if amnesic {
             let addrmap = self.spec.addrmap;
             let scratchpad = self.spec.scratchpad;
-            let program = self.instrumented().0.clone();
+            let (program, _) = self.instrumented_shared();
             let generations = if cfg.recovery_faults {
                 cfg.generations.max(2)
             } else {
                 cfg.generations.max(1)
             };
+            let slices: Arc<[Slice]> = program.slices().into();
+            let num_threads = program.num_threads();
             Ok(shrink_case(
                 &program,
                 machine,
@@ -653,7 +675,7 @@ impl Experiment {
                 faults,
                 shrink_cfg,
                 || {
-                    AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                    AcrPolicy::new(Arc::clone(&slices), addrmap, num_threads)
                         .with_scratchpad(scratchpad)
                         .with_generations(generations)
                 },
@@ -691,12 +713,14 @@ impl Experiment {
         if amnesic {
             let addrmap = self.spec.addrmap;
             let scratchpad = self.spec.scratchpad;
-            let program = self.instrumented().0.clone();
+            let (program, _) = self.instrumented_shared();
             let generations = if cfg.recovery_faults {
                 cfg.generations.max(2)
             } else {
                 cfg.generations.max(1)
             };
+            let slices: Arc<[Slice]> = program.slices().into();
+            let num_threads = program.num_threads();
             Ok(replay_case(
                 &program,
                 machine,
@@ -704,7 +728,7 @@ impl Experiment {
                 case_index,
                 faults,
                 || {
-                    AcrPolicy::new(program.slices().to_vec(), addrmap, program.num_threads())
+                    AcrPolicy::new(Arc::clone(&slices), addrmap, num_threads)
                         .with_scratchpad(scratchpad)
                         .with_generations(generations)
                 },

@@ -1,6 +1,7 @@
 //! [`AcrPolicy`] — the ACR checkpoint handler and recovery handler.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use acr_ckpt::{OmissionPolicy, OmitReason, Recomputed};
 use acr_isa::{Slice, SliceId};
@@ -25,7 +26,10 @@ use crate::stats::AcrStats;
 ///   to the engine for write-back.
 #[derive(Debug, Clone)]
 pub struct AcrPolicy {
-    slices: Vec<Slice>,
+    /// The instrumented program's Slice table, shared rather than owned:
+    /// fault campaigns build one policy per case, and the table never
+    /// changes after instrumentation.
+    slices: Arc<[Slice]>,
     map: AddrMap,
     stats: AcrStats,
     /// Extra cycles per `ASSOC-ADDR` for the `AddrMap` insertion; the
@@ -51,9 +55,12 @@ pub struct AcrPolicy {
 
 impl AcrPolicy {
     /// Creates the policy for an instrumented program's Slice table.
-    pub fn new(slices: Vec<Slice>, cfg: AddrMapConfig, num_cores: usize) -> Self {
+    /// Accepts anything convertible to a shared table (`Vec<Slice>`,
+    /// `Arc<[Slice]>`, …) so campaign loops can share one allocation
+    /// across cases.
+    pub fn new(slices: impl Into<Arc<[Slice]>>, cfg: AddrMapConfig, num_cores: usize) -> Self {
         AcrPolicy {
-            slices,
+            slices: slices.into(),
             map: AddrMap::new(cfg, num_cores),
             stats: AcrStats::default(),
             assoc_extra_cycles: 0,
@@ -113,7 +120,7 @@ impl OmissionPolicy for AcrPolicy {
         self.stats.addrmap_writes += 1;
         self.stats.opbuf_writes += ev.inputs.len() as u64;
         self.map
-            .record_assoc(ev.core.0, ev.addr, epoch, ev.slice, ev.inputs.clone());
+            .record_assoc(ev.core.0, ev.addr, epoch, ev.slice, ev.inputs);
         self.assoc_extra_cycles
     }
 
@@ -130,7 +137,7 @@ impl OmissionPolicy for AcrPolicy {
         let assoc = self.map.lookup_for_epoch(addr, epoch)?;
         let slice = &self.slices[assoc.slice.0 as usize];
         let value = slice
-            .execute(&assoc.inputs)
+            .execute(assoc.inputs.as_slice())
             .expect("embedded slice arity matches captured inputs");
         let alu_ops = slice.len() as u64;
         let opbuf_reads = assoc.inputs.len() as u64;
@@ -223,14 +230,14 @@ mod tests {
         .unwrap()
     }
 
-    fn assoc_event(addr: u64, inputs: Vec<u64>) -> AssocEvent {
+    fn assoc_event(addr: u64, inputs: &[u64]) -> AssocEvent {
         AssocEvent {
             core: CoreId(0),
             pc: 0,
             addr: WordAddr::new(addr),
             value: inputs.iter().sum(),
             slice: SliceId(0),
-            inputs,
+            inputs: acr_isa::InputVals::new(inputs),
             cycle: 0,
         }
     }
@@ -240,7 +247,7 @@ mod tests {
         let mut p = AcrPolicy::new(vec![add_slice()], AddrMapConfig::default(), 1);
         // Store + assoc in epoch 0 (value 5+9=14 at addr 64).
         p.on_store(0, WordAddr::new(64), 0);
-        p.on_assoc(&assoc_event(64, vec![5, 9]), 0);
+        p.on_assoc(&assoc_event(64, &[5, 9]), 0);
         // First update in epoch 1: the old value (14) is recomputable.
         p.on_store(0, WordAddr::new(64), 1);
         assert_eq!(p.try_omit(0, WordAddr::new(64), 1), Some(0));
@@ -258,7 +265,7 @@ mod tests {
     fn uncovered_store_blocks_omission() {
         let mut p = AcrPolicy::new(vec![add_slice()], AddrMapConfig::default(), 1);
         p.on_store(0, WordAddr::new(64), 0);
-        p.on_assoc(&assoc_event(64, vec![1, 2]), 0);
+        p.on_assoc(&assoc_event(64, &[1, 2]), 0);
         // Plain store overwrites in epoch 1.
         p.on_store(0, WordAddr::new(64), 1);
         // First update in epoch 2: value at checkpoint 2 came from the
@@ -271,7 +278,7 @@ mod tests {
     fn same_epoch_association_is_not_usable_yet() {
         let mut p = AcrPolicy::new(vec![add_slice()], AddrMapConfig::default(), 1);
         p.on_store(0, WordAddr::new(8), 3);
-        p.on_assoc(&assoc_event(8, vec![1, 1]), 3);
+        p.on_assoc(&assoc_event(8, &[1, 1]), 3);
         // A later store in the SAME epoch 3: the old value it overwrites
         // is the assoc'd value, but that value is NOT the value at
         // checkpoint 3 (it was created after c_3) — and indeed it is not a
@@ -284,7 +291,7 @@ mod tests {
     fn rollback_forgets_undone_associations() {
         let mut p = AcrPolicy::new(vec![add_slice()], AddrMapConfig::default(), 1);
         p.on_store(0, WordAddr::new(8), 2);
-        p.on_assoc(&assoc_event(8, vec![3, 4]), 2);
+        p.on_assoc(&assoc_event(8, &[3, 4]), 2);
         p.on_rollback(2, 0b1);
         assert_eq!(p.try_omit(0, WordAddr::new(8), 3), None);
         assert!(p.recompute(WordAddr::new(8), 3).is_none());

@@ -46,7 +46,9 @@ mod slice;
 pub use builder::{LoopHandle, ProgramBuilder, ThreadBuilder};
 pub use instr::{AluOp, BranchCond, InputRegs, Instr, Reg};
 pub use program::{InstructionMix, Program, ProgramError, ThreadCode, ThreadId};
-pub use slice::{Slice, SliceError, SliceId, SliceInstr, SliceOperand, MAX_SLICE_INPUTS};
+pub use slice::{
+    InputVals, Slice, SliceError, SliceId, SliceInstr, SliceOperand, MAX_SLICE_INPUTS,
+};
 
 /// Size of a machine word in bytes. All memory accesses are word-sized and
 /// word-aligned; this matches the 8-byte log-record granularity discussed in

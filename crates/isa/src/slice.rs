@@ -18,6 +18,77 @@ use crate::instr::AluOp;
 /// we bound inputs so each `AddrMap` record has a fixed small footprint.
 pub const MAX_SLICE_INPUTS: usize = 8;
 
+/// Input operand values captured into the operand buffer at `ASSOC-ADDR`
+/// time, in Slice input order.
+///
+/// Fixed-capacity so events and `AddrMap` records carrying captured inputs
+/// stay `Copy` and allocation-free on the per-store hot path; at most
+/// [`MAX_SLICE_INPUTS`] values. Unused slots are zero-filled so the derived
+/// `PartialEq`/`Hash` only depend on the captured prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct InputVals {
+    vals: [u64; MAX_SLICE_INPUTS],
+    len: u8,
+}
+
+impl InputVals {
+    /// Builds the capture buffer from a slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_SLICE_INPUTS`] values are given; the slicer
+    /// rejects such Slices before they reach any capture site.
+    pub fn new(vals: &[u64]) -> Self {
+        assert!(
+            vals.len() <= MAX_SLICE_INPUTS,
+            "at most {MAX_SLICE_INPUTS} slice inputs"
+        );
+        let mut out = InputVals::default();
+        out.vals[..vals.len()].copy_from_slice(vals);
+        out.len = vals.len() as u8;
+        out
+    }
+
+    /// Appends one captured value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer already holds [`MAX_SLICE_INPUTS`] values.
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        assert!(
+            (self.len as usize) < MAX_SLICE_INPUTS,
+            "at most {MAX_SLICE_INPUTS} slice inputs"
+        );
+        self.vals[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    /// Number of captured values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no values are captured.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The captured values, in Slice input order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.vals[..self.len as usize]
+    }
+}
+
+impl From<&[u64]> for InputVals {
+    fn from(vals: &[u64]) -> Self {
+        InputVals::new(vals)
+    }
+}
+
 /// Identifier of a Slice in a program's embedded Slice table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SliceId(pub u32);

@@ -43,6 +43,16 @@ struct Way {
     stamp: u64,
 }
 
+impl Way {
+    /// Filler for never-occupied slots of the flat way array; slots past a
+    /// set's occupancy count are never read.
+    const EMPTY: Way = Way {
+        line: LineAddr(0),
+        dirty: false,
+        stamp: 0,
+    };
+}
+
 /// Result of a cache lookup/fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LookupResult {
@@ -63,10 +73,25 @@ pub struct Eviction {
 }
 
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
+///
+/// Ways are stored in one flat array with a fixed per-set stride (plus a
+/// per-set occupancy count) rather than per-set `Vec`s: a lookup touches a
+/// single contiguous run of at most `ways` entries with no per-set heap
+/// indirection. The set index is a bitmask when the set count is a power
+/// of two (it is, for every Table I geometry), falling back to modulo
+/// otherwise — both produce the same index, so the layout is purely a host
+/// optimisation and cannot perturb simulated behaviour.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    num_sets: usize,
+    /// `num_sets - 1` when the set count is a power of two, else the
+    /// `usize::MAX` sentinel selecting the modulo fallback.
+    set_mask: usize,
+    /// Flat way storage: set `s` occupies `[s * ways, s * ways + occ[s])`.
+    ways: Vec<Way>,
+    /// Occupied ways per set.
+    occ: Vec<u16>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -75,10 +100,22 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = config.num_sets();
+        let num_sets = config.num_sets();
+        assert!(
+            config.ways <= usize::from(u16::MAX),
+            "associativity above {} unsupported",
+            u16::MAX
+        );
         Cache {
             config,
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets - 1
+            } else {
+                usize::MAX
+            },
+            ways: vec![Way::EMPTY; num_sets * config.ways],
+            occ: vec![0; num_sets],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -93,22 +130,35 @@ impl Cache {
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 as usize) % self.sets.len()
+        let i = line.0 as usize;
+        if self.set_mask != usize::MAX {
+            i & self.set_mask
+        } else {
+            i % self.num_sets
+        }
+    }
+
+    /// The occupied slots of set `s` in the flat way array.
+    #[inline]
+    fn set_range(&self, s: usize) -> std::ops::Range<usize> {
+        let base = s * self.config.ways;
+        base..base + usize::from(self.occ[s])
     }
 
     /// Probes for `line` without changing replacement state.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let s = self.set_index(line);
-        self.sets[s].iter().any(|w| w.line == line)
+        let r = self.set_range(self.set_index(line));
+        self.ways[r].iter().any(|w| w.line == line)
     }
 
     /// Accesses `line`, touching LRU state. Returns hit/miss; does **not**
     /// allocate on miss (use [`Cache::fill`]).
+    #[inline]
     pub fn access(&mut self, line: LineAddr, write: bool) -> LookupResult {
         self.tick += 1;
-        let s = self.set_index(line);
+        let r = self.set_range(self.set_index(line));
         let tick = self.tick;
-        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+        if let Some(w) = self.ways[r].iter_mut().find(|w| w.line == line) {
             w.stamp = tick;
             if write {
                 w.dirty = true;
@@ -126,40 +176,52 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Eviction> {
         self.tick += 1;
         let s = self.set_index(line);
-        let set = &mut self.sets[s];
+        let base = s * self.config.ways;
+        let occ = usize::from(self.occ[s]);
+        let set = &mut self.ways[base..base + occ];
         debug_assert!(
             set.iter().all(|w| w.line != line),
             "fill of already-resident line"
         );
-        let evicted = if set.len() == self.config.ways {
+        let incoming = Way {
+            line,
+            dirty,
+            stamp: self.tick,
+        };
+        if occ == self.config.ways {
             let lru = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.stamp)
                 .map(|(i, _)| i)
                 .expect("non-empty set");
-            let w = set.swap_remove(lru);
+            let w = set[lru];
+            // Same slot reuse as `Vec::swap_remove` + `push`: the last way
+            // moves into the vacated slot and the incoming line takes the
+            // last slot.
+            set[lru] = set[occ - 1];
+            set[occ - 1] = incoming;
             Some(Eviction {
                 line: w.line,
                 dirty: w.dirty,
             })
         } else {
+            self.ways[base + occ] = incoming;
+            self.occ[s] = (occ + 1) as u16;
             None
-        };
-        set.push(Way {
-            line,
-            dirty,
-            stamp: self.tick,
-        });
-        evicted
+        }
     }
 
     /// Invalidates `line` if resident, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let s = self.set_index(line);
-        let set = &mut self.sets[s];
+        let occ = usize::from(self.occ[s]);
+        let base = s * self.config.ways;
+        let set = &mut self.ways[base..base + occ];
         let pos = set.iter().position(|w| w.line == line)?;
-        let w = set.swap_remove(pos);
+        let w = set[pos];
+        set[pos] = set[occ - 1];
+        self.occ[s] = (occ - 1) as u16;
         Some(w.dirty)
     }
 
@@ -167,8 +229,8 @@ impl Cache {
     /// line resident clean, as in checkpoint flushes), returning `true` if
     /// the line was resident and dirty.
     pub fn clean(&mut self, line: LineAddr) -> bool {
-        let s = self.set_index(line);
-        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+        let r = self.set_range(self.set_index(line));
+        if let Some(w) = self.ways[r].iter_mut().find(|w| w.line == line) {
             let was = w.dirty;
             w.dirty = false;
             was
@@ -179,10 +241,8 @@ impl Cache {
 
     /// All resident dirty lines (for checkpoint flushes).
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self
-            .sets
-            .iter()
-            .flatten()
+        let mut v: Vec<LineAddr> = (0..self.num_sets)
+            .flat_map(|s| self.ways[self.set_range(s)].iter())
             .filter(|w| w.dirty)
             .map(|w| w.line)
             .collect();
@@ -193,9 +253,7 @@ impl Cache {
     /// Drops every line (recovery invalidates caches so stale timing state
     /// does not survive rollback).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.occ.fill(0);
     }
 
     /// (hits, misses) counters.

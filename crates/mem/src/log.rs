@@ -28,6 +28,7 @@ pub const LOG_RECORD_BYTES: u64 = 16;
 /// recovery can detect a torn or corrupted entry before applying it. The
 /// checksum is observational — it models ECC/CRC the memory controller
 /// would compute in-line and adds no simulated cost.
+#[inline]
 pub fn record_check(addr: WordAddr, old_value: u64, core: u32) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(addr.byte());
@@ -204,6 +205,7 @@ impl LogController {
     }
 
     /// The in-progress epoch.
+    #[inline]
     pub fn current(&self) -> &LogEpoch {
         &self.current
     }
@@ -248,6 +250,7 @@ impl LogController {
     ///
     /// Panics (debug) if the word was already handled this epoch; callers
     /// must check [`LogController::is_logged`] first.
+    #[inline]
     pub fn log_value(&mut self, addr: WordAddr, old_value: u64, core: u32) {
         debug_assert!(!self.is_logged(addr), "double log of {addr}");
         self.set_bit(addr);
@@ -265,6 +268,7 @@ impl LogController {
     /// value is still passed in so its checksum can be captured for
     /// recovery-time verification of the recomputed word; only the
     /// checksum is retained.
+    #[inline]
     pub fn omit_value(&mut self, addr: WordAddr, old_value: u64, core: u32) {
         debug_assert!(!self.is_logged(addr), "double log of {addr}");
         self.set_bit(addr);

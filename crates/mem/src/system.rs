@@ -208,6 +208,7 @@ impl MemSystem {
     }
 
     /// Performs a load: functional value plus access latency in cycles.
+    #[inline]
     pub fn load(&mut self, core: CoreId, addr: WordAddr) -> (u64, u64) {
         if let Some(t) = &mut self.sharing {
             t.on_read(core.0, addr.word_index());
@@ -220,6 +221,7 @@ impl MemSystem {
     ///
     /// The caller (the checkpoint engine, via the simulator's store hook)
     /// decides whether the old value must be logged.
+    #[inline]
     pub fn store(&mut self, core: CoreId, addr: WordAddr, value: u64) -> (u64, u64) {
         if let Some(t) = &mut self.sharing {
             t.on_write(core.0, addr.word_index());

@@ -373,7 +373,10 @@ impl CoreModel {
                 // insertion completes in the background.
                 let issue = self.ready(issue0, inputs.as_slice());
                 let issue = self.lsq_admit(issue, cfg.lsq_entries);
-                let captured: Vec<u64> = inputs.iter().map(|r| self.regs[r.index()]).collect();
+                let mut captured = acr_isa::InputVals::default();
+                for r in inputs.iter() {
+                    captured.push(self.regs[r.index()]);
+                }
                 self.lsq
                     .push_back(issue + cfg.assoc_latency * TICKS_PER_CYCLE);
                 self.ticks = issue;

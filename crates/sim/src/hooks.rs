@@ -1,6 +1,6 @@
 //! Instrumentation hooks the checkpoint/recovery machinery attaches to.
 
-use acr_isa::SliceId;
+use acr_isa::{InputVals, SliceId};
 use acr_mem::{CoreId, WordAddr};
 use acr_trace::{SharedSink, TraceEvent};
 
@@ -25,7 +25,10 @@ pub struct StoreEvent {
 
 /// An `ASSOC-ADDR` retired by a core: associates the preceding store's
 /// address with a Slice, capturing its input operands.
-#[derive(Debug, Clone)]
+///
+/// `Copy` by design: the captured inputs live in a fixed [`InputVals`]
+/// buffer, so handing the event to hooks and policies costs no allocation.
+#[derive(Debug, Clone, Copy)]
 pub struct AssocEvent {
     /// Core that executed the association.
     pub core: CoreId,
@@ -38,7 +41,7 @@ pub struct AssocEvent {
     /// The Slice embedded in the binary.
     pub slice: SliceId,
     /// Captured input operand values, in Slice input order.
-    pub inputs: Vec<u64>,
+    pub inputs: InputVals,
     /// Core-local issue cycle of the association (simulated time).
     pub cycle: u64,
 }

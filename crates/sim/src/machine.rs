@@ -596,6 +596,10 @@ impl<'p> Machine<'p> {
         hooks: &mut dyn ExecHooks,
         until_retired: u64,
     ) -> Result<RunOutcome, SimError> {
+        // Observation dispatch is decided once per run: the sampler is
+        // only installed before `run` (never mid-run), so the scheduler
+        // loop branches on a local instead of re-reading the field.
+        let sampling = self.sampler.is_some();
         loop {
             if self.total_retired() >= until_retired {
                 return Ok(RunOutcome::ProgressReached);
@@ -630,7 +634,7 @@ impl<'p> Machine<'p> {
             };
             let limit = second_t.saturating_add(SKEW_QUANTUM_TICKS);
             self.run_core_batch(i, limit, hooks, until_retired)?;
-            if self.sampler.is_some() {
+            if sampling {
                 self.poll_sample();
             }
         }
@@ -638,6 +642,12 @@ impl<'p> Machine<'p> {
 
     /// Runs core `i` until its local time exceeds `limit_ticks`, it blocks,
     /// or the global stop condition is met.
+    ///
+    /// The attribution profiler is hoisted out of `self` for the batch so
+    /// the per-instruction retire path dispatches on a register-resident
+    /// local rather than re-loading the field every step; it must be back
+    /// in place before the scheduler's sampling poll, which publishes
+    /// `profile.*` gauges from it.
     fn run_core_batch(
         &mut self,
         i: usize,
@@ -645,27 +655,58 @@ impl<'p> Machine<'p> {
         hooks: &mut dyn ExecHooks,
         until_retired: u64,
     ) -> Result<(), SimError> {
-        let code = self.program.thread(i as u32);
-        let mut batch = 0u64;
+        let mut profiler = self.profiler.take();
+        let result = self.core_batch_inner(i, limit_ticks, hooks, until_retired, &mut profiler);
+        self.profiler = profiler;
+        result
+    }
+
+    fn core_batch_inner(
+        &mut self,
+        i: usize,
+        limit_ticks: u64,
+        hooks: &mut dyn ExecHooks,
+        until_retired: u64,
+        profiler: &mut Option<Box<PcProfile>>,
+    ) -> Result<(), SimError> {
         let mut retired_total = self.total_retired();
-        loop {
-            let core = &mut self.cores[i];
-            if !core.runnable() || core.ticks() > limit_ticks || batch >= BATCH_INSTRS {
-                return Ok(());
+        // Split the machine into disjoint field borrows once so the batch
+        // loop indexes `cores[i]` a single time and keeps the fuel counter
+        // in a register instead of a per-instruction load/store on `self`.
+        let Machine {
+            cfg,
+            program,
+            cores,
+            mem,
+            stats,
+            fuel,
+            ..
+        } = self;
+        let code = program.thread(i as u32);
+        let core = &mut cores[i];
+        let mut fuel_left = *fuel;
+        let mut batch = 0u64;
+        let result = loop {
+            if !core.runnable()
+                || core.ticks() > limit_ticks
+                || batch >= BATCH_INSTRS
+                || retired_total >= until_retired
+            {
+                break Ok(());
             }
-            if retired_total >= until_retired {
-                return Ok(());
+            if fuel_left == 0 {
+                break Err(SimError::FuelExhausted);
             }
-            if self.fuel == 0 {
-                return Err(SimError::FuelExhausted);
-            }
-            self.fuel -= 1;
+            fuel_left -= 1;
             let pc = core.pc();
             let instr = *code.fetch(pc).unwrap_or(&Instr::Halt);
             let ticks_before = core.ticks();
-            let kind = core.step(&instr, &self.cfg, &mut self.mem, &mut self.stats, hooks)?;
+            let kind = match core.step(&instr, cfg, mem, stats, hooks) {
+                Ok(k) => k,
+                Err(e) => break Err(e),
+            };
             let delta = core.ticks() - ticks_before;
-            if let Some(prof) = self.profiler.as_deref_mut() {
+            if let Some(prof) = profiler.as_deref_mut() {
                 prof.record(i as u32, pc, retire_class(&instr), delta);
             }
             batch += 1;
@@ -674,33 +715,31 @@ impl<'p> Machine<'p> {
                 StepKind::Store => {
                     // Retire an adjacent ASSOC-ADDR atomically with its
                     // store so a checkpoint can never split the pair.
-                    let next_pc = self.cores[i].pc();
+                    let next_pc = core.pc();
                     if let Some(next @ Instr::AssocAddr { .. }) = code.fetch(next_pc) {
                         let next = *next;
-                        if self.fuel == 0 {
-                            return Err(SimError::FuelExhausted);
+                        if fuel_left == 0 {
+                            break Err(SimError::FuelExhausted);
                         }
-                        self.fuel -= 1;
-                        let t0 = self.cores[i].ticks();
-                        self.cores[i].step(
-                            &next,
-                            &self.cfg,
-                            &mut self.mem,
-                            &mut self.stats,
-                            hooks,
-                        )?;
-                        if let Some(prof) = self.profiler.as_deref_mut() {
-                            let d = self.cores[i].ticks() - t0;
+                        fuel_left -= 1;
+                        let t0 = core.ticks();
+                        if let Err(e) = core.step(&next, cfg, mem, stats, hooks) {
+                            break Err(e);
+                        }
+                        if let Some(prof) = profiler.as_deref_mut() {
+                            let d = core.ticks() - t0;
                             prof.record(i as u32, next_pc, RetireClass::Memory, d);
                         }
                         batch += 1;
                         retired_total += 1;
                     }
                 }
-                StepKind::Barrier | StepKind::Halt => return Ok(()),
+                StepKind::Barrier | StepKind::Halt => break Ok(()),
                 StepKind::Normal => {}
             }
-        }
+        };
+        *fuel = fuel_left;
+        result
     }
 }
 

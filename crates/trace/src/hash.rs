@@ -27,6 +27,7 @@ pub struct Fnv1a(u64);
 
 impl Fnv1a {
     /// A hasher at the offset basis.
+    #[inline]
     pub fn new() -> Self {
         Fnv1a(FNV_OFFSET)
     }
@@ -39,6 +40,7 @@ impl Fnv1a {
     }
 
     /// Folds a byte slice.
+    #[inline]
     pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.write_byte(b);
@@ -47,11 +49,13 @@ impl Fnv1a {
 
     /// Folds a `u64` as its little-endian bytes — the convention every
     /// checksum in the workspace uses for word-sized data.
+    #[inline]
     pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
     }
 
     /// The current hash value.
+    #[inline]
     pub fn finish(&self) -> u64 {
         self.0
     }

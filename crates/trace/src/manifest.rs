@@ -319,12 +319,19 @@ fn parse_hex(key: &str, v: &Json) -> Result<u64, String> {
 /// How [`diff_manifests`] compares two manifests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiffOptions {
-    /// Allowed host-timing growth in percent before the candidate counts
-    /// as a regression (the band absorbs normal host noise).
+    /// Allowed host-timing growth (or, under [`Self::gate_tput`],
+    /// throughput drop) in percent before the candidate counts as a
+    /// regression (the band absorbs normal host noise).
     pub tolerance_pct: f64,
     /// Whether a host-timing regression fails the diff. Off in CI, where
     /// shared runners make wall time report-only; on for local gating.
     pub gate_host: bool,
+    /// Whether a `host.tput.cycles_per_sec` drop beyond the tolerance
+    /// fails the diff. Unlike wall time, simulated-cycles-per-host-second
+    /// normalises away campaign length, so it is the gauge perf gates
+    /// pin (`--host-gate tput`). A missing gauge on either side fails a
+    /// gated diff: a perf gate that cannot measure must not pass.
+    pub gate_tput: bool,
 }
 
 impl Default for DiffOptions {
@@ -332,6 +339,7 @@ impl Default for DiffOptions {
         DiffOptions {
             tolerance_pct: 20.0,
             gate_host: true,
+            gate_tput: false,
         }
     }
 }
@@ -349,12 +357,20 @@ pub struct DiffReport {
     pub host_regression: bool,
     /// Whether host regressions were gated when the diff ran.
     pub host_gated: bool,
+    /// The candidate's `host.tput.cycles_per_sec` fell more than the
+    /// tolerance below the baseline's (or the gauge was missing while
+    /// gated).
+    pub tput_regression: bool,
+    /// Whether throughput regressions were gated when the diff ran.
+    pub tput_gated: bool,
 }
 
 impl DiffReport {
     /// Whether the comparison should fail the invoking process.
     pub fn failed(&self) -> bool {
-        self.sim_mismatch || (self.host_gated && self.host_regression)
+        self.sim_mismatch
+            || (self.host_gated && self.host_regression)
+            || (self.tput_gated && self.tput_regression)
     }
 
     /// The findings as one printable block.
@@ -398,6 +414,7 @@ fn gate_timing(m: &Manifest) -> Option<(&'static str, u64)> {
 pub fn diff_manifests(baseline: &Manifest, candidate: &Manifest, opts: &DiffOptions) -> DiffReport {
     let mut r = DiffReport {
         host_gated: opts.gate_host,
+        tput_gated: opts.gate_tput,
         ..DiffReport::default()
     };
     if baseline.command != candidate.command {
@@ -488,6 +505,39 @@ pub fn diff_manifests(baseline: &Manifest, candidate: &Manifest, opts: &DiffOpti
             .lines
             .push("warn host: no comparable timing gauge on both sides".to_owned()),
     }
+    // Throughput: simulated cycles per host second, higher is better. A
+    // drop beyond the tolerance is the regression; growth never fails.
+    match (
+        baseline.host_gauge("host.tput.cycles_per_sec"),
+        candidate.host_gauge("host.tput.cycles_per_sec"),
+    ) {
+        (Some(b), Some(c)) if b > 0 => {
+            let delta_pct = 100.0 * (c as f64 - b as f64) / b as f64;
+            let limit = opts.tolerance_pct;
+            if delta_pct < -limit {
+                r.tput_regression = true;
+                r.lines.push(format!(
+                    "{} host.tput.cycles_per_sec: {b} -> {c} ({delta_pct:+.1}%, \
+                     tolerance -{limit:.0}%)",
+                    if opts.gate_tput { "FAIL" } else { "warn" },
+                ));
+            } else {
+                r.lines.push(format!(
+                    "ok   host.tput.cycles_per_sec: {b} -> {c} ({delta_pct:+.1}%, \
+                     tolerance -{limit:.0}%)",
+                ));
+            }
+        }
+        _ if opts.gate_tput => {
+            r.tput_regression = true;
+            r.lines.push(
+                "FAIL host.tput.cycles_per_sec: gauge missing on one side \
+                 (a gated throughput diff must be able to measure)"
+                    .to_owned(),
+            );
+        }
+        _ => {}
+    }
     if let (Some(b), Some(c)) = (
         baseline.host_gauge("host.rss.peak_bytes"),
         candidate.host_gauge("host.rss.peak_bytes"),
@@ -523,6 +573,7 @@ mod tests {
             metrics_digest: 0xdead_beef_cafe_f00d,
             host: vec![
                 ("host.wall_ns".to_owned(), 1_000_000),
+                ("host.tput.cycles_per_sec".to_owned(), 30_000_000),
                 ("host.rss.peak_bytes".to_owned(), 10 << 20),
             ],
             bench: Some(BenchStats::from_samples(&[90, 100, 110], 1)),
@@ -600,6 +651,39 @@ mod tests {
             },
         );
         assert!(r.host_regression && !r.failed());
+    }
+
+    #[test]
+    fn tput_gate_fails_on_throughput_drop() {
+        let tput_only = DiffOptions {
+            gate_host: false,
+            gate_tput: true,
+            ..DiffOptions::default()
+        };
+        // -50% throughput: report-only by default, fails the tput gate.
+        let mut c = sample();
+        c.host[1].1 = 15_000_000;
+        let r = diff_manifests(&sample(), &c, &DiffOptions::default());
+        assert!(r.tput_regression && !r.failed(), "{}", r.render());
+        let r = diff_manifests(&sample(), &c, &tput_only);
+        assert!(r.tput_regression && r.failed(), "{}", r.render());
+        assert!(r.lines[0].contains("host.tput.cycles_per_sec"));
+        // Throughput growth never fails, no matter how large.
+        c.host[1].1 = 300_000_000;
+        let r = diff_manifests(&sample(), &c, &tput_only);
+        assert!(!r.failed(), "{}", r.render());
+        // Within the band: passes.
+        c.host[1].1 = 27_000_000; // -10% under the default 20% tolerance
+        let r = diff_manifests(&sample(), &c, &tput_only);
+        assert!(!r.failed(), "{}", r.render());
+        // A gated diff that cannot measure must fail, not silently pass.
+        c.host.remove(1);
+        let r = diff_manifests(&sample(), &c, &tput_only);
+        assert!(r.tput_regression && r.failed(), "{}", r.render());
+        assert!(
+            !diff_manifests(&sample(), &c, &DiffOptions::default()).failed(),
+            "ungated diff tolerates the missing gauge"
+        );
     }
 
     #[test]

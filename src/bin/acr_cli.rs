@@ -182,10 +182,13 @@ reference campaign whose hashes the golden tests pin):
 DIFF OPTIONS:
     --tolerance-pct F allowed host-timing growth before the candidate
                       counts as a regression (default 20)
-    --host-gate FLAG  on | off — whether a host-timing regression fails
-                      the diff (default on; CI uses off, where shared
-                      runners make wall time report-only). Sim mismatches
-                      always fail regardless
+    --host-gate FLAG  on | off | tput — whether host performance fails
+                      the diff (default on; CI uses off for hash checks,
+                      where shared runners make wall time report-only).
+                      `tput` gates on host.tput.cycles_per_sec instead of
+                      wall time: a throughput drop beyond the tolerance
+                      fails, growth never does. Sim mismatches always
+                      fail regardless
 
 SOAK OPTIONS:
     --workloads LIST  comma-separated workload names (default is,cg)
@@ -1373,7 +1376,16 @@ fn shrink_replay(path: &str) -> Result<ExitCode, String> {
         .map(fault_from_json)
         .collect::<Result<Vec<Fault>, String>>()
         .map_err(|e| format!("{path}: {e}"))?;
+    // `jnum` reads absent fields as 0, so a truncated document would
+    // otherwise ask for a zero-thread experiment (rejected far less
+    // legibly downstream).
     let threads = jnum(&j, "threads") as u32;
+    if threads == 0 {
+        return Err(format!(
+            "{path}: field `threads` missing or zero (a repro document \
+             describes at least one thread)"
+        ));
+    }
     let case = jnum(&j, "case") as usize;
     let cfg = CampaignConfig {
         seed,
@@ -2362,10 +2374,14 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("{flag} needs a value"))?;
-                opts.gate_host = match value.as_str() {
-                    "on" => true,
-                    "off" => false,
-                    other => return Err(format!("--host-gate takes on|off, got `{other}`")),
+                (opts.gate_host, opts.gate_tput) = match value.as_str() {
+                    "on" => (true, false),
+                    "off" => (false, false),
+                    // Perf-gate mode: wall time stays report-only (noisy
+                    // on shared runners), but a drop in simulated cycles
+                    // per host second beyond the tolerance fails.
+                    "tput" => (false, true),
+                    other => return Err(format!("--host-gate takes on|off|tput, got `{other}`")),
                 };
                 i += 2;
             }

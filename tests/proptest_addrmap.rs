@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use acr::{AcrPolicy, AddrMapConfig};
+use acr::{AcrPolicy, AddrMapConfig, AssocState};
 use acr_ckpt::OmissionPolicy;
 use acr_isa::{AluOp, Slice, SliceId, SliceInstr, SliceOperand};
 use acr_mem::{CoreId, WordAddr};
@@ -111,7 +111,7 @@ fn apply(policy: &mut AcrPolicy, model: &mut Model, epoch: &mut u64, ops: &[Op],
                         addr: WordAddr::new(a),
                         value: input.wrapping_add(u64::from(slice)),
                         slice: SliceId(slice),
-                        inputs: vec![input],
+                        inputs: acr_isa::InputVals::new(&[input]),
                         cycle: 0,
                     },
                     *epoch,
@@ -215,6 +215,274 @@ fn rollback_selectively_forgets() {
             let want = model.lookup(a, safe);
             let got = policy.clone().try_omit(0, WordAddr::new(a), safe);
             assert_eq!(got, want.map(|(owner, _, _)| owner));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Differential model for the open-addressed `AddrMap` itself.
+//
+// The tests above check *policy* semantics with generous capacity; this
+// model targets the data structure: a `HashMap<addr, Vec<version>>`
+// mirror of the documented version-list rules, driven through the same
+// operation stream as the real open-addressed index + arena + inline
+// storage, with a deliberately tiny per-core capacity so eviction
+// tombstones fire, and with generation pruning and rollbacks
+// interleaved. Every step compares classifications, omission owners,
+// recomputed values, live counts and tombstone/eviction counters.
+// ---------------------------------------------------------------------------
+
+/// One reference version: mirrors the semantics `AddrMap` documents,
+/// stored in plain std containers.
+#[derive(Debug, Clone, Copy)]
+struct MirrorVersion {
+    epoch: u64,
+    core: u32,
+    /// `Some((slice, input))` for a live association, `None` tombstone.
+    assoc: Option<(u32, u64)>,
+    evicted: bool,
+}
+
+#[derive(Debug, Default)]
+struct MirrorMap {
+    versions: HashMap<u64, Vec<MirrorVersion>>,
+    live: Vec<usize>,
+    rejected_capacity: u64,
+    tombstones: u64,
+    evicted_tombstones: u64,
+}
+
+impl MirrorMap {
+    fn new(cores: usize) -> Self {
+        MirrorMap {
+            live: vec![0; cores],
+            ..MirrorMap::default()
+        }
+    }
+
+    fn tombstone(&mut self, addr: u64, core: u32, epoch: u64, evicted: bool) {
+        let live = &mut self.live;
+        let h = self.versions.entry(addr).or_default();
+        match h.last_mut() {
+            // Already dead from an earlier (or equal) epoch on: no-op.
+            Some(last) if last.assoc.is_none() => return,
+            // Same-epoch association superseded in place.
+            Some(last) if last.epoch == epoch => {
+                live[last.core as usize] -= 1;
+                last.core = core;
+                last.assoc = None;
+                last.evicted = evicted;
+            }
+            _ => h.push(MirrorVersion {
+                epoch,
+                core,
+                assoc: None,
+                evicted,
+            }),
+        }
+        self.tombstones += 1;
+        if evicted {
+            self.evicted_tombstones += 1;
+        }
+    }
+
+    fn store(&mut self, core: u32, addr: u64, epoch: u64) {
+        // Uncovered stores to never-associated (or fully pruned)
+        // addresses leave no trace.
+        if self.versions.get(&addr).is_none_or(Vec::is_empty) {
+            return;
+        }
+        self.tombstone(addr, core, epoch, false);
+    }
+
+    fn assoc(&mut self, core: u32, addr: u64, epoch: u64, slice: u32, input: u64, cap: usize) {
+        if self.live[core as usize] >= cap {
+            self.rejected_capacity += 1;
+            self.tombstone(addr, core, epoch, true);
+            return;
+        }
+        let live = &mut self.live;
+        let h = self.versions.entry(addr).or_default();
+        match h.last_mut() {
+            Some(last) if last.epoch == epoch => {
+                if last.assoc.is_some() {
+                    live[last.core as usize] -= 1;
+                }
+                last.core = core;
+                last.assoc = Some((slice, input));
+                last.evicted = false;
+            }
+            _ => h.push(MirrorVersion {
+                epoch,
+                core,
+                assoc: Some((slice, input)),
+                evicted: false,
+            }),
+        }
+        self.live[core as usize] += 1;
+    }
+
+    /// Mirrors `AddrMap::prune`: keep versions with `epoch >= sealed`
+    /// plus the latest older one; a lone stale tombstone empties the
+    /// history entirely.
+    fn prune(&mut self, sealed: u64) {
+        let live = &mut self.live;
+        for h in self.versions.values_mut() {
+            if h.is_empty() {
+                continue;
+            }
+            let keep_from = (0..h.len())
+                .rev()
+                .find(|&i| h[i].epoch < sealed)
+                .unwrap_or(0);
+            for v in h.drain(..keep_from) {
+                if v.assoc.is_some() {
+                    live[v.core as usize] -= 1;
+                }
+            }
+            if h.len() == 1 && h[0].assoc.is_none() && h[0].epoch < sealed {
+                h.clear();
+            }
+        }
+    }
+
+    fn rollback(&mut self, safe_epoch: u64, victim_mask: u64) {
+        let live = &mut self.live;
+        for h in self.versions.values_mut() {
+            h.retain(|v| {
+                let undone = v.epoch >= safe_epoch && victim_mask >> v.core & 1 == 1;
+                if undone && v.assoc.is_some() {
+                    live[v.core as usize] -= 1;
+                }
+                !undone
+            });
+        }
+    }
+
+    /// Classification for `addr` at checkpoint `epoch`, as a comparable
+    /// mirror of [`AssocState`]: `None` = absent, otherwise
+    /// `(live_slice_and_core, evicted)`.
+    #[allow(clippy::type_complexity)]
+    fn classify(&self, addr: u64, epoch: u64) -> Option<(Option<(u32, u32, u64)>, bool)> {
+        let v = self
+            .versions
+            .get(&addr)?
+            .iter()
+            .rev()
+            .find(|v| v.epoch < epoch)?;
+        Some((
+            v.assoc.map(|(slice, input)| (slice, v.core, input)),
+            v.evicted,
+        ))
+    }
+}
+
+#[test]
+fn addrmap_matches_hashmap_mirror_under_eviction_prune_rollback() {
+    const CORES: u32 = 2;
+    const ADDRS: u64 = 10;
+    const SLICES: u32 = 4;
+    // Tiny on purpose: a handful of hot addresses per core saturates it,
+    // so capacity evictions (and their tombstones) fire constantly.
+    const CAP: usize = 3;
+    forall("addrmap_matches_hashmap_mirror", 48, 0xADD2_0003, |rng| {
+        let generations = rng.gen_range(1..3u32);
+        let mut policy = AcrPolicy::new(
+            slice_table(SLICES),
+            AddrMapConfig {
+                capacity_per_core: CAP,
+            },
+            CORES as usize,
+        )
+        .with_generations(generations);
+        let mut mirror = MirrorMap::new(CORES as usize);
+        let mut epoch = 0u64;
+
+        let steps = rng.gen_range(20..140u32);
+        for _ in 0..steps {
+            match rng.gen_range(0..10u32) {
+                0..=4 => {
+                    let core = rng.gen_range(0..CORES);
+                    let a = u64::from(rng.gen_range(0..ADDRS as u32)) * 8;
+                    let slice = rng.gen_range(0..SLICES);
+                    let input = rng.next_u64();
+                    policy.on_store(core, WordAddr::new(a), epoch);
+                    policy.on_assoc(
+                        &AssocEvent {
+                            core: CoreId(core),
+                            pc: 0,
+                            addr: WordAddr::new(a),
+                            value: input.wrapping_add(u64::from(slice)),
+                            slice: SliceId(slice),
+                            inputs: acr_isa::InputVals::new(&[input]),
+                            cycle: 0,
+                        },
+                        epoch,
+                    );
+                    mirror.store(core, a, epoch);
+                    mirror.assoc(core, a, epoch, slice, input, CAP);
+                }
+                5 | 6 => {
+                    let core = rng.gen_range(0..CORES);
+                    let a = u64::from(rng.gen_range(0..ADDRS as u32)) * 8;
+                    policy.on_store(core, WordAddr::new(a), epoch);
+                    mirror.store(core, a, epoch);
+                }
+                7 | 8 => {
+                    policy.on_checkpoint(epoch);
+                    mirror.prune(epoch.saturating_sub(u64::from(generations)));
+                    epoch += 1;
+                }
+                _ => {
+                    let safe = u64::from(rng.gen_range(0..epoch as u32 + 1));
+                    let mask = u64::from(rng.gen_range(1..4u32));
+                    policy.on_rollback(safe, mask);
+                    mirror.rollback(safe, mask);
+                }
+            }
+
+            // Occupancy accounting must agree exactly — eviction
+            // decisions downstream depend on it.
+            let map = policy.addr_map();
+            for c in 0..CORES {
+                assert_eq!(map.live(c), mirror.live[c as usize], "live({c})");
+            }
+            let usage = map.usage();
+            assert_eq!(usage.rejected_capacity, mirror.rejected_capacity);
+            assert_eq!(usage.tombstones, mirror.tombstones);
+            assert_eq!(usage.evicted_tombstones, mirror.evicted_tombstones);
+
+            // Full classification sweep: every address at every epoch
+            // still reachable by recovery (plus the next one).
+            for a in (0..ADDRS).map(|a| a * 8) {
+                for e in epoch.saturating_sub(3)..=epoch + 1 {
+                    let got = map.classify_for_epoch(WordAddr::new(a), e);
+                    let want = mirror.classify(a, e);
+                    match (got, want) {
+                        (AssocState::Absent, None) => {}
+                        (AssocState::Live { slice, core }, Some((Some((ws, wc, _)), _))) => {
+                            assert_eq!((slice.0, core), (ws, wc), "live at {a}@{e}");
+                        }
+                        (AssocState::Evicted, Some((None, true))) => {}
+                        (AssocState::Dead, Some((None, false))) => {}
+                        (got, want) => {
+                            panic!("addr {a} epoch {e}: map {got:?} vs mirror {want:?}")
+                        }
+                    }
+                }
+                // Omission owner and recomputed value at the current
+                // epoch (the only epoch the engine consults).
+                let want = mirror.classify(a, epoch).and_then(|(live, _)| live);
+                let got = policy.clone().try_omit(0, WordAddr::new(a), epoch);
+                assert_eq!(got, want.map(|(_, core, _)| core), "owner at {a}@{epoch}");
+                if let Some((slice, _, input)) = want {
+                    let rc = policy
+                        .clone()
+                        .recompute(WordAddr::new(a), epoch)
+                        .expect("mirror says recomputable");
+                    assert_eq!(rc.value, input.wrapping_add(u64::from(slice)));
+                }
+            }
         }
     });
 }
